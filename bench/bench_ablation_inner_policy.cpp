@@ -1,0 +1,97 @@
+// A3 -- ablation: the inner arbitration policy under the CBA filter.
+//
+// Paper SIII-A: "CBA acts as a filter [...] Then, any arbitration policy
+// can be applied." The paper integrates random permutations (MBPTA-
+// compliant); here every inner policy runs the same adversarial traffic
+// with and without the filter, showing (a) the cycle-fairness bound is
+// the filter's doing, not the policy's, and (b) how much each policy's
+// own bias survives inside the eligible set.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "stats/fairness.hpp"
+
+namespace {
+
+using namespace cbus;
+
+void row_for(bench::Table& table, bus::ArbiterKind kind, bool with_cba) {
+  bench::SyntheticRig rig(kind,
+                          with_cba ? std::optional<core::CbaConfig>(
+                                         core::CbaConfig::homogeneous(4, 56))
+                                   : std::nullopt);
+  rig.add_master(0, 5, 0, 0);
+  rig.add_master(1, 9, 0, 0);
+  rig.add_master(2, 28, 0, 0);
+  rig.add_master(3, 56, 0, 0);
+  rig.run(300'000);
+  const auto& s = rig.stats();
+  std::vector<double> occ;
+  for (MasterId m = 0; m < 4; ++m) occ.push_back(s.occupancy_share(m));
+  table.add_row({std::string(to_string(kind)) + (with_cba ? " + CBA" : ""),
+                 bench::fmt(occ[0]), bench::fmt(occ[1]), bench::fmt(occ[2]),
+                 bench::fmt(occ[3]),
+                 bench::fmt(stats::jain_index(occ), 3),
+                 bench::fmt(s.grant_share(3), 3)});
+}
+
+void print_ablation() {
+  bench::banner(
+      "A3 -- inner policy under the CBA filter",
+      "Greedy masters with 5/9/28/56-cycle requests. Occupancy per master,\n"
+      "Jain index over occupancy (1.0 = cycle-fair), and the 56-cycle\n"
+      "master's grant share.");
+
+  bench::Table table({"policy", "occ m0(5)", "occ m1(9)", "occ m2(28)",
+                      "occ m3(56)", "Jain(occ)", "grants m3"});
+  for (const auto kind :
+       {bus::ArbiterKind::kRoundRobin, bus::ArbiterKind::kFifo,
+        bus::ArbiterKind::kLottery, bus::ArbiterKind::kRandomPermutation,
+        bus::ArbiterKind::kTdma}) {
+    row_for(table, kind, /*with_cba=*/false);
+  }
+  table.add_row({"----", "", "", "", "", "", ""});
+  for (const auto kind :
+       {bus::ArbiterKind::kRoundRobin, bus::ArbiterKind::kFifo,
+        bus::ArbiterKind::kLottery, bus::ArbiterKind::kRandomPermutation,
+        bus::ArbiterKind::kTdma}) {
+    row_for(table, kind, /*with_cba=*/true);
+  }
+  table.print();
+  std::cout
+      << "\nWithout the filter every request-fair policy hands the bus to "
+         "the long\nrequests (m3 near 50%+, Jain well below 1). With the "
+         "filter the 1/N\noccupancy cap holds under EVERY inner policy -- "
+         "the paper's claim that CBA\ncomposes with any MBPTA-amenable "
+         "arbiter. TDMA remains non-work-conserving\n(lower utilization), "
+         "but its shares are equally capped.\n";
+}
+
+void BM_InnerPolicyStep(benchmark::State& state) {
+  const auto kind = static_cast<bus::ArbiterKind>(state.range(0));
+  bench::SyntheticRig rig(kind, core::CbaConfig::homogeneous(4, 56));
+  rig.add_master(0, 5, 0, 0);
+  rig.add_master(1, 9, 0, 0);
+  rig.add_master(2, 28, 0, 0);
+  rig.add_master(3, 56, 0, 0);
+  rig.run(1);
+  for (auto _ : state) {
+    rig.run(1000);
+    benchmark::DoNotOptimize(rig.stats().busy_cycles);
+  }
+}
+BENCHMARK(BM_InnerPolicyStep)
+    ->Arg(static_cast<int>(bus::ArbiterKind::kRoundRobin))
+    ->Arg(static_cast<int>(bus::ArbiterKind::kLottery))
+    ->Arg(static_cast<int>(bus::ArbiterKind::kRandomPermutation));
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

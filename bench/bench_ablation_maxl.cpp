@@ -1,0 +1,81 @@
+// A2 -- ablation: sensitivity to the MaxL estimate.
+//
+// CBA needs MaxL, "the maximum duration (or its upperbound)" of a bus
+// transaction. What happens when the estimate is wrong?
+//  * over-estimated MaxL (cap too high): eligibility takes longer to
+//    reach after each grant, so short-request masters lose additional
+//    bandwidth to eligibility latency;
+//  * under-estimated MaxL (cap below the real worst case): budgets clamp
+//    at zero mid-transaction (hardware saturating counters), silently
+//    weakening the throttle -- the credit state counts these clamps.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace cbus;
+
+void print_ablation() {
+  bench::banner(
+      "A2 -- MaxL sensitivity",
+      "Platform worst-case transaction is 56 cycles. CBA configured with\n"
+      "MaxL from 14 (4x under-estimate) to 224 (4x over-estimate);\n"
+      "mixed traffic: master 0 short (5), master 1 medium (28), masters\n"
+      "2-3 long (56-cycle) greedy requests, round-robin inner policy.");
+
+  bench::Table table({"configured MaxL", "occ m0 (5cy)", "occ m1 (28cy)",
+                      "occ m2 (56cy)", "bus util", "budget clamps"});
+  for (const Cycle maxl : {14u, 28u, 56u, 112u, 224u}) {
+    bench::SyntheticRig rig(bus::ArbiterKind::kRoundRobin,
+                            core::CbaConfig::homogeneous(4, maxl));
+    rig.add_master(0, 5, 0, 0);
+    rig.add_master(1, 28, 0, 0);
+    rig.add_master(2, 56, 0, 0);
+    rig.add_master(3, 56, 0, 0);
+    rig.run(300'000);
+    const auto& s = rig.stats();
+    table.add_row(
+        {std::to_string(maxl) + (maxl == 56 ? " (correct)" : ""),
+         bench::fmt(s.occupancy_share(0)), bench::fmt(s.occupancy_share(1)),
+         bench::fmt(s.occupancy_share(2)),
+         bench::fmt(static_cast<double>(s.busy_cycles) /
+                    static_cast<double>(s.total_cycles)),
+         std::to_string(rig.filter()->state().underflow_clamps())});
+  }
+  table.print();
+  std::cout
+      << "\nUnder-estimates (MaxL < 56) clamp budgets at zero during long\n"
+         "transactions (non-zero clamp counts): the throttle weakens and "
+         "long\nrequests regain occupancy. Over-estimates keep the 1/N "
+         "upper bound but\nstretch every refill, growing idle time and "
+         "starving the short-request\nmaster first. The correct MaxL = 56 "
+         "maximizes both fairness and utilization.\n";
+}
+
+void BM_MaxlSweepStep(benchmark::State& state) {
+  const auto maxl = static_cast<Cycle>(state.range(0));
+  bench::SyntheticRig rig(bus::ArbiterKind::kRoundRobin,
+                          core::CbaConfig::homogeneous(4, maxl));
+  rig.add_master(0, 5, 0, 0);
+  rig.add_master(1, 28, 0, 0);
+  rig.add_master(2, 56, 0, 0);
+  rig.add_master(3, 56, 0, 0);
+  rig.run(1);
+  for (auto _ : state) {
+    rig.run(1000);
+    benchmark::DoNotOptimize(rig.stats().busy_cycles);
+  }
+}
+BENCHMARK(BM_MaxlSweepStep)->Arg(28)->Arg(56)->Arg(112);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

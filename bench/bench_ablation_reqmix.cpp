@@ -1,0 +1,110 @@
+// A5 -- ablation: request-length heterogeneity (the paper's core premise).
+//
+// SI: "whenever requests from different cores have different duration,
+// fairness is lost since cores with larger requests enjoy most of the
+// bandwidth" -- e.g. alternating 5- and 45-cycle requests give 10%/90%.
+//
+// We sweep the long master's request length L against a 5-cycle short
+// master (two masters, both greedy) and report occupancy shares and Jain
+// indices with and without CBA: without, unfairness grows with L/5;
+// with CBA both are pinned at their halves... of the eligible time.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "stats/fairness.hpp"
+
+namespace {
+
+using namespace cbus;
+
+struct MixResult {
+  double occ_short = 0;
+  double occ_long = 0;
+  double jain = 0;
+  double grant_share_long = 0;
+};
+
+MixResult measure(Cycle long_hold, bool with_cba,
+                  bus::ArbiterKind kind = bus::ArbiterKind::kRoundRobin) {
+  // Two active masters on the 4-master bus (the paper's SI example).
+  bench::SyntheticRig rig(
+      kind, with_cba ? std::optional<core::CbaConfig>(
+                           core::CbaConfig::homogeneous(4, 56))
+                     : std::nullopt);
+  rig.add_master(0, 5, 0, 0, 0, /*instant_rerequest=*/true);
+  rig.add_master(1, long_hold, 0, 0, 0, /*instant_rerequest=*/true);
+  rig.run(200'000);
+  const auto& s = rig.stats();
+  MixResult r;
+  r.occ_short = s.occupancy_share(0);
+  r.occ_long = s.occupancy_share(1);
+  const std::vector<double> occ{r.occ_short, r.occ_long};
+  r.jain = stats::jain_index(occ);
+  r.grant_share_long = s.grant_share(1);
+  return r;
+}
+
+void print_ablation() {
+  bench::banner(
+      "A5 -- bandwidth share vs request-length ratio (SI example)",
+      "Master 0: greedy 5-cycle requests. Master 1: greedy L-cycle\n"
+      "requests. Round-robin arbitration; CBA MaxL = 56.");
+
+  bench::Table table({"L (long hold)", "no-CBA occ 5cy/Lcy", "no-CBA Jain",
+                      "CBA occ 5cy/Lcy", "CBA Jain",
+                      "DRR occ 5cy/Lcy", "DRR Jain"});
+  for (const Cycle L : {5u, 9u, 15u, 28u, 45u, 56u}) {
+    const MixResult plain = measure(L, false);
+    const MixResult cba = measure(L, true);
+    // Prior-art comparison: deficit round-robin, cycle-fair by quantum
+    // accounting instead of an eligibility filter.
+    const MixResult drr =
+        measure(L, false, bus::ArbiterKind::kDeficitRoundRobin);
+    table.add_row(
+        {std::to_string(L) + (L == 45 ? " (paper's 10%/90%)" : ""),
+         bench::fmt(plain.occ_short) + "/" + bench::fmt(plain.occ_long),
+         bench::fmt(plain.jain, 3),
+         bench::fmt(cba.occ_short) + "/" + bench::fmt(cba.occ_long),
+         bench::fmt(cba.jain, 3),
+         bench::fmt(drr.occ_short) + "/" + bench::fmt(drr.occ_long),
+         bench::fmt(drr.jain, 3)});
+  }
+  table.print();
+  std::cout
+      << "\nWithout CBA grant shares stay at 50/50 (request-fair!) while "
+         "occupancy\ndiverges to ~L/(L+5) for the long master -- 90% at "
+         "the paper's L = 45.\nWith CBA the long master is capped at its "
+         "25% (MaxL budget), ending the\ndivergence; the short master's "
+         "eligibility latency keeps it below its cap,\nbut its share no "
+         "longer shrinks as L grows. Deficit round-robin -- the\n"
+         "networking prior art -- achieves 50/50 occupancy here because "
+         "it reorders\ngrants instead of gating eligibility; the price "
+         "is that it must track\nactual transaction lengths post-hoc and "
+         "provides no per-core rate cap\n(an always-greedy master still "
+         "takes every idle cycle).\n";
+}
+
+void BM_ReqMixStep(benchmark::State& state) {
+  const auto L = static_cast<Cycle>(state.range(0));
+  bench::SyntheticRig rig(bus::ArbiterKind::kRoundRobin,
+                          core::CbaConfig::homogeneous(4, 56));
+  rig.add_master(0, 5, 0, 0);
+  rig.add_master(1, L, 0, 0);
+  rig.run(1);
+  for (auto _ : state) {
+    rig.run(1000);
+    benchmark::DoNotOptimize(rig.stats().busy_cycles);
+  }
+}
+BENCHMARK(BM_ReqMixStep)->Arg(9)->Arg(45);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

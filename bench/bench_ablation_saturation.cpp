@@ -1,0 +1,112 @@
+// A1 -- ablation: why the budget must saturate at MaxL.
+//
+// Paper SIII: "budget saturates at MaxL to prevent the case in which one
+// core spends long time not using the bus and then it tries to hog the
+// bus during a long period. Otherwise, the effective bandwidth enjoyed by
+// one task would depend on the shared resource utilization performed by
+// previously executed tasks."
+//
+// We emulate the unbounded-budget variant with ever-larger saturation
+// caps (cap = k x threshold, the banking knob of H-CBA method 1) and an
+// idle phase in which master 0 banks credit, then measure how long it can
+// hog the bus afterwards and how much a victim's requests suffer during
+// the burst.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace cbus;
+
+struct BurstResult {
+  double burst_occupancy = 0;  ///< hog's share in the post-idle window
+  Cycle victim_max_wait = 0;   ///< worst single-request wait of master 1
+  Cycle monopoly = 0;          ///< longest stretch the hog held back-to-back
+};
+
+BurstResult measure_burst(std::uint32_t cap_multiplier, Cycle idle_phase) {
+  const auto cfg = core::CbaConfig::with_cap_boost(
+      core::CbaConfig::homogeneous(4, 56), 0, cap_multiplier);
+  bench::SyntheticRig rig(bus::ArbiterKind::kRoundRobin, cfg);
+  // Master 0 idles for `idle_phase` cycles -- with cap = k x threshold it
+  // banks up to k transactions' worth of credit -- then turns greedy with
+  // 56-cycle requests. Masters 1..3 issue steady 5-cycle requests
+  // throughout.
+  rig.add_master(0, 56, 0, 0, static_cast<std::uint32_t>(idle_phase));
+  rig.add_master(1, 5, 0, 20);
+  rig.add_master(2, 5, 0, 20);
+  rig.add_master(3, 5, 0, 20);
+
+  rig.run(idle_phase);
+  const auto before = rig.stats();
+  const Cycle window = 4'000;
+  rig.run(window);
+  const auto after = rig.stats();
+
+  BurstResult result;
+  const auto hold_delta =
+      after.master[0].hold_cycles - before.master[0].hold_cycles;
+  result.burst_occupancy =
+      static_cast<double>(hold_delta) / static_cast<double>(window);
+  result.victim_max_wait = after.master[1].max_wait;
+  // Back-to-back monopoly estimate: grants funded purely by banked credit
+  // (each 56-cycle grant costs 168 net units; the bank holds
+  // (k-1) x 224 above the threshold).
+  result.monopoly = hold_delta;
+  return result;
+}
+
+void print_ablation() {
+  bench::banner(
+      "A1 -- budget saturation vs banking (cap = k x threshold)",
+      "Master 0 idles for 50,000 cycles (banking credit up to its cap),\n"
+      "then turns into a greedy MaxL (56-cycle) requester against three\n"
+      "steady short-request victims. k = 1 is the paper's saturating\n"
+      "design; large k emulates the unbounded budget it warns against.");
+
+  bench::Table table({"cap multiplier k", "hog occupancy (4k window)",
+                      "hog hold cycles in window",
+                      "victim max wait (cycles)"});
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+    const BurstResult r = measure_burst(k, 50'000);
+    table.add_row({std::to_string(k), bench::fmt(r.burst_occupancy),
+                   std::to_string(r.monopoly),
+                   std::to_string(r.victim_max_wait)});
+  }
+  table.print();
+  std::cout
+      << "\nWith the paper's saturating cap (k=1) prior idleness buys "
+         "nothing: the hog\nis pinned at ~25% occupancy from its first "
+         "request. Raising the cap lets\nbanked credit fund back-to-back "
+         "MaxL transactions: the hog's post-idle burst\nand the victims' "
+         "worst-case waits grow with k -- exactly the history\n"
+         "dependence the paper's saturation rule exists to prevent (and, "
+         "in\ncontrolled doses, what H-CBA method 1 exploits).\n";
+}
+
+void BM_SaturatingCbaStep(benchmark::State& state) {
+  bench::SyntheticRig rig(bus::ArbiterKind::kRoundRobin,
+                          core::CbaConfig::homogeneous(4, 56));
+  rig.add_master(0, 56, 0, 0);
+  rig.add_master(1, 5, 0, 20);
+  rig.add_master(2, 5, 0, 20);
+  rig.add_master(3, 5, 0, 20);
+  rig.run(1);
+  for (auto _ : state) {
+    rig.run(1000);
+    benchmark::DoNotOptimize(rig.stats().busy_cycles);
+  }
+}
+BENCHMARK(BM_SaturatingCbaStep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Policy explorer: put every arbitration policy on the same adversarial
+// traffic (greedy masters with 5/9/28/56-cycle requests) and print who
+// actually gets the bus -- grant shares vs occupancy shares, with and
+// without the CBA filter.
+//
+// This reproduces the paper's core observation interactively: request-fair
+// policies equalise GRANTS, CBA equalises CYCLES.
+//
+//   ./policy_explorer [cycles]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bus/arbiter_factory.hpp"
+#include "bus/bus.hpp"
+#include "core/credit_filter.hpp"
+#include "platform/synthetic_master.hpp"
+#include "sim/kernel.hpp"
+#include "stats/fairness.hpp"
+
+namespace {
+
+class NoSlave final : public cbus::bus::BusSlave {
+ public:
+  cbus::Cycle begin_transaction(const cbus::bus::BusRequest&,
+                                cbus::Cycle) override {
+    return 1;  // unreachable: all requests carry forced holds
+  }
+};
+
+void explore(cbus::bus::ArbiterKind kind, bool with_cba,
+             cbus::Cycle cycles) {
+  using namespace cbus;
+  const std::vector<Cycle> holds{5, 9, 28, 56};
+
+  rng::RandBank bank(0xF00D);
+  NoSlave slave;
+  const auto arbiter = bus::make_arbiter(kind, 4, bank, /*tdma_slot=*/56);
+  bus::NonSplitBus b(bus::BusConfig{4, true}, *arbiter, slave);
+  std::unique_ptr<core::CreditFilter> filter;
+  if (with_cba) {
+    filter = std::make_unique<core::CreditFilter>(
+        core::CbaConfig::homogeneous(4, 56));
+    b.set_filter(filter.get());
+  }
+
+  sim::Kernel kernel;
+  std::vector<std::unique_ptr<platform::SyntheticMaster>> masters;
+  for (MasterId m = 0; m < 4; ++m) {
+    platform::SyntheticMasterConfig cfg;
+    cfg.id = m;
+    cfg.hold = holds[m];
+    cfg.requests = 0;  // greedy
+    cfg.gap = 0;
+    masters.push_back(std::make_unique<platform::SyntheticMaster>(cfg, b));
+    kernel.add(*masters.back());
+  }
+  kernel.add(b);
+  kernel.run(cycles);
+
+  const auto& s = b.statistics();
+  std::vector<double> occupancy;
+  std::cout << std::left << std::setw(22)
+            << (std::string(to_string(kind)) + (with_cba ? "+CBA" : ""));
+  for (MasterId m = 0; m < 4; ++m) {
+    occupancy.push_back(s.occupancy_share(m));
+    std::cout << "  " << std::setw(5) << std::fixed << std::setprecision(3)
+              << s.grant_share(m) << "/" << std::setw(5)
+              << s.occupancy_share(m);
+  }
+  std::cout << "  J=" << std::setprecision(3)
+            << cbus::stats::jain_index(occupancy) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using cbus::bus::ArbiterKind;
+  const auto cycles =
+      static_cast<cbus::Cycle>(argc > 1 ? std::atol(argv[1]) : 200'000);
+
+  std::cout << "Greedy masters with request lengths 5/9/28/56 cycles.\n"
+            << "Cells are grant-share/occupancy-share per master; J is the\n"
+            << "Jain index over occupancy (1.0 = perfectly cycle-fair).\n\n";
+
+  for (const auto kind :
+       {ArbiterKind::kRoundRobin, ArbiterKind::kFifo, ArbiterKind::kLottery,
+        ArbiterKind::kRandomPermutation, ArbiterKind::kTdma,
+        ArbiterKind::kFixedPriority}) {
+    explore(kind, /*with_cba=*/false, cycles);
+  }
+  std::cout << '\n';
+  for (const auto kind :
+       {ArbiterKind::kRoundRobin, ArbiterKind::kFifo, ArbiterKind::kLottery,
+        ArbiterKind::kRandomPermutation, ArbiterKind::kTdma}) {
+    explore(kind, /*with_cba=*/true, cycles);
+  }
+
+  std::cout << "\nEvery request-fair policy hands the bus to the longest "
+               "requests; the CBA filter restores ~25% occupancy each, "
+               "independent of the inner policy.\n";
+  return 0;
+}

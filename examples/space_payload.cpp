@@ -1,0 +1,60 @@
+// Space-domain scenario (the setting of the paper and of Jalle et al.'s
+// dual-criticality memory controller): one critical control task sharing
+// the SoC with three bandwidth-hungry payload-processing applications.
+//
+// Demonstrates operation-mode contention (real co-runners, not the WCET
+// protocol) and how H-CBA's heterogeneous shares protect the control task
+// while leaving the payloads most of the remaining bandwidth.
+//
+//   ./space_payload [runs]
+#include <cstdlib>
+#include <iostream>
+
+#include "platform/platform_config.hpp"
+#include "platform/scenarios.hpp"
+#include "workloads/eembc_like.hpp"
+#include "workloads/streaming.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cbus;
+
+  const auto runs =
+      static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 10);
+
+  // The control task: the cache-handling kernel (moderate bus usage,
+  // latency-critical).
+  auto control = workloads::make_eembc("cacheb");
+
+  // Payload applications: streaming reads straight through to DRAM.
+  workloads::StreamingStream payload1(0);
+  workloads::StreamingStream payload2(0);
+  workloads::StreamingStream payload3(0);
+  const std::vector<cpu::OpStream*> payloads{&payload1, &payload2, &payload3};
+
+  platform::CampaignConfig campaign;
+  campaign.runs = runs;
+  campaign.base_seed = 0x5ACE;
+
+  const auto iso = platform::run_isolation(
+      platform::PlatformConfig::paper(platform::BusSetup::kRp), *control,
+      campaign);
+  std::cout << "control task alone          : " << iso.exec_time.mean()
+            << " cycles\n";
+
+  for (const auto setup :
+       {platform::BusSetup::kRp, platform::BusSetup::kCba,
+        platform::BusSetup::kHcba}) {
+    const auto cfg = platform::PlatformConfig::paper(setup);
+    const auto r =
+        platform::run_with_corunners(cfg, *control, payloads, campaign);
+    std::cout << "with 3 streaming payloads, " << to_string(setup) << "\t: "
+              << r.exec_time.mean() << " cycles -> slowdown "
+              << platform::slowdown(r, iso) << "x  (bus util "
+              << 100.0 * r.bus_utilization.mean() << "%)\n";
+  }
+
+  std::cout << "\nH-CBA (control task at 50% bandwidth) shields the "
+               "critical task hardest; plain CBA already bounds the "
+               "payloads' interference at 3/4 of the bus.\n";
+  return 0;
+}

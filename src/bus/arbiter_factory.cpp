@@ -1,0 +1,71 @@
+#include "bus/arbiter_factory.hpp"
+
+#include "bus/deficit_round_robin.hpp"
+#include "bus/fifo.hpp"
+#include "bus/lottery.hpp"
+#include "bus/priority.hpp"
+#include "bus/random_permutation.hpp"
+#include "bus/round_robin.hpp"
+#include "bus/tdma.hpp"
+#include "common/contracts.hpp"
+
+namespace cbus::bus {
+
+std::string_view to_string(ArbiterKind kind) noexcept {
+  switch (kind) {
+    case ArbiterKind::kRoundRobin: return "round-robin";
+    case ArbiterKind::kFifo: return "fifo";
+    case ArbiterKind::kFixedPriority: return "fixed-priority";
+    case ArbiterKind::kLottery: return "lottery";
+    case ArbiterKind::kRandomPermutation: return "random-permutations";
+    case ArbiterKind::kTdma: return "tdma";
+    case ArbiterKind::kDeficitRoundRobin: return "deficit-round-robin";
+  }
+  return "?";
+}
+
+ArbiterKind parse_arbiter_kind(std::string_view text) {
+  if (text == "rr" || text == "round-robin") return ArbiterKind::kRoundRobin;
+  if (text == "fifo") return ArbiterKind::kFifo;
+  if (text == "priority" || text == "fixed-priority") {
+    return ArbiterKind::kFixedPriority;
+  }
+  if (text == "lottery") return ArbiterKind::kLottery;
+  if (text == "rp" || text == "random-permutations") {
+    return ArbiterKind::kRandomPermutation;
+  }
+  if (text == "tdma") return ArbiterKind::kTdma;
+  if (text == "drr" || text == "deficit-round-robin") {
+    return ArbiterKind::kDeficitRoundRobin;
+  }
+  CBUS_EXPECTS_MSG(false, "unknown arbiter kind: " + std::string(text));
+  return ArbiterKind::kRoundRobin;  // unreachable
+}
+
+std::unique_ptr<Arbiter> make_arbiter(ArbiterKind kind,
+                                      std::uint32_t n_masters,
+                                      rng::RandBank& bank, Cycle tdma_slot) {
+  switch (kind) {
+    case ArbiterKind::kRoundRobin:
+      return std::make_unique<RoundRobinArbiter>(n_masters);
+    case ArbiterKind::kFifo:
+      return std::make_unique<FifoArbiter>(n_masters);
+    case ArbiterKind::kFixedPriority:
+      return std::make_unique<FixedPriorityArbiter>(n_masters);
+    case ArbiterKind::kLottery:
+      return std::make_unique<LotteryArbiter>(n_masters,
+                                              bank.open("arbiter.lottery"));
+    case ArbiterKind::kRandomPermutation:
+      return std::make_unique<RandomPermutationArbiter>(
+          n_masters, bank.open("arbiter.random-permutations"));
+    case ArbiterKind::kTdma:
+      return std::make_unique<TdmaArbiter>(n_masters, tdma_slot);
+    case ArbiterKind::kDeficitRoundRobin:
+      return std::make_unique<DeficitRoundRobinArbiter>(n_masters,
+                                                        tdma_slot);
+  }
+  CBUS_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace cbus::bus

@@ -1,0 +1,37 @@
+// Construction of arbiters by name/enum, shared by the platform assembly,
+// the benches and the examples.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "bus/arbiter.hpp"
+#include "common/types.hpp"
+#include "rng/rand_bank.hpp"
+
+namespace cbus::bus {
+
+enum class ArbiterKind : std::uint8_t {
+  kRoundRobin,
+  kFifo,
+  kFixedPriority,
+  kLottery,
+  kRandomPermutation,  ///< the paper's inner policy
+  kTdma,
+  kDeficitRoundRobin,  ///< prior-art cycle-fair baseline (post-paid DRR)
+};
+
+[[nodiscard]] std::string_view to_string(ArbiterKind kind) noexcept;
+
+/// Parse "rr", "fifo", "priority", "lottery", "rp", "tdma" (throws on junk).
+[[nodiscard]] ArbiterKind parse_arbiter_kind(std::string_view text);
+
+/// Build an arbiter. `bank` supplies channels for the randomized policies;
+/// `tdma_slot` is the TDMA slot width / DRR quantum (MaxL), ignored by
+/// the other kinds.
+[[nodiscard]] std::unique_ptr<Arbiter> make_arbiter(ArbiterKind kind,
+                                                    std::uint32_t n_masters,
+                                                    rng::RandBank& bank,
+                                                    Cycle tdma_slot = 56);
+
+}  // namespace cbus::bus

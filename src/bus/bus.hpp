@@ -1,0 +1,157 @@
+// The non-split shared bus (AMBA AHB style, paper §III-C).
+//
+// Protocol model, pinned here and relied on by every experiment:
+//  * Each master has at most one pending request on the bus at a time.
+//  * A request raised during cycle t is visible to the arbiter at cycle t.
+//  * Arbitration takes one cycle: a grant decided at cycle t starts its
+//    transfer at t+1.
+//  * Re-arbitration is overlapped with the last cycle of the current
+//    transfer, so under back-to-back load the bus never idles between
+//    transactions (matches the paper's fully-saturated-bus arithmetic:
+//    a short request behind three 28-cycle streams waits exactly 84 cycles).
+//  * The hold time of a transfer is decided when it starts: by the slave
+//    (L2 hit 5 / miss 28 / dirty miss 56 / atomic 56) or by the request's
+//    forced_hold (WCET-mode contenders, trace replay).
+//  * An EligibilityFilter (CBA) restricts which pending requests may be
+//    arbitrated; the default filter admits everything.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bus/arbiter.hpp"
+#include "bus/interfaces.hpp"
+#include "bus/request.hpp"
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+#include "sim/component.hpp"
+
+namespace cbus::bus {
+
+struct BusConfig {
+  std::uint32_t n_masters = 4;
+  /// Overlap re-arbitration with the final transfer cycle (default true).
+  /// Disabling inserts a 1-cycle gap between every pair of transfers.
+  bool overlapped_arbitration = true;
+};
+
+/// Per-master and global occupancy accounting.
+struct BusStatistics {
+  struct PerMaster {
+    std::uint64_t requests = 0;      ///< requests raised
+    std::uint64_t grants = 0;        ///< transfers started
+    std::uint64_t completions = 0;   ///< transfers finished
+    Cycle wait_cycles = 0;           ///< sum of (grant - issue) over grants
+    Cycle hold_cycles = 0;           ///< bus cycles occupied
+    Cycle max_wait = 0;              ///< worst single-request wait
+  };
+  std::vector<PerMaster> master;
+  Cycle busy_cycles = 0;   ///< cycles some transfer was in flight
+  Cycle idle_cycles = 0;   ///< cycles the bus was idle (incl. arbitration)
+  Cycle total_cycles = 0;  ///< cycles ticked
+
+  /// Fraction of all ticked cycles master m held the bus.
+  [[nodiscard]] double occupancy_share(MasterId m) const {
+    CBUS_EXPECTS(m < master.size());
+    return total_cycles == 0
+               ? 0.0
+               : static_cast<double>(master[m].hold_cycles) /
+                     static_cast<double>(total_cycles);
+  }
+
+  /// Fraction of all grants that went to master m.
+  [[nodiscard]] double grant_share(MasterId m) const {
+    CBUS_EXPECTS(m < master.size());
+    std::uint64_t total = 0;
+    for (const auto& pm : master) total += pm.grants;
+    return total == 0 ? 0.0
+                      : static_cast<double>(master[m].grants) /
+                            static_cast<double>(total);
+  }
+};
+
+class NonSplitBus final : public sim::Component, public BusPort {
+ public:
+  NonSplitBus(const BusConfig& config, Arbiter& arbiter, BusSlave& slave);
+
+  /// Install the CBA filter (nullptr restores pass-through arbitration).
+  void set_filter(EligibilityFilter* filter) noexcept { filter_ = filter; }
+
+  /// Install a passive activity observer (nullptr detaches).
+  void set_observer(BusObserver* observer) noexcept { observer_ = observer; }
+
+  /// Register the completion-callback target for a master id.
+  void connect_master(MasterId master, BusMaster& callbacks) override;
+
+  /// Raise a request. Precondition: `request.master` has no pending request
+  /// and is not currently holding the bus.
+  void request(const BusRequest& request, Cycle now) override;
+
+  /// True if the master has a raised-but-not-started request.
+  [[nodiscard]] bool has_pending(MasterId master) const override;
+
+  /// True if the master's transfer is in flight.
+  [[nodiscard]] bool is_holding(MasterId master) const noexcept {
+    return transfer_.has_value() && transfer_->request.master == master;
+  }
+
+  /// True if `master` could legally raise a request now (no pending request
+  /// and no transfer in flight for it).
+  [[nodiscard]] bool can_request(MasterId master) const override {
+    return !has_pending(master) && !is_holding(master);
+  }
+
+  [[nodiscard]] bool busy() const noexcept { return transfer_.has_value(); }
+
+  /// Master currently holding the bus (kNoMaster when idle).
+  [[nodiscard]] MasterId holder() const noexcept {
+    return transfer_ ? transfer_->request.master : kNoMaster;
+  }
+
+  void tick(Cycle now) override;
+
+  [[nodiscard]] const BusStatistics& statistics() const noexcept {
+    return stats_;
+  }
+  void reset_statistics();
+
+  [[nodiscard]] std::uint32_t n_masters() const noexcept {
+    return config_.n_masters;
+  }
+  [[nodiscard]] const Arbiter& arbiter() const noexcept { return arbiter_; }
+
+ private:
+  struct Transfer {
+    BusRequest request;
+    Cycle remaining = 0;
+    Cycle hold = 0;
+  };
+
+  /// Bitmask of masters with pending requests.
+  [[nodiscard]] std::uint32_t pending_mask() const noexcept;
+
+  /// Run arbitration for a transfer starting at `start`; latches the winner.
+  void arbitrate(Cycle now, Cycle start);
+
+  /// Begin the latched transfer at cycle `now`.
+  void begin_latched(Cycle now);
+
+  BusConfig config_;
+  Arbiter& arbiter_;
+  BusSlave& slave_;
+  EligibilityFilter* filter_ = nullptr;
+  BusObserver* observer_ = nullptr;
+
+  std::vector<BusMaster*> masters_;
+  std::vector<std::optional<BusRequest>> pending_;
+  std::vector<Cycle> arrival_;  ///< issue cycle per master (valid if pending)
+
+  std::optional<Transfer> transfer_;
+  std::optional<BusRequest> latched_grant_;  ///< starts next cycle
+
+  BusStatistics stats_;
+};
+
+}  // namespace cbus::bus

@@ -1,0 +1,49 @@
+#include "bus/lottery.hpp"
+
+#include "rng/permutation.hpp"
+
+namespace cbus::bus {
+
+LotteryArbiter::LotteryArbiter(std::uint32_t n_masters,
+                               rng::RandChannel channel)
+    : Arbiter(n_masters),
+      channel_(std::move(channel)),
+      tickets_(n_masters, 1u) {}
+
+LotteryArbiter::LotteryArbiter(std::uint32_t n_masters,
+                               rng::RandChannel channel,
+                               std::vector<std::uint32_t> tickets)
+    : Arbiter(n_masters),
+      channel_(std::move(channel)),
+      tickets_(std::move(tickets)) {
+  CBUS_EXPECTS(tickets_.size() == n_masters);
+  for (const auto t : tickets_) CBUS_EXPECTS(t >= 1);
+}
+
+MasterId LotteryArbiter::pick(const ArbInput& input) {
+  CBUS_EXPECTS(input.candidates != 0);
+  std::uint32_t total = 0;
+  for (MasterId m = 0; m < n_masters(); ++m) {
+    if ((input.candidates >> m) & 1u) total += tickets_[m];
+  }
+  std::uint32_t draw = rng::uniform_below(channel_, total);
+  for (MasterId m = 0; m < n_masters(); ++m) {
+    if (((input.candidates >> m) & 1u) == 0) continue;
+    if (draw < tickets_[m]) return m;
+    draw -= tickets_[m];
+  }
+  CBUS_ASSERT(false);
+  return kNoMaster;
+}
+
+void LotteryArbiter::on_grant(MasterId master, Cycle /*now*/) {
+  CBUS_EXPECTS(master < n_masters());
+}
+
+HwCost LotteryArbiter::hw_cost() const {
+  const unsigned n = n_masters();
+  // State: ticket registers (8 bits each) + PRNG handled by the shared bank.
+  return HwCost{8 * n, 6 * n, "ticket adders + random draw comparator"};
+}
+
+}  // namespace cbus::bus

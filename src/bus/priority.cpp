@@ -1,0 +1,41 @@
+#include "bus/priority.hpp"
+
+#include <numeric>
+
+namespace cbus::bus {
+
+FixedPriorityArbiter::FixedPriorityArbiter(std::uint32_t n_masters)
+    : Arbiter(n_masters), order_(n_masters) {
+  std::iota(order_.begin(), order_.end(), 0u);
+}
+
+FixedPriorityArbiter::FixedPriorityArbiter(std::uint32_t n_masters,
+                                           std::vector<MasterId> order)
+    : Arbiter(n_masters), order_(std::move(order)) {
+  CBUS_EXPECTS(order_.size() == n_masters);
+  std::uint32_t seen = 0;
+  for (const MasterId m : order_) {
+    CBUS_EXPECTS(m < n_masters);
+    CBUS_EXPECTS_MSG(((seen >> m) & 1u) == 0, "duplicate master in order");
+    seen |= 1u << m;
+  }
+}
+
+MasterId FixedPriorityArbiter::pick(const ArbInput& input) {
+  CBUS_EXPECTS(input.candidates != 0);
+  for (const MasterId m : order_) {
+    if ((input.candidates >> m) & 1u) return m;
+  }
+  CBUS_ASSERT(false);
+  return kNoMaster;
+}
+
+void FixedPriorityArbiter::on_grant(MasterId master, Cycle /*now*/) {
+  CBUS_EXPECTS(master < n_masters());
+}
+
+HwCost FixedPriorityArbiter::hw_cost() const {
+  return HwCost{0, n_masters(), "pure priority encoder, no state"};
+}
+
+}  // namespace cbus::bus

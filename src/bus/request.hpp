@@ -1,0 +1,30 @@
+// A bus transaction request on the non-split AMBA-style bus.
+//
+// Non-split means a granted request holds the bus until fully served
+// (paper §II/§III-C); the hold time is decided when the transaction starts,
+// either by the addressed slave (cache hit/miss outcome) or -- for synthetic
+// WCET-mode contenders and trace replay -- by a forced hold carried in the
+// request itself.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace cbus::bus {
+
+struct BusRequest {
+  MasterId master = kNoMaster;
+  Addr addr = 0;
+  MemOpKind kind = MemOpKind::kLoad;
+  /// Cycle the request was raised (for wait-time accounting and FIFO order).
+  Cycle issued_at = 0;
+  /// Master-local tag so the master can match completions to its own state.
+  std::uint64_t tag = 0;
+  /// If non-zero, the bus uses this hold time and never consults the slave.
+  /// Used by WCET-estimation-mode virtual contenders (always 56 cycles) and
+  /// by trace replay.
+  Cycle forced_hold = 0;
+};
+
+}  // namespace cbus::bus

@@ -1,0 +1,34 @@
+#include "bus/round_robin.hpp"
+
+namespace cbus::bus {
+
+RoundRobinArbiter::RoundRobinArbiter(std::uint32_t n_masters)
+    : Arbiter(n_masters), last_granted_(n_masters - 1) {}
+
+MasterId RoundRobinArbiter::pick(const ArbInput& input) {
+  CBUS_EXPECTS(input.candidates != 0);
+  const std::uint32_t n = n_masters();
+  for (std::uint32_t offset = 1; offset <= n; ++offset) {
+    const MasterId candidate = (last_granted_ + offset) % n;
+    if ((input.candidates >> candidate) & 1u) return candidate;
+  }
+  CBUS_ASSERT(false);  // candidates non-empty implies a winner exists
+  return kNoMaster;
+}
+
+void RoundRobinArbiter::on_grant(MasterId master, Cycle /*now*/) {
+  CBUS_EXPECTS(master < n_masters());
+  last_granted_ = master;
+}
+
+void RoundRobinArbiter::reset() { last_granted_ = n_masters() - 1; }
+
+HwCost RoundRobinArbiter::hw_cost() const {
+  // State: log2(N) pointer bits. Logic: rotate + priority encoder.
+  const unsigned n = n_masters();
+  unsigned bits = 0;
+  for (unsigned v = n - 1; v != 0; v >>= 1) ++bits;
+  return HwCost{bits, 2 * n, "rotating pointer + priority encoder"};
+}
+
+}  // namespace cbus::bus

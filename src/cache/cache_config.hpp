@@ -1,0 +1,65 @@
+// Cache geometry and policy configuration.
+//
+// The modelled platform (paper §IV-A) uses random-placement,
+// random-replacement caches to enable MBPTA: cache layout conflicts become
+// a random variable sampled per run instead of a fixed unknown.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/contracts.hpp"
+
+namespace cbus::cache {
+
+enum class PlacementKind : std::uint8_t {
+  kModulo,      ///< conventional index = line mod sets
+  kRandomHash,  ///< seeded parametric hash (LEON3-PTA style random placement)
+};
+
+enum class ReplacementKind : std::uint8_t {
+  kLru,
+  kRandom,  ///< MBPTA-friendly random replacement
+};
+
+[[nodiscard]] constexpr std::string_view to_string(PlacementKind k) noexcept {
+  switch (k) {
+    case PlacementKind::kModulo: return "modulo";
+    case PlacementKind::kRandomHash: return "random-hash";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(ReplacementKind k) noexcept {
+  switch (k) {
+    case ReplacementKind::kLru: return "lru";
+    case ReplacementKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 16 * 1024;
+  std::uint32_t line_bytes = 32;
+  std::uint32_t ways = 4;
+  PlacementKind placement = PlacementKind::kRandomHash;
+  ReplacementKind replacement = ReplacementKind::kRandom;
+
+  [[nodiscard]] std::uint32_t n_lines() const {
+    return size_bytes / line_bytes;
+  }
+  [[nodiscard]] std::uint32_t n_sets() const { return n_lines() / ways; }
+
+  void validate() const {
+    CBUS_EXPECTS(line_bytes >= 4 && (line_bytes & (line_bytes - 1)) == 0);
+    CBUS_EXPECTS(ways >= 1);
+    CBUS_EXPECTS(size_bytes >= line_bytes * ways);
+    CBUS_EXPECTS_MSG(size_bytes % (line_bytes * ways) == 0,
+                     "size must be a whole number of sets");
+    const std::uint32_t sets = n_sets();
+    CBUS_EXPECTS_MSG((sets & (sets - 1)) == 0,
+                     "set count must be a power of two");
+  }
+};
+
+}  // namespace cbus::cache

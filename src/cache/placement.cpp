@@ -1,0 +1,20 @@
+#include "cache/placement.hpp"
+
+namespace cbus::cache {
+
+std::uint32_t modulo_index(Addr line_addr, std::uint32_t n_sets) noexcept {
+  return static_cast<std::uint32_t>(line_addr) & (n_sets - 1);
+}
+
+std::uint32_t random_hash_index(Addr line_addr, std::uint64_t seed,
+                                std::uint32_t n_sets) noexcept {
+  // SplitMix-style finalizer over (line ^ seed): full-avalanche, so each
+  // seed induces an (approximately) independent placement function.
+  std::uint64_t z = (static_cast<std::uint64_t>(line_addr) + 1) ^ seed;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return static_cast<std::uint32_t>(z) & (n_sets - 1);
+}
+
+}  // namespace cbus::cache

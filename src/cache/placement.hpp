@@ -1,0 +1,24 @@
+// Placement functions: map a line address to a set index.
+//
+// Random placement implements the seeded parametric hash used by
+// MBPTA-compliant caches (Hernandez et al., DASIA 2015): a per-run seed
+// re-randomizes which addresses conflict, so layout-induced execution-time
+// variation becomes observable across runs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace cbus::cache {
+
+/// Conventional modulo indexing.
+[[nodiscard]] std::uint32_t modulo_index(Addr line_addr,
+                                         std::uint32_t n_sets) noexcept;
+
+/// Seeded hash indexing: uniform over sets, deterministic per (seed, line).
+[[nodiscard]] std::uint32_t random_hash_index(Addr line_addr,
+                                              std::uint64_t seed,
+                                              std::uint32_t n_sets) noexcept;
+
+}  // namespace cbus::cache

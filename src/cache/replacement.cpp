@@ -1,0 +1,23 @@
+#include "cache/replacement.hpp"
+
+#include "common/contracts.hpp"
+#include "rng/permutation.hpp"
+
+namespace cbus::cache {
+
+std::uint32_t LruReplacement::victim(std::span<const WayMeta> ways) {
+  CBUS_EXPECTS(!ways.empty());
+  std::uint32_t oldest = 0;
+  for (std::uint32_t w = 1; w < ways.size(); ++w) {
+    if (ways[w].last_use < ways[oldest].last_use) oldest = w;
+  }
+  return oldest;
+}
+
+std::uint32_t RandomReplacement::victim(std::span<const WayMeta> ways) {
+  CBUS_EXPECTS(!ways.empty());
+  return rng::uniform_below(channel_,
+                            static_cast<std::uint32_t>(ways.size()));
+}
+
+}  // namespace cbus::cache

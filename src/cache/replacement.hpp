@@ -1,0 +1,46 @@
+// Replacement policies for one set: pick the victim way.
+//
+// Implemented as small strategy objects owned by the cache (not per set;
+// they receive the per-way metadata they need). Random replacement draws
+// from the cache's RandBank channel -- per-run reproducible, independent of
+// every other randomness consumer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cache/cache_config.hpp"
+#include "rng/rand_bank.hpp"
+
+namespace cbus::cache {
+
+/// Per-way state the policies can inspect.
+struct WayMeta {
+  bool valid = false;
+  std::uint64_t last_use = 0;  ///< access stamp (monotonic), for LRU
+};
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+  /// Choose the victim way among `ways` (all valid; invalid ways are filled
+  /// first by the cache itself).
+  [[nodiscard]] virtual std::uint32_t victim(std::span<const WayMeta> ways) = 0;
+};
+
+class LruReplacement final : public ReplacementPolicy {
+ public:
+  [[nodiscard]] std::uint32_t victim(std::span<const WayMeta> ways) override;
+};
+
+class RandomReplacement final : public ReplacementPolicy {
+ public:
+  explicit RandomReplacement(rng::RandChannel channel)
+      : channel_(std::move(channel)) {}
+  [[nodiscard]] std::uint32_t victim(std::span<const WayMeta> ways) override;
+
+ private:
+  rng::RandChannel channel_;
+};
+
+}  // namespace cbus::cache

@@ -1,0 +1,64 @@
+// The write(-through) buffer between a core's L1 and the bus.
+//
+// LEON3's data L1 is write-through with a small write buffer: stores retire
+// into the buffer and drain to L2 over the bus in FIFO order, so the core
+// only stalls when the buffer is full (or when a load miss must wait for
+// the drain). Each drained store is a short (5-cycle L2 hit) bus
+// transaction -- precisely the "frequent short requests" traffic class the
+// paper's fairness argument is about.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace cbus::cache {
+
+class StoreBuffer {
+ public:
+  explicit StoreBuffer(std::uint32_t depth) : depth_(depth) {
+    CBUS_EXPECTS(depth >= 1);
+  }
+
+  [[nodiscard]] bool full() const noexcept { return fifo_.size() >= depth_; }
+  [[nodiscard]] bool empty() const noexcept { return fifo_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return fifo_.size(); }
+  [[nodiscard]] std::uint32_t depth() const noexcept { return depth_; }
+
+  /// Enqueue a retired store. Precondition: !full().
+  void push(Addr addr) {
+    CBUS_EXPECTS(!full());
+    fifo_.push_back(addr);
+  }
+
+  /// Address of the oldest store. Precondition: !empty().
+  [[nodiscard]] Addr front() const {
+    CBUS_EXPECTS(!empty());
+    return fifo_.front();
+  }
+
+  /// Drop the oldest store once its bus transaction completed.
+  void pop() {
+    CBUS_EXPECTS(!empty());
+    fifo_.pop_front();
+  }
+
+  /// Store-to-load forwarding check: is a store to this line buffered?
+  [[nodiscard]] bool contains_line(Addr addr, std::uint32_t line_bytes) const {
+    const Addr line = addr / line_bytes;
+    for (const Addr a : fifo_) {
+      if (a / line_bytes == line) return true;
+    }
+    return false;
+  }
+
+  void clear() noexcept { fifo_.clear(); }
+
+ private:
+  std::uint32_t depth_;
+  std::deque<Addr> fifo_;
+};
+
+}  // namespace cbus::cache

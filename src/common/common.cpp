@@ -1,0 +1,7 @@
+// Anchor translation unit for cbus_common (headers are otherwise inline).
+#include "common/types.hpp"
+
+namespace cbus {
+// Intentionally empty: cbus_common is header-only; this TU gives the static
+// library an object file so every toolchain accepts it.
+}  // namespace cbus

@@ -1,0 +1,50 @@
+// Contract-checking helpers.
+//
+// Following the C++ Core Guidelines (I.5/I.7, E.12): preconditions on public
+// interfaces throw (callers may pass bad configs), internal invariants assert
+// unconditionally -- a cycle-accurate model that silently corrupts state is
+// worse than one that stops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cbus::detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) oss << " -- " << msg;
+  throw std::invalid_argument(oss.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line) {
+  std::ostringstream oss;
+  oss << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  throw std::logic_error(oss.str());
+}
+
+}  // namespace cbus::detail
+
+/// Validate a caller-supplied precondition; throws std::invalid_argument.
+#define CBUS_EXPECTS(expr)                                                  \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::cbus::detail::throw_precondition(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+/// Validate a caller-supplied precondition with an explanatory message.
+#define CBUS_EXPECTS_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::cbus::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Check an internal invariant; throws std::logic_error (a bug in cbus).
+#define CBUS_ASSERT(expr)                                                   \
+  do {                                                                      \
+    if (!(expr)) ::cbus::detail::throw_invariant(#expr, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,74 @@
+// Exact rational rates for credit recovery.
+//
+// The paper's Eq. (1) increases each budget by 1/N per cycle; H-CBA method 2
+// uses heterogeneous fractions (e.g. 1/2 for the TuA, 1/6 for contenders).
+// Hardware implements this by scaling all terms to a common integer unit
+// (paper: "multiplying all factors in Equation 1 by N"). RationalRate is the
+// software mirror: a reduced num/den pair plus helpers to find the common
+// scale for a set of per-core rates.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace cbus {
+
+/// An exact non-negative rate expressed as num/den cycles of credit per cycle.
+class RationalRate {
+ public:
+  constexpr RationalRate() noexcept = default;
+
+  /// Constructs num/den, reduced to lowest terms. Requires den > 0.
+  constexpr RationalRate(std::uint64_t num, std::uint64_t den)
+      : num_(num), den_(den) {
+    CBUS_EXPECTS(den > 0);
+    const std::uint64_t g = std::gcd(num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+  }
+
+  [[nodiscard]] constexpr std::uint64_t num() const noexcept { return num_; }
+  [[nodiscard]] constexpr std::uint64_t den() const noexcept { return den_; }
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return num_ == 0; }
+
+  [[nodiscard]] constexpr double as_double() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  friend constexpr bool operator==(const RationalRate&,
+                                   const RationalRate&) noexcept = default;
+
+ private:
+  std::uint64_t num_ = 0;
+  std::uint64_t den_ = 1;
+};
+
+/// Least common multiple of the denominators of a set of rates: the integer
+/// "budget units per cycle of bus time" scale used by the credit counters.
+[[nodiscard]] inline std::uint64_t common_scale(
+    std::span<const RationalRate> rates) {
+  std::uint64_t scale = 1;
+  for (const auto& r : rates) scale = std::lcm(scale, r.den());
+  CBUS_ASSERT(scale > 0);
+  return scale;
+}
+
+/// The per-cycle integer increment of each rate once scaled by
+/// common_scale(rates).
+[[nodiscard]] inline std::vector<std::uint64_t> scaled_increments(
+    std::span<const RationalRate> rates) {
+  const std::uint64_t scale = common_scale(rates);
+  std::vector<std::uint64_t> inc;
+  inc.reserve(rates.size());
+  for (const auto& r : rates) inc.push_back(r.num() * (scale / r.den()));
+  return inc;
+}
+
+}  // namespace cbus

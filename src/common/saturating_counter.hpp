@@ -1,0 +1,71 @@
+// A saturating up/down counter, modelling the BUDGi registers of Table I.
+//
+// The hardware counter is an 8-bit register saturating at 228 (= 4 x 56);
+// this model is 64-bit but enforces the same saturate-at-cap semantics and
+// never goes below zero (eligibility rules guarantee enough credit to pay
+// for any transaction; going negative is an invariant violation we check).
+#pragma once
+
+#include <cstdint>
+
+#include "common/contracts.hpp"
+
+namespace cbus {
+
+class SaturatingCounter {
+ public:
+  SaturatingCounter() noexcept = default;
+
+  /// Counter in [0, cap] starting at `initial`.
+  SaturatingCounter(std::uint64_t cap, std::uint64_t initial) : cap_(cap) {
+    CBUS_EXPECTS(initial <= cap);
+    value_ = initial;
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] std::uint64_t cap() const noexcept { return cap_; }
+  [[nodiscard]] bool saturated() const noexcept { return value_ == cap_; }
+
+  /// Add `amount`, saturating at the cap. Returns the new value.
+  std::uint64_t add(std::uint64_t amount) noexcept {
+    const std::uint64_t headroom = cap_ - value_;
+    value_ += (amount < headroom) ? amount : headroom;
+    return value_;
+  }
+
+  /// Subtract `amount`; underflow is an invariant violation (the eligibility
+  /// filter must guarantee sufficient credit before any spend).
+  std::uint64_t spend(std::uint64_t amount) {
+    CBUS_ASSERT(amount <= value_);
+    value_ -= amount;
+    return value_;
+  }
+
+  /// Net per-cycle update: recovery and occupancy charge applied as ONE
+  /// arithmetic step, `min(value + recover - charge, cap)` -- Table I's +1
+  /// and -4 combine to net -3 while holding (for N = 4) even when the
+  /// counter sits at its cap. Saturating the recovery before charging
+  /// would silently lose one unit per transaction and break the exact
+  /// (N-1)*hold recovery identity the fairness argument rests on.
+  /// Underflow (charge exceeding value + recover) is an invariant
+  /// violation here; CreditState uses clamped arithmetic for the
+  /// MaxL-underestimation ablation.
+  std::uint64_t tick(std::uint64_t recover, std::uint64_t charge) {
+    const std::uint64_t up = value_ + recover;
+    CBUS_ASSERT(charge <= up);
+    value_ = up - charge;
+    if (value_ > cap_) value_ = cap_;
+    return value_;
+  }
+
+  void reset(std::uint64_t value) {
+    CBUS_EXPECTS(value <= cap_);
+    value_ = value;
+  }
+
+ private:
+  std::uint64_t cap_ = 0;
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace cbus

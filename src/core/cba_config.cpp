@@ -1,0 +1,103 @@
+#include "core/cba_config.hpp"
+
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace cbus::core {
+
+CbaConfig CbaConfig::homogeneous(std::uint32_t n_masters, Cycle max_latency) {
+  CBUS_EXPECTS(n_masters >= 1 && n_masters <= kMaxMasters);
+  CBUS_EXPECTS(max_latency >= 1);
+  CbaConfig cfg;
+  cfg.n_masters = n_masters;
+  cfg.max_latency = max_latency;
+  cfg.scale = n_masters;
+  const std::uint64_t cap = static_cast<std::uint64_t>(n_masters) *
+                            static_cast<std::uint64_t>(max_latency);
+  cfg.increment.assign(n_masters, 1);
+  cfg.saturation.assign(n_masters, cap);
+  cfg.threshold.assign(n_masters, cap);
+  cfg.initial.assign(n_masters, cap);
+  cfg.validate();
+  return cfg;
+}
+
+CbaConfig CbaConfig::paper_table1() {
+  CbaConfig cfg = homogeneous(4, 56);
+  // Table I gives the saturation value as 228 rather than 4 x 56 = 224: the
+  // counter also absorbs the arbitration cycle that precedes each transfer
+  // ((56 + 1) x 4 = 228). We reproduce the published register values.
+  cfg.saturation.assign(4, 228);
+  cfg.threshold.assign(4, 228);
+  cfg.initial.assign(4, 228);
+  cfg.validate();
+  return cfg;
+}
+
+CbaConfig CbaConfig::heterogeneous(Cycle max_latency,
+                                   std::span<const RationalRate> rates) {
+  CBUS_EXPECTS(!rates.empty() && rates.size() <= kMaxMasters);
+  CBUS_EXPECTS(max_latency >= 1);
+  CbaConfig cfg;
+  cfg.n_masters = static_cast<std::uint32_t>(rates.size());
+  cfg.max_latency = max_latency;
+  cfg.scale = common_scale(rates);
+  const auto inc = scaled_increments(rates);
+  cfg.increment.assign(inc.begin(), inc.end());
+  const std::uint64_t cap = cfg.scale * max_latency;
+  cfg.saturation.assign(cfg.n_masters, cap);
+  cfg.threshold.assign(cfg.n_masters, cap);
+  cfg.initial.assign(cfg.n_masters, cap);
+  cfg.validate();
+  return cfg;
+}
+
+CbaConfig CbaConfig::paper_hcba(Cycle max_latency) {
+  const RationalRate rates[] = {
+      {1, 2}, {1, 6}, {1, 6}, {1, 6}};  // TuA 50%, contenders 1/6 each
+  return heterogeneous(max_latency, rates);
+}
+
+CbaConfig CbaConfig::with_cap_boost(CbaConfig base, MasterId master,
+                                    std::uint32_t cap_multiplier) {
+  CBUS_EXPECTS(master < base.n_masters);
+  CBUS_EXPECTS(cap_multiplier >= 1);
+  base.saturation[master] =
+      base.threshold[master] * static_cast<std::uint64_t>(cap_multiplier);
+  base.initial[master] = base.saturation[master];
+  base.validate();
+  return base;
+}
+
+void CbaConfig::validate() const {
+  CBUS_EXPECTS(n_masters >= 1 && n_masters <= kMaxMasters);
+  CBUS_EXPECTS(max_latency >= 1);
+  CBUS_EXPECTS(scale >= 1);
+  CBUS_EXPECTS(increment.size() == n_masters);
+  CBUS_EXPECTS(saturation.size() == n_masters);
+  CBUS_EXPECTS(threshold.size() == n_masters);
+  CBUS_EXPECTS(initial.size() == n_masters);
+  for (MasterId m = 0; m < n_masters; ++m) {
+    CBUS_EXPECTS_MSG(threshold[m] <= saturation[m],
+                     "eligibility threshold above the saturation cap");
+    CBUS_EXPECTS_MSG(initial[m] <= saturation[m],
+                     "initial budget above the saturation cap");
+    CBUS_EXPECTS_MSG(increment[m] <= scale,
+                     "a single master recovering faster than the bus serves "
+                     "makes credits meaningless");
+  }
+}
+
+double CbaConfig::total_recovery_rate() const noexcept {
+  const std::uint64_t sum =
+      std::accumulate(increment.begin(), increment.end(), std::uint64_t{0});
+  return static_cast<double>(sum) / static_cast<double>(scale);
+}
+
+double CbaConfig::bandwidth_share(MasterId m) const {
+  CBUS_EXPECTS(m < n_masters);
+  return static_cast<double>(increment[m]) / static_cast<double>(scale);
+}
+
+}  // namespace cbus::core

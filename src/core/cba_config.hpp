@@ -1,0 +1,90 @@
+// Configuration of the Credit-Based Arbitration mechanism (paper §III).
+//
+// All quantities are in *scaled budget units*: the paper multiplies Eq. (1)
+// through by N so the hardware works in integers ("when using the bus, the
+// budget should also be decreased by N every cycle instead of by 1"). One
+// cycle of bus occupancy costs `scale` units; core i recovers
+// `increment[i]` units per cycle. For homogeneous CBA with N cores,
+// scale == N and increment[i] == 1, giving each core a long-run occupancy
+// bound of 1/N. H-CBA method 2 (heterogeneous recovery) chooses a common
+// denominator for the per-core rational rates; method 1 (cap boost) raises
+// one core's saturation cap above the eligibility threshold so it can issue
+// requests back to back.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rational_rate.hpp"
+#include "common/types.hpp"
+
+namespace cbus::core {
+
+struct CbaConfig {
+  std::uint32_t n_masters = 4;
+
+  /// Worst-case (or upper-bounded) bus transaction duration, in cycles.
+  Cycle max_latency = 56;
+
+  /// Budget units charged per cycle of bus occupancy (the paper's N).
+  std::uint64_t scale = 4;
+
+  /// Budget units recovered per cycle, per master (the paper's +1).
+  std::vector<std::uint64_t> increment;
+
+  /// Saturation value of each budget counter, in units. Paper Table I uses
+  /// 228 for the 4-core, MaxL=56 platform.
+  std::vector<std::uint64_t> saturation;
+
+  /// Eligibility threshold, in units: a master may be arbitrated only when
+  /// its budget is at least this. Equal to saturation for plain CBA;
+  /// H-CBA method 1 keeps the threshold while raising the cap.
+  std::vector<std::uint64_t> threshold;
+
+  /// Initial budget per master, in units (WCET mode zeroes the TuA's).
+  std::vector<std::uint64_t> initial;
+
+  /// --- Factories ---------------------------------------------------------
+
+  /// Plain CBA: every master recovers 1/n of a cycle per cycle; saturation
+  /// and threshold are n * max_latency units (= MaxL cycles of credit).
+  [[nodiscard]] static CbaConfig homogeneous(std::uint32_t n_masters,
+                                             Cycle max_latency);
+
+  /// The exact Table I instance: 4 cores, MaxL = 56, 8-bit counters
+  /// saturating at 228, +1/cycle recovery, -4/cycle while using the bus.
+  [[nodiscard]] static CbaConfig paper_table1();
+
+  /// H-CBA method 2: heterogeneous recovery rates (in cycles of credit per
+  /// cycle, e.g. {1/2, 1/6, 1/6, 1/6}). The common denominator becomes the
+  /// scale; saturation == threshold == MaxL cycles of credit.
+  [[nodiscard]] static CbaConfig heterogeneous(
+      Cycle max_latency, std::span<const RationalRate> rates);
+
+  /// The paper's H-CBA evaluation point: TuA (master 0) recovers 1/2,
+  /// each of the other three cores 1/6 -- i.e. 50% of bandwidth to the TuA.
+  [[nodiscard]] static CbaConfig paper_hcba(Cycle max_latency = 56);
+
+  /// H-CBA method 1: start from homogeneous CBA and let `master`'s budget
+  /// saturate at `cap_multiplier` x MaxL (threshold unchanged), enabling
+  /// back-to-back grants for that master.
+  [[nodiscard]] static CbaConfig with_cap_boost(CbaConfig base,
+                                                MasterId master,
+                                                std::uint32_t cap_multiplier);
+
+  /// --- Derived / validation ----------------------------------------------
+
+  /// Throws std::invalid_argument unless the vectors are consistent.
+  void validate() const;
+
+  /// Sum of increments divided by scale: 1.0 means recovery exactly matches
+  /// bus capacity (work-conserving at saturation); the ablation benches
+  /// explore other values.
+  [[nodiscard]] double total_recovery_rate() const noexcept;
+
+  /// Convenience: bandwidth fraction master m converges to under full load.
+  [[nodiscard]] double bandwidth_share(MasterId m) const;
+};
+
+}  // namespace cbus::core

@@ -1,0 +1,43 @@
+#include "core/contention_bounds.hpp"
+
+#include "common/contracts.hpp"
+
+namespace cbus::core {
+
+Cycle max_request_delay(const CbaConfig& config) {
+  config.validate();
+  const Cycle maxl = config.max_latency;
+  return (maxl - 1)                        // residual of an in-flight transfer
+         + (config.n_masters - 1) * maxl   // one grant per other master
+         + 1;                              // own arbitration cycle
+}
+
+Cycle max_refill_delay(const CbaConfig& config, MasterId m, Cycle hold) {
+  config.validate();
+  CBUS_EXPECTS(m < config.n_masters);
+  CBUS_EXPECTS(hold >= 1);
+  const std::uint64_t spent_net =
+      hold * (config.scale - config.increment[m]);
+  // Ceil division: refill at increment[m] units per cycle.
+  return (spent_net + config.increment[m] - 1) / config.increment[m];
+}
+
+double occupancy_bound(const CbaConfig& config, MasterId m) {
+  config.validate();
+  CBUS_EXPECTS(m < config.n_masters);
+  return static_cast<double>(config.increment[m]) /
+         static_cast<double>(config.scale);
+}
+
+double slowdown_bound(const CbaConfig& config, MasterId m,
+                      double bus_fraction) {
+  CBUS_EXPECTS(bus_fraction >= 0.0 && bus_fraction <= 1.0);
+  const double share = occupancy_bound(config, m);
+  CBUS_EXPECTS(share > 0.0);
+  // Occupied time stretches by 1/share; a request that was eligible the
+  // moment it arrived can additionally wait behind other masters, which
+  // is already folded into the stretched occupancy in the long run.
+  return (1.0 - bus_fraction) + bus_fraction / share;
+}
+
+}  // namespace cbus::core

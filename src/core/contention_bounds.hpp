@@ -1,0 +1,48 @@
+// Analytical worst-case contention bounds under CBA (paper §III-B).
+//
+// These closed forms are what a WCET analyst would plug into a static
+// analysis alongside the measurement-based protocol; the test suite
+// cross-validates every simulated wait against them.
+//
+// Setting: N masters, worst-case transaction MaxL, CBA with per-master
+// recovery increments u_i over scale S (u_i/S of a cycle per cycle).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "core/cba_config.hpp"
+
+namespace cbus::core {
+
+/// Upper bound on the delay (cycles from raising an eligible request to
+/// the start of its transfer) of ONE request of master `m`, when every
+/// other master behaves adversarially:
+///   * one in-flight transaction may need to drain: MaxL - 1 cycles;
+///   * each other master can be granted at most once before m under any
+///     of the request-fair inner policies (RR, FIFO, lottery and random
+///     permutations all guarantee it for a persistently pending request):
+///     (N - 1) * MaxL;
+///   * plus the 1-cycle arbitration of m's own grant.
+[[nodiscard]] Cycle max_request_delay(const CbaConfig& config);
+
+/// Additional worst-case delay before the request is even *eligible*: the
+/// budget must refill from its post-grant minimum to the threshold.
+/// After a grant of `hold` cycles, master m has spent hold*(S - u_m)
+/// units net and refills at u_m per cycle.
+[[nodiscard]] Cycle max_refill_delay(const CbaConfig& config, MasterId m,
+                                     Cycle hold);
+
+/// Long-run occupancy upper bound of master m: u_m / S (the throttle).
+[[nodiscard]] double occupancy_bound(const CbaConfig& config, MasterId m);
+
+/// Upper bound on the contention slowdown of a task on master m that
+/// occupies `bus_fraction` of its isolated execution on the bus:
+/// every occupied cycle stretches to at most S/u_m cycles (budget period)
+/// plus per-request arbitration losses folded into the fraction; the
+/// non-bus fraction is unaffected. This is the paper's "the slowdown
+/// should be at most N times" bound, generalized to H-CBA weights.
+[[nodiscard]] double slowdown_bound(const CbaConfig& config, MasterId m,
+                                    double bus_fraction);
+
+}  // namespace cbus::core

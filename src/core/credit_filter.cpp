@@ -1,0 +1,23 @@
+#include "core/credit_filter.hpp"
+
+#include <algorithm>
+
+namespace cbus::core {
+
+bus::HwCost CreditFilter::hw_cost() const {
+  const CbaConfig& cfg = state_.config();
+  unsigned total_bits = 0;
+  for (MasterId m = 0; m < cfg.n_masters; ++m) {
+    unsigned bits = 0;
+    for (std::uint64_t v = cfg.saturation[m]; v != 0; v >>= 1) ++bits;
+    total_bits += std::max(bits, 1u);
+  }
+  // Per master: saturating adder + threshold comparator ~ 2 LUTs per bit
+  // on 4-LUT fabric, plus the AND into the request lines.
+  const unsigned luts = 2 * total_bits + cfg.n_masters;
+  return bus::HwCost{total_bits, luts,
+                     "per-master saturating budget counter + threshold "
+                     "comparator + request gating"};
+}
+
+}  // namespace cbus::core

@@ -1,0 +1,75 @@
+#include "core/credit_state.hpp"
+
+#include "common/contracts.hpp"
+
+namespace cbus::core {
+
+CreditState::CreditState(CbaConfig config) : config_(std::move(config)) {
+  config_.validate();
+  counters_.reserve(config_.n_masters);
+  for (MasterId m = 0; m < config_.n_masters; ++m) {
+    counters_.emplace_back(config_.saturation[m], config_.initial[m]);
+  }
+}
+
+void CreditState::tick(MasterId holder) {
+  for (MasterId m = 0; m < config_.n_masters; ++m) {
+    if (m != holder) {
+      counters_[m].add(config_.increment[m]);
+      continue;
+    }
+    // Combined net update (recovery and occupancy charge in one step; see
+    // SaturatingCounter::tick for why the order matters). Clamp at zero
+    // like the hardware counter would -- only reachable when MaxL was
+    // under-estimated; tracked so experiments can detect it.
+    const std::uint64_t up = counters_[m].value() + config_.increment[m];
+    if (config_.scale <= up) {
+      counters_[m].tick(config_.increment[m], config_.scale);
+    } else {
+      counters_[m].tick(config_.increment[m],
+                        counters_[m].value() + config_.increment[m]);
+      ++underflow_clamps_;
+    }
+  }
+}
+
+std::uint64_t CreditState::budget(MasterId m) const {
+  CBUS_EXPECTS(m < config_.n_masters);
+  return counters_[m].value();
+}
+
+double CreditState::budget_cycles(MasterId m) const {
+  return static_cast<double>(budget(m)) / static_cast<double>(config_.scale);
+}
+
+bool CreditState::eligible(MasterId m) const {
+  CBUS_EXPECTS(m < config_.n_masters);
+  return counters_[m].value() >= config_.threshold[m];
+}
+
+std::uint32_t CreditState::eligible_mask(std::uint32_t pending) const {
+  std::uint32_t mask = 0;
+  for (MasterId m = 0; m < config_.n_masters; ++m) {
+    if (((pending >> m) & 1u) && eligible(m)) mask |= 1u << m;
+  }
+  return mask;
+}
+
+bool CreditState::saturated(MasterId m) const {
+  CBUS_EXPECTS(m < config_.n_masters);
+  return counters_[m].saturated();
+}
+
+void CreditState::set_budget(MasterId m, std::uint64_t units) {
+  CBUS_EXPECTS(m < config_.n_masters);
+  counters_[m].reset(units);
+}
+
+void CreditState::reset() {
+  for (MasterId m = 0; m < config_.n_masters; ++m) {
+    counters_[m].reset(config_.initial[m]);
+  }
+  underflow_clamps_ = 0;
+}
+
+}  // namespace cbus::core

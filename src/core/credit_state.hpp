@@ -1,0 +1,66 @@
+// The per-master budget counters (BUDGi of Table I) and their update rules.
+//
+// Every cycle each counter gains increment[i] units, saturating at its cap;
+// the master holding the bus additionally pays `scale` units in the same
+// cycle (net -(scale - increment) while holding, the paper's "-4" with the
+// "+1" folded in). A master is eligible when its budget has reached the
+// threshold -- which guarantees it can pay for any transaction up to MaxL
+// without the counter underflowing. If a transaction exceeds MaxL (a
+// mis-configured upper bound, explored by the MaxL ablation), the counter
+// clamps at zero like its hardware counterpart and the event is counted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/saturating_counter.hpp"
+#include "common/types.hpp"
+#include "core/cba_config.hpp"
+
+namespace cbus::core {
+
+class CreditState {
+ public:
+  explicit CreditState(CbaConfig config);
+
+  /// One clock edge: recovery for everyone, occupancy charge for `holder`
+  /// (pass kNoMaster when the bus is idle or arbitrating).
+  void tick(MasterId holder);
+
+  /// Budget of master m, in scaled units.
+  [[nodiscard]] std::uint64_t budget(MasterId m) const;
+
+  /// Budget of master m, in cycles of credit (units / scale).
+  [[nodiscard]] double budget_cycles(MasterId m) const;
+
+  /// True iff master m's budget has reached its eligibility threshold.
+  [[nodiscard]] bool eligible(MasterId m) const;
+
+  /// Restrict a pending mask to eligible masters.
+  [[nodiscard]] std::uint32_t eligible_mask(std::uint32_t pending) const;
+
+  /// True iff the counter is at its saturation cap (Table I's BUDGi == 228).
+  [[nodiscard]] bool saturated(MasterId m) const;
+
+  /// Force a budget value (WCET mode zeroes the TuA's budget at run start).
+  void set_budget(MasterId m, std::uint64_t units);
+
+  /// Restore every counter to its configured initial value.
+  void reset();
+
+  /// Cycles on which a holder's counter could not pay the full occupancy
+  /// charge and clamped at zero (only possible when MaxL is under-estimated
+  /// or the threshold is configured below the worst-case cost).
+  [[nodiscard]] std::uint64_t underflow_clamps() const noexcept {
+    return underflow_clamps_;
+  }
+
+  [[nodiscard]] const CbaConfig& config() const noexcept { return config_; }
+
+ private:
+  CbaConfig config_;
+  std::vector<SaturatingCounter> counters_;
+  std::uint64_t underflow_clamps_ = 0;
+};
+
+}  // namespace cbus::core

@@ -1,0 +1,55 @@
+#include "core/virtual_contender.hpp"
+
+#include "common/contracts.hpp"
+
+namespace cbus::core {
+
+VirtualContender::VirtualContender(const VirtualContenderConfig& config,
+                                   bus::BusPort& bus,
+                                   const CreditState* credits)
+    : sim::Component("contender-" + std::to_string(config.self)),
+      config_(config),
+      bus_(bus),
+      credits_(credits) {
+  CBUS_EXPECTS(config.self != config.tua);
+  CBUS_EXPECTS(config.hold >= 1);
+  CBUS_EXPECTS_MSG(
+      config.policy == ContenderPolicy::kAlwaysCompete || credits != nullptr,
+      "the COMP latch needs the credit state to watch BUDGi");
+  bus_.connect_master(config_.self, *this);
+}
+
+bool VirtualContender::budget_full() const {
+  return credits_ == nullptr || credits_->saturated(config_.self);
+}
+
+void VirtualContender::tick(Cycle now) {
+  if (config_.policy == ContenderPolicy::kCompLatch) {
+    // COMPi <= 1 when BUDGi saturated and the TuA has a request pending.
+    if (!comp_ && budget_full() && bus_.has_pending(config_.tua)) {
+      comp_ = true;
+    }
+  } else {
+    comp_ = true;  // always compete
+  }
+
+  if (comp_ && bus_.can_request(config_.self)) {
+    bus::BusRequest req;
+    req.master = config_.self;
+    req.kind = MemOpKind::kLoad;
+    req.forced_hold = config_.hold;  // keep the bus busy for MaxL cycles
+    bus_.request(req, now);
+  }
+}
+
+void VirtualContender::on_grant(const bus::BusRequest& /*request*/,
+                                Cycle /*now*/, Cycle /*hold*/) {
+  // COMPi is reset whenever core i is granted access to the bus (Table I).
+  comp_ = false;
+  ++grants_;
+}
+
+void VirtualContender::on_complete(const bus::BusRequest& /*request*/,
+                                   Cycle /*now*/) {}
+
+}  // namespace cbus::core

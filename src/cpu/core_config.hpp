@@ -1,0 +1,44 @@
+// Configuration of the in-order core model.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache_config.hpp"
+#include "common/contracts.hpp"
+
+namespace cbus::cpu {
+
+struct CoreConfig {
+  /// Private data L1 (write-through, no write-allocate -- LEON3 style).
+  cache::CacheConfig dl1{
+      .size_bytes = 16 * 1024,
+      .line_bytes = 32,
+      .ways = 4,
+      .placement = cache::PlacementKind::kRandomHash,
+      .replacement = cache::ReplacementKind::kRandom,
+  };
+
+  /// Write-buffer entries between the L1 and the bus.
+  std::uint32_t store_buffer_depth = 2;
+
+  void validate() const {
+    dl1.validate();
+    CBUS_EXPECTS(store_buffer_depth >= 1);
+  }
+};
+
+/// Per-run counters exposed by the core.
+struct CoreStats {
+  Cycle cycles = 0;            ///< total cycles until completion
+  Cycle compute_cycles = 0;    ///< cycles retiring non-memory work
+  Cycle bus_stall_cycles = 0;  ///< cycles blocked on an outstanding request
+  Cycle sb_stall_cycles = 0;   ///< cycles blocked on a full store buffer
+  std::uint64_t ops = 0;       ///< memory operations executed
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t bus_requests = 0;
+};
+
+}  // namespace cbus::cpu

@@ -1,0 +1,39 @@
+// OpStream: the instruction-stream abstraction executed by the core model.
+//
+// A workload is a deterministic (per seed) sequence of memory operations,
+// each preceded by a number of pure-compute cycles. This is the standard
+// trace-driven reduction for bus/arbitration studies: only the memory
+// operations interact with the shared resources, so only they (plus the
+// compute gaps separating them) influence contention timing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace cbus::cpu {
+
+struct MemOp {
+  MemOpKind kind = MemOpKind::kLoad;
+  Addr addr = 0;
+  /// Pipeline cycles spent before this operation issues (non-memory work).
+  std::uint32_t compute_before = 0;
+};
+
+class OpStream {
+ public:
+  virtual ~OpStream() = default;
+
+  /// The next operation, or nullopt when the task has finished.
+  [[nodiscard]] virtual std::optional<MemOp> next() = 0;
+
+  /// Restart from the beginning with per-run randomness derived from `seed`
+  /// (streams with no internal randomness ignore the value).
+  virtual void reset(std::uint64_t seed) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+}  // namespace cbus::cpu

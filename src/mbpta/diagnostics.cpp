@@ -1,0 +1,104 @@
+#include "mbpta/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "stats/summary.hpp"
+
+namespace cbus::mbpta {
+
+double ks_distance(std::span<const double> sample, const GumbelFit& fit) {
+  CBUS_EXPECTS(!sample.empty());
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double model = fit.cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::abs(model - lo), std::abs(hi - model)));
+  }
+  return d;
+}
+
+CvTestResult cv_test(std::span<const double> sample,
+                     double threshold_quantile) {
+  CBUS_EXPECTS(sample.size() >= 4);
+  CBUS_EXPECTS(threshold_quantile > 0.0 && threshold_quantile < 1.0);
+  CvTestResult result;
+  result.threshold = stats::quantile(sample, threshold_quantile);
+
+  stats::OnlineStats excess;
+  for (const double x : sample) {
+    if (x > result.threshold) excess.add(x - result.threshold);
+  }
+  result.exceedances = static_cast<std::size_t>(excess.count());
+  if (result.exceedances < 2 || excess.mean() == 0.0) {
+    // Too few exceedances to evaluate: report CV 1 but do not accept.
+    result.cv = 1.0;
+    result.accepted = false;
+    return result;
+  }
+  result.cv = excess.stddev() / excess.mean();
+  const double band =
+      1.96 / std::sqrt(static_cast<double>(result.exceedances));
+  result.accepted = std::abs(result.cv - 1.0) <= band;
+  return result;
+}
+
+RunsTestResult runs_test(std::span<const double> sample) {
+  CBUS_EXPECTS(sample.size() >= 4);
+  const double median = stats::quantile(sample, 0.5);
+
+  RunsTestResult result;
+  std::size_t n_above = 0;
+  std::size_t n_below = 0;
+  int prev = 0;  // 0 = unset, +1 above, -1 below (ties skipped)
+  for (const double x : sample) {
+    if (x == median) continue;
+    const int side = x > median ? 1 : -1;
+    if (side == 1) {
+      ++n_above;
+    } else {
+      ++n_below;
+    }
+    if (side != prev) {
+      ++result.runs;
+      prev = side;
+    }
+  }
+  const double na = static_cast<double>(n_above);
+  const double nb = static_cast<double>(n_below);
+  const double n = na + nb;
+  if (na == 0.0 || nb == 0.0 || n < 4.0) {
+    result.accepted = false;
+    return result;
+  }
+  result.expected_runs = 2.0 * na * nb / n + 1.0;
+  const double var = (result.expected_runs - 1.0) *
+                     (result.expected_runs - 2.0) / (n - 1.0);
+  if (var <= 0.0) {
+    result.accepted = false;
+    return result;
+  }
+  result.z =
+      (static_cast<double>(result.runs) - result.expected_runs) /
+      std::sqrt(var);
+  result.accepted = std::abs(result.z) < 1.96;
+  return result;
+}
+
+Diagnostics diagnose(std::span<const double> sample,
+                     const GumbelFit& moments_fit, const GumbelFit& pwm_fit) {
+  Diagnostics d;
+  d.cv = cv_test(sample, 0.5);
+  d.runs = runs_test(sample);
+  d.lag1_autocorrelation = stats::autocorrelation(sample, 1);
+  d.ks_moments = ks_distance(sample, moments_fit);
+  d.ks_pwm = ks_distance(sample, pwm_fit);
+  return d;
+}
+
+}  // namespace cbus::mbpta

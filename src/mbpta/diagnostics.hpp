@@ -1,0 +1,53 @@
+// Applicability diagnostics for MBPTA: the method is only trustworthy when
+// the measured execution times behave like i.i.d. draws and the tail is
+// exponential (Gumbel domain of attraction).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mbpta/gumbel.hpp"
+
+namespace cbus::mbpta {
+
+/// Kolmogorov-Smirnov distance between the empirical CDF of `sample` and a
+/// fitted Gumbel (goodness of fit; smaller is better).
+[[nodiscard]] double ks_distance(std::span<const double> sample,
+                                 const GumbelFit& fit);
+
+/// Coefficient-of-variation exponentiality check on threshold excesses:
+/// for an exponential tail, CV of (x - u | x > u) is 1. Returns the CV of
+/// the excesses above the q-quantile threshold.
+struct CvTestResult {
+  double threshold = 0.0;
+  std::size_t exceedances = 0;
+  double cv = 0.0;
+  /// |cv - 1| <= 1.96 / sqrt(n): cannot reject exponentiality at ~95%.
+  bool accepted = false;
+};
+[[nodiscard]] CvTestResult cv_test(std::span<const double> sample,
+                                   double threshold_quantile);
+
+/// Wald-Wolfowitz runs test for independence (above/below median).
+/// |z| < 1.96 is consistent with independence at ~95%.
+struct RunsTestResult {
+  std::size_t runs = 0;
+  double expected_runs = 0.0;
+  double z = 0.0;
+  bool accepted = false;
+};
+[[nodiscard]] RunsTestResult runs_test(std::span<const double> sample);
+
+/// All diagnostics bundled, as an analysis report.
+struct Diagnostics {
+  CvTestResult cv;
+  RunsTestResult runs;
+  double lag1_autocorrelation = 0.0;
+  double ks_moments = 0.0;
+  double ks_pwm = 0.0;
+};
+[[nodiscard]] Diagnostics diagnose(std::span<const double> sample,
+                                   const GumbelFit& moments_fit,
+                                   const GumbelFit& pwm_fit);
+
+}  // namespace cbus::mbpta

@@ -1,0 +1,67 @@
+#include "mbpta/gumbel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace cbus::mbpta {
+
+double GumbelFit::cdf(double x) const {
+  return std::exp(-std::exp(-(x - location) / scale));
+}
+
+double GumbelFit::quantile_exceedance(double p_exceed) const {
+  CBUS_EXPECTS(p_exceed > 0.0 && p_exceed < 1.0);
+  // CDF value 1 - p; for tiny p use log1p for accuracy.
+  return location - scale * std::log(-std::log1p(-p_exceed));
+}
+
+GumbelFit fit_moments(std::span<const double> sample) {
+  CBUS_EXPECTS(sample.size() >= 2);
+  stats::OnlineStats s;
+  for (const double x : sample) s.add(x);
+  GumbelFit fit;
+  fit.scale = s.stddev() * std::sqrt(6.0) / 3.14159265358979323846;
+  if (fit.scale <= 0.0) fit.scale = 1e-9;  // degenerate (constant) sample
+  fit.location = s.mean() - kEulerGamma * fit.scale;
+  return fit;
+}
+
+GumbelFit fit_pwm(std::span<const double> sample) {
+  CBUS_EXPECTS(sample.size() >= 2);
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double b0 = 0.0;
+  double b1 = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    b0 += sorted[i];
+    b1 += (static_cast<double>(i) / (n - 1.0)) * sorted[i];
+  }
+  b0 /= n;
+  b1 /= n;
+  GumbelFit fit;
+  fit.scale = (2.0 * b1 - b0) / std::log(2.0);
+  if (fit.scale <= 0.0) fit.scale = 1e-9;
+  fit.location = b0 - kEulerGamma * fit.scale;
+  return fit;
+}
+
+std::vector<double> block_maxima(std::span<const double> sample,
+                                 std::size_t block_size) {
+  CBUS_EXPECTS(block_size >= 1);
+  std::vector<double> maxima;
+  maxima.reserve(sample.size() / block_size);
+  for (std::size_t start = 0; start + block_size <= sample.size();
+       start += block_size) {
+    double mx = sample[start];
+    for (std::size_t i = 1; i < block_size; ++i) {
+      mx = std::max(mx, sample[start + i]);
+    }
+    maxima.push_back(mx);
+  }
+  return maxima;
+}
+
+}  // namespace cbus::mbpta

@@ -1,0 +1,44 @@
+// Gumbel (EVT type I) fitting for MBPTA (Cucu-Grosjean et al., ECRTS 2012).
+//
+// MBPTA collects execution times under analysis-time worst conditions,
+// takes block maxima, fits a Gumbel distribution, and reads pWCET values
+// from its tail. Two standard estimators are implemented (method of
+// moments and probability-weighted moments); agreement between them is
+// itself a useful sanity check on the fit.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace cbus::mbpta {
+
+struct GumbelFit {
+  double location = 0.0;  ///< mu
+  double scale = 1.0;     ///< beta > 0
+
+  /// CDF at x.
+  [[nodiscard]] double cdf(double x) const;
+
+  /// Quantile: the value with exceedance probability `p_exceed`
+  /// (pWCET at 10^-k is quantile(1e-k)).
+  [[nodiscard]] double quantile_exceedance(double p_exceed) const;
+};
+
+/// Euler-Mascheroni constant, used by both estimators.
+inline constexpr double kEulerGamma = 0.5772156649015329;
+
+/// Method-of-moments fit: beta = s*sqrt(6)/pi, mu = mean - gamma*beta.
+[[nodiscard]] GumbelFit fit_moments(std::span<const double> sample);
+
+/// Probability-weighted-moments fit (Hosking): generally lower bias for
+/// the sample sizes MBPTA uses (hundreds of maxima).
+[[nodiscard]] GumbelFit fit_pwm(std::span<const double> sample);
+
+/// Split `sample` into consecutive blocks of `block_size` and keep each
+/// block's maximum (trailing partial block is dropped).
+[[nodiscard]] std::vector<double> block_maxima(std::span<const double> sample,
+                                               std::size_t block_size);
+
+}  // namespace cbus::mbpta

@@ -1,0 +1,38 @@
+#include "mbpta/pot.hpp"
+
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace cbus::mbpta {
+
+double PotFit::quantile_exceedance(double p) const {
+  CBUS_EXPECTS(p > 0.0 && p < 1.0);
+  CBUS_EXPECTS_MSG(p <= exceedance_rate,
+                   "POT extrapolates beyond the threshold only; requested "
+                   "probability is below it");
+  return threshold + mean_excess * std::log(exceedance_rate / p);
+}
+
+PotFit fit_pot(std::span<const double> sample, double threshold_quantile) {
+  CBUS_EXPECTS(sample.size() >= 20);
+  CBUS_EXPECTS(threshold_quantile > 0.0 && threshold_quantile < 1.0);
+
+  PotFit fit;
+  fit.threshold = stats::quantile(sample, threshold_quantile);
+
+  stats::OnlineStats excess;
+  for (const double x : sample) {
+    if (x > fit.threshold) excess.add(x - fit.threshold);
+  }
+  fit.exceedances = static_cast<std::size_t>(excess.count());
+  CBUS_EXPECTS_MSG(fit.exceedances >= 5,
+                   "too few exceedances above the chosen threshold");
+  fit.mean_excess = excess.mean();
+  if (fit.mean_excess <= 0.0) fit.mean_excess = 1e-9;  // degenerate tail
+  fit.exceedance_rate = static_cast<double>(fit.exceedances) /
+                        static_cast<double>(sample.size());
+  return fit;
+}
+
+}  // namespace cbus::mbpta

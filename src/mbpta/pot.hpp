@@ -1,0 +1,34 @@
+// Peaks-over-threshold (POT) pWCET estimation with an exponential excess
+// model -- the second standard MBPTA estimator next to block-maxima
+// Gumbel. For execution-time distributions in the Gumbel domain of
+// attraction, the excesses over a high threshold are asymptotically
+// exponential (the CV test in diagnostics.hpp checks exactly that), and
+//
+//   pWCET(p) = u + mean_excess * ln(zeta_u / p)
+//
+// where u is the threshold and zeta_u the empirical exceedance rate.
+#pragma once
+
+#include <span>
+
+#include "common/contracts.hpp"
+
+namespace cbus::mbpta {
+
+struct PotFit {
+  double threshold = 0.0;      ///< u
+  double mean_excess = 0.0;    ///< exponential scale of (x - u | x > u)
+  double exceedance_rate = 0;  ///< zeta_u = P(X > u), empirical
+  std::size_t exceedances = 0;
+
+  /// Value with exceedance probability `p` (p < exceedance_rate).
+  [[nodiscard]] double quantile_exceedance(double p) const;
+};
+
+/// Fit the exponential-POT model using the `threshold_quantile`-quantile
+/// of the sample as threshold (e.g. 0.9). Requires enough exceedances to
+/// estimate a mean (>= 5).
+[[nodiscard]] PotFit fit_pot(std::span<const double> sample,
+                             double threshold_quantile);
+
+}  // namespace cbus::mbpta

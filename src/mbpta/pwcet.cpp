@@ -1,0 +1,32 @@
+#include "mbpta/pwcet.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace cbus::mbpta {
+
+MbptaResult analyze(std::span<const double> exec_times,
+                    const MbptaConfig& config) {
+  CBUS_EXPECTS(config.block_size >= 1);
+  CBUS_EXPECTS_MSG(exec_times.size() >= 2 * config.block_size,
+                   "not enough samples for block maxima");
+
+  MbptaResult result;
+  const std::vector<double> maxima =
+      block_maxima(exec_times, config.block_size);
+  result.maxima_used = maxima.size();
+  result.fit = fit_pwm(maxima);
+  result.moments_fit = fit_moments(maxima);
+  result.diagnostics = diagnose(maxima, result.moments_fit, result.fit);
+  result.observed_max =
+      *std::max_element(exec_times.begin(), exec_times.end());
+
+  result.curve.reserve(config.probabilities.size());
+  for (const double p : config.probabilities) {
+    result.curve.push_back(PwcetPoint{p, result.fit.quantile_exceedance(p)});
+  }
+  return result;
+}
+
+}  // namespace cbus::mbpta

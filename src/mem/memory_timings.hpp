@@ -1,0 +1,51 @@
+// The published latency model of the target platform (paper §IV-A):
+//
+//   "Bus transactions take between 5 cycles for L2 read cache hit and 56
+//    cycles. Memory latency is 28 cycles and the longest requests may
+//    produce 2 memory accesses, e.g. atomic operations produce a read and
+//    a write operation and L2 cache misses evicting a dirty line produce
+//    one access to write dirty data back to memory and another to fetch
+//    requested data."
+//
+// Hold time of a non-split bus transaction:
+//   L2 hit                         -> l2_hit          (5)
+//   L2 miss, clean victim          -> mem_access      (28)
+//   L2 miss, dirty victim          -> 2 * mem_access  (56)
+//   atomic (read + write, uncached)-> 2 * mem_access  (56)
+// MaxL == 2 * mem_access.
+#pragma once
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace cbus::mem {
+
+struct MemoryTimings {
+  Cycle l2_hit = 5;
+  Cycle mem_access = 28;
+  /// Data-phase length on the split-transaction bus variant (line return).
+  Cycle split_data_beats = 4;
+
+  [[nodiscard]] Cycle hold_for(AccessOutcome outcome) const {
+    switch (outcome) {
+      case AccessOutcome::kHit: return l2_hit;
+      case AccessOutcome::kMissClean: return mem_access;
+      case AccessOutcome::kMissDirty: return 2 * mem_access;
+      case AccessOutcome::kUncached: return 2 * mem_access;
+    }
+    CBUS_ASSERT(false);
+    return 0;
+  }
+
+  /// The longest possible transaction: CBA's MaxL.
+  [[nodiscard]] Cycle max_latency() const noexcept { return 2 * mem_access; }
+
+  void validate() const {
+    CBUS_EXPECTS(l2_hit >= 1);
+    CBUS_EXPECTS(mem_access >= l2_hit);
+    CBUS_EXPECTS(split_data_beats >= 1);
+    CBUS_EXPECTS(split_data_beats < l2_hit);  // hit = addr + beats + slack
+  }
+};
+
+}  // namespace cbus::mem

@@ -1,0 +1,190 @@
+#include "platform/config_file.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace cbus::platform {
+
+namespace {
+
+[[nodiscard]] std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t");
+  return text.substr(begin, end - begin + 1);
+}
+
+[[nodiscard]] std::uint64_t parse_number(const std::string& value,
+                                         const std::string& key) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t parsed = std::stoull(value, &used, 0);
+    CBUS_EXPECTS_MSG(used == value.size(), "trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    CBUS_EXPECTS_MSG(false, "bad number for '" + key + "': " + value);
+  }
+  return 0;  // unreachable
+}
+
+/// Setup keyword -> CBA config; resolved at the end of parsing so `cores`
+/// and `maxl` may appear in any order.
+enum class SetupKeyword { kRp, kCba, kHcba };
+
+}  // namespace
+
+PlatformConfig parse_config(std::istream& in) {
+  PlatformConfig cfg;
+  SetupKeyword setup = SetupKeyword::kRp;
+  bool wcet_mode = false;
+  Cycle maxl = cfg.timings.max_latency();
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const std::string text = trim(line);
+    if (text.empty()) continue;
+
+    const auto eq = text.find('=');
+    CBUS_EXPECTS_MSG(eq != std::string::npos,
+                     "line " + std::to_string(line_no) +
+                         ": expected 'key = value', got: " + text);
+    const std::string key = trim(text.substr(0, eq));
+    const std::string value = trim(text.substr(eq + 1));
+    CBUS_EXPECTS_MSG(!key.empty() && !value.empty(),
+                     "line " + std::to_string(line_no) +
+                         ": empty key or value");
+
+    if (key == "cores") {
+      cfg.n_cores = static_cast<std::uint32_t>(parse_number(value, key));
+    } else if (key == "arbiter") {
+      cfg.arbiter = bus::parse_arbiter_kind(value);
+    } else if (key == "setup") {
+      if (value == "rp") {
+        setup = SetupKeyword::kRp;
+      } else if (value == "cba") {
+        setup = SetupKeyword::kCba;
+      } else if (value == "hcba") {
+        setup = SetupKeyword::kHcba;
+      } else {
+        CBUS_EXPECTS_MSG(false, "unknown setup: " + value);
+      }
+    } else if (key == "mode") {
+      if (value == "operation") {
+        wcet_mode = false;
+      } else if (value == "wcet") {
+        wcet_mode = true;
+      } else {
+        CBUS_EXPECTS_MSG(false, "unknown mode: " + value);
+      }
+    } else if (key == "bus") {
+      if (value == "non-split") {
+        cfg.bus_protocol = BusProtocol::kNonSplit;
+      } else if (value == "split") {
+        cfg.bus_protocol = BusProtocol::kSplit;
+      } else {
+        CBUS_EXPECTS_MSG(false, "unknown bus protocol: " + value);
+      }
+    } else if (key == "dram") {
+      if (value == "flat") {
+        cfg.dram.reset();
+      } else if (value == "banked") {
+        cfg.dram = mem::DramConfig{};
+      } else {
+        CBUS_EXPECTS_MSG(false, "unknown dram model: " + value);
+      }
+    } else if (key == "l1_bytes") {
+      cfg.core.dl1.size_bytes =
+          static_cast<std::uint32_t>(parse_number(value, key));
+    } else if (key == "l2_bytes") {
+      cfg.l2_partition.size_bytes =
+          static_cast<std::uint32_t>(parse_number(value, key));
+    } else if (key == "store_buffer") {
+      cfg.core.store_buffer_depth =
+          static_cast<std::uint32_t>(parse_number(value, key));
+    } else if (key == "maxl") {
+      // Drives the CBA budget sizing (resolved below) and the TDMA slot /
+      // DRR quantum; values below the platform's real worst case need
+      // allow_maxl_underestimate (the A2 ablation scenario).
+      maxl = parse_number(value, key);
+      CBUS_EXPECTS_MSG(maxl >= 1, "maxl must be positive");
+      cfg.tdma_slot = maxl;
+      if (maxl < cfg.timings.max_latency()) {
+        cfg.allow_maxl_underestimate = true;
+      }
+    } else if (key == "tdma_slot") {
+      cfg.tdma_slot = parse_number(value, key);
+    } else {
+      CBUS_EXPECTS_MSG(false, "line " + std::to_string(line_no) +
+                                  ": unknown key '" + key + "'");
+    }
+  }
+
+  // Resolve the CBA setup against the final core count / MaxL.
+  switch (setup) {
+    case SetupKeyword::kRp:
+      cfg.cba.reset();
+      break;
+    case SetupKeyword::kCba:
+      cfg.cba = core::CbaConfig::homogeneous(cfg.n_cores, maxl);
+      break;
+    case SetupKeyword::kHcba: {
+      std::vector<RationalRate> rates;
+      rates.emplace_back(1, 2);
+      CBUS_EXPECTS_MSG(cfg.n_cores >= 2, "hcba needs at least 2 cores");
+      for (std::uint32_t m = 1; m < cfg.n_cores; ++m) {
+        rates.emplace_back(1, 2 * (cfg.n_cores - 1));
+      }
+      cfg.cba = core::CbaConfig::heterogeneous(maxl, rates);
+      break;
+    }
+  }
+  if (wcet_mode) {
+    cfg.mode = PlatformMode::kWcetEstimation;
+    cfg.contender_hold = cfg.timings.max_latency();
+    cfg.contender_policy = cfg.cba.has_value()
+                               ? core::ContenderPolicy::kCompLatch
+                               : core::ContenderPolicy::kAlwaysCompete;
+  }
+  cfg.validate();
+  return cfg;
+}
+
+PlatformConfig load_config(const std::string& path) {
+  std::ifstream in(path);
+  CBUS_EXPECTS_MSG(in.good(), "cannot open config file: " + path);
+  return parse_config(in);
+}
+
+void write_config(std::ostream& out, const PlatformConfig& config) {
+  out << "# cbus platform config\n";
+  out << "cores = " << config.n_cores << '\n';
+  out << "arbiter = " << to_string(config.arbiter) << '\n';
+  if (!config.cba.has_value()) {
+    out << "setup = rp\n";
+  } else if (config.cba->bandwidth_share(0) > 0.26) {
+    out << "setup = hcba\n";
+  } else {
+    out << "setup = cba\n";
+  }
+  out << "mode = "
+      << (config.mode == PlatformMode::kWcetEstimation ? "wcet"
+                                                       : "operation")
+      << '\n';
+  out << "bus = " << to_string(config.bus_protocol) << '\n';
+  out << "dram = " << (config.dram.has_value() ? "banked" : "flat") << '\n';
+  out << "l1_bytes = " << config.core.dl1.size_bytes << '\n';
+  out << "l2_bytes = " << config.l2_partition.size_bytes << '\n';
+  out << "store_buffer = " << config.core.store_buffer_depth << '\n';
+  out << "tdma_slot = " << config.tdma_slot << '\n';
+}
+
+}  // namespace cbus::platform

@@ -1,0 +1,38 @@
+// Plain-text platform configuration: `key = value` lines with `#`
+// comments, mapping onto PlatformConfig. This is what lets scripts and
+// the cbus-sim CLI drive parameter sweeps without recompiling.
+//
+//   # 8-core CBA platform on the split bus
+//   cores       = 8
+//   arbiter     = rp            # rr fifo priority lottery rp tdma drr
+//   setup       = cba           # rp | cba | hcba
+//   mode        = wcet          # operation | wcet
+//   bus         = split         # non-split | split
+//   dram        = banked        # flat | banked
+//   l1_bytes    = 16384
+//   l2_bytes    = 131072
+//   store_buffer = 2
+//   maxl        = 56
+//   tdma_slot   = 56
+//
+// Unknown keys throw (catching typos beats silently ignoring them).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "platform/platform_config.hpp"
+
+namespace cbus::platform {
+
+/// Parse a configuration stream into a PlatformConfig (validated).
+/// Throws std::invalid_argument with the offending line on errors.
+[[nodiscard]] PlatformConfig parse_config(std::istream& in);
+
+/// Parse a configuration file by path.
+[[nodiscard]] PlatformConfig load_config(const std::string& path);
+
+/// Render a config back to text (round-trippable for the supported keys).
+void write_config(std::ostream& out, const PlatformConfig& config);
+
+}  // namespace cbus::platform

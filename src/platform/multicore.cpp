@@ -1,0 +1,108 @@
+#include "platform/multicore.hpp"
+
+#include "common/contracts.hpp"
+
+namespace cbus::platform {
+
+Multicore::Multicore(const PlatformConfig& config, std::uint64_t seed,
+                     cpu::OpStream& tua,
+                     const std::vector<cpu::OpStream*>& contenders)
+    : config_(config), bank_(seed) {
+  config_.validate();
+  CBUS_EXPECTS_MSG(contenders.size() + 1 <= config_.n_cores,
+                   "more workloads than cores");
+
+  arbiter_ = bus::make_arbiter(config_.arbiter, config_.n_cores, bank_,
+                               config_.tdma_slot);
+  l2_ = std::make_unique<mem::PartitionedL2>(
+      config_.n_cores, config_.l2_partition, config_.timings, bank_,
+      config_.dram);
+
+  const bus::BusConfig bus_cfg{config_.n_cores,
+                               config_.overlapped_arbitration};
+  if (config_.bus_protocol == BusProtocol::kSplit) {
+    split_bus_ = std::make_unique<bus::SplitBus>(bus_cfg, *arbiter_, *l2_);
+  } else {
+    bus_ = std::make_unique<bus::NonSplitBus>(bus_cfg, *arbiter_, *l2_);
+  }
+
+  if (config_.cba.has_value()) {
+    filter_ = std::make_unique<core::CreditFilter>(*config_.cba);
+    if (bus_) bus_->set_filter(filter_.get());
+    if (split_bus_) split_bus_->set_filter(filter_.get());
+    if (config_.mode == PlatformMode::kWcetEstimation &&
+        config_.tua_zero_initial_budget) {
+      // Measurements for the TuA are collected under worst conditions,
+      // "setting its initial budget to zero" (paper §III-B).
+      filter_->state().set_budget(0, 0);
+    }
+  }
+
+  bus::BusPort& port = bus_port();
+  // Master 0: the task under analysis.
+  cores_.push_back(std::make_unique<cpu::InOrderCore>(0, config_.core, tua,
+                                                      port, bank_));
+  // Real contender cores.
+  for (std::size_t i = 0; i < contenders.size(); ++i) {
+    CBUS_EXPECTS(contenders[i] != nullptr);
+    cores_.push_back(std::make_unique<cpu::InOrderCore>(
+        static_cast<MasterId>(i + 1), config_.core, *contenders[i], port,
+        bank_));
+  }
+
+  // WCET-estimation mode: the remaining masters become Table-I contenders.
+  if (config_.mode == PlatformMode::kWcetEstimation) {
+    for (MasterId m = static_cast<MasterId>(cores_.size());
+         m < config_.n_cores; ++m) {
+      core::VirtualContenderConfig vc;
+      vc.self = m;
+      vc.tua = 0;
+      vc.hold = config_.contender_hold;
+      vc.policy = config_.contender_policy;
+      virtual_contenders_.push_back(std::make_unique<core::VirtualContender>(
+          vc, port, filter_ ? &filter_->state() : nullptr));
+    }
+  }
+
+  // Tick order: cores, then contenders, then the bus (see header).
+  for (auto& core_ptr : cores_) kernel_.add(*core_ptr);
+  for (auto& vc : virtual_contenders_) kernel_.add(*vc);
+  if (bus_) kernel_.add(*bus_);
+  if (split_bus_) kernel_.add(*split_bus_);
+}
+
+RunResult Multicore::run(Cycle max_cycles) {
+  const bool finished = kernel_.run_until(
+      [this]() { return cores_.front()->done(); }, max_cycles);
+  return collect(finished);
+}
+
+RunResult Multicore::run_all(Cycle max_cycles) {
+  const bool finished = kernel_.run_until(
+      [this]() {
+        for (const auto& c : cores_) {
+          if (!c->done()) return false;
+        }
+        return true;
+      },
+      max_cycles);
+  return collect(finished);
+}
+
+RunResult Multicore::collect(bool finished) const {
+  RunResult result;
+  result.tua_finished = finished && cores_.front()->done();
+  result.tua_cycles = cores_.front()->done() ? cores_.front()->finish_cycle()
+                                             : kernel_.now();
+  result.tua_stats = cores_.front()->stats();
+  result.bus_stats = bus_ ? bus_->statistics() : split_bus_->statistics();
+  result.credit_underflows =
+      filter_ ? filter_->state().underflow_clamps() : 0;
+  result.core_finish.reserve(cores_.size());
+  for (const auto& c : cores_) {
+    result.core_finish.push_back(c->done() ? c->finish_cycle() : 0);
+  }
+  return result;
+}
+
+}  // namespace cbus::platform

@@ -1,0 +1,107 @@
+// Multicore: one fully-wired instance of the modelled SoC.
+//
+// Construction builds everything for ONE run: a fresh RandBank seeded with
+// the run seed feeds the arbiter, every cache's placement/replacement and
+// nothing else -- so a run is exactly reproducible and distinct subsystems
+// consume independent randomness.
+//
+// Wiring and tick order (determinism contract):
+//   TuA core (master 0) -> other real cores -> WCET-mode virtual
+//   contenders -> the bus.
+// Cores raise requests during their tick; the bus arbitrates the same
+// cycle and starts transfers the next cycle (1-cycle arbitration).
+//
+// A Multicore is cheap to build; campaigns construct one per run instead
+// of resetting state (no half-reset bugs by construction).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bus/arbiter.hpp"
+#include "bus/bus.hpp"
+#include "bus/split_bus.hpp"
+#include "core/credit_filter.hpp"
+#include "core/virtual_contender.hpp"
+#include "cpu/in_order_core.hpp"
+#include "cpu/op_stream.hpp"
+#include "mem/partitioned_l2.hpp"
+#include "platform/platform_config.hpp"
+#include "rng/rand_bank.hpp"
+#include "sim/kernel.hpp"
+
+namespace cbus::platform {
+
+/// Everything a campaign wants to know about one finished run.
+struct RunResult {
+  bool tua_finished = false;
+  Cycle tua_cycles = 0;  ///< execution time of the task under analysis
+  cpu::CoreStats tua_stats;
+  bus::BusStatistics bus_stats;
+  std::uint64_t credit_underflows = 0;
+  std::vector<Cycle> core_finish;  ///< per real core; 0 if unfinished
+};
+
+class Multicore {
+ public:
+  /// `tua` runs on master 0. `contenders` (possibly empty) run on masters
+  /// 1..k as real cores. In WCET-estimation mode, masters without a real
+  /// workload become Table-I virtual contenders; in operation mode they
+  /// stay idle (isolation).
+  ///
+  /// Streams are NOT reset here -- campaigns reset them with per-run seeds
+  /// before constructing the Multicore.
+  Multicore(const PlatformConfig& config, std::uint64_t seed,
+            cpu::OpStream& tua,
+            const std::vector<cpu::OpStream*>& contenders = {});
+
+  Multicore(const Multicore&) = delete;
+  Multicore& operator=(const Multicore&) = delete;
+
+  /// Run until the TuA finishes (or `max_cycles`); returns the result.
+  RunResult run(Cycle max_cycles = 50'000'000);
+
+  /// Run until every real core finishes (or `max_cycles`).
+  RunResult run_all(Cycle max_cycles = 50'000'000);
+
+  // --- introspection (tests, benches) -----------------------------------
+  /// The non-split bus (null when the split protocol is configured).
+  [[nodiscard]] bus::NonSplitBus& bus() noexcept {
+    CBUS_EXPECTS(bus_ != nullptr);
+    return *bus_;
+  }
+  /// The active bus port, protocol-independent.
+  [[nodiscard]] bus::BusPort& bus_port() noexcept {
+    return bus_ ? static_cast<bus::BusPort&>(*bus_)
+                : static_cast<bus::BusPort&>(*split_bus_);
+  }
+  [[nodiscard]] mem::PartitionedL2& l2() noexcept { return *l2_; }
+  [[nodiscard]] cpu::InOrderCore& core(std::size_t i) { return *cores_.at(i); }
+  [[nodiscard]] std::size_t real_cores() const noexcept {
+    return cores_.size();
+  }
+  [[nodiscard]] core::CreditFilter* credit_filter() noexcept {
+    return filter_.get();
+  }
+  [[nodiscard]] sim::Kernel& kernel() noexcept { return kernel_; }
+  [[nodiscard]] const PlatformConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] RunResult collect(bool finished) const;
+
+  PlatformConfig config_;
+  rng::RandBank bank_;
+  sim::Kernel kernel_;
+
+  std::unique_ptr<bus::Arbiter> arbiter_;
+  std::unique_ptr<core::CreditFilter> filter_;
+  std::unique_ptr<mem::PartitionedL2> l2_;
+  std::unique_ptr<bus::NonSplitBus> bus_;
+  std::unique_ptr<bus::SplitBus> split_bus_;
+  std::vector<std::unique_ptr<cpu::InOrderCore>> cores_;
+  std::vector<std::unique_ptr<core::VirtualContender>> virtual_contenders_;
+};
+
+}  // namespace cbus::platform

@@ -1,0 +1,57 @@
+#include "platform/platform_config.hpp"
+
+#include "common/contracts.hpp"
+
+namespace cbus::platform {
+
+PlatformConfig PlatformConfig::paper(BusSetup setup) {
+  PlatformConfig cfg;  // defaults above are the paper's platform
+  switch (setup) {
+    case BusSetup::kRp:
+      cfg.cba.reset();
+      break;
+    case BusSetup::kCba:
+      cfg.cba = core::CbaConfig::homogeneous(cfg.n_cores,
+                                             cfg.timings.max_latency());
+      break;
+    case BusSetup::kHcba:
+      cfg.cba = core::CbaConfig::paper_hcba(cfg.timings.max_latency());
+      break;
+  }
+  cfg.validate();
+  return cfg;
+}
+
+PlatformConfig PlatformConfig::paper_wcet(BusSetup setup) {
+  PlatformConfig cfg = paper(setup);
+  cfg.mode = PlatformMode::kWcetEstimation;
+  cfg.contender_hold = cfg.timings.max_latency();
+  // The RP baseline has no budgets: its maximum contention is contenders
+  // that always compete. With CBA, contenders follow the COMP latch.
+  cfg.contender_policy = setup == BusSetup::kRp
+                             ? core::ContenderPolicy::kAlwaysCompete
+                             : core::ContenderPolicy::kCompLatch;
+  return cfg;
+}
+
+void PlatformConfig::validate() const {
+  CBUS_EXPECTS(n_cores >= 1 && n_cores <= kMaxMasters);
+  core.validate();
+  l2_partition.validate();
+  timings.validate();
+  CBUS_EXPECTS(contender_hold >= 1);
+  CBUS_EXPECTS(tdma_slot >= 1);
+  if (dram.has_value()) dram->validate();
+  if (cba.has_value()) {
+    cba->validate();
+    CBUS_EXPECTS_MSG(cba->n_masters == n_cores,
+                     "CBA config sized for a different core count");
+    CBUS_EXPECTS_MSG(allow_maxl_underestimate ||
+                         cba->max_latency >= timings.max_latency(),
+                     "MaxL below the platform's longest transaction; "
+                     "credits would underflow (set allow_maxl_underestimate "
+                     "if this is an intentional ablation)");
+  }
+}
+
+}  // namespace cbus::platform

@@ -1,0 +1,100 @@
+// Whole-platform configuration: the paper's 4-core LEON3 prototype and the
+// three bus setups of its evaluation (RP baseline, CBA, H-CBA).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "bus/arbiter_factory.hpp"
+#include "cache/cache_config.hpp"
+#include "core/cba_config.hpp"
+#include "core/virtual_contender.hpp"
+#include "cpu/core_config.hpp"
+#include "mem/dram.hpp"
+#include "mem/memory_timings.hpp"
+
+namespace cbus::platform {
+
+/// The three bus configurations of Figure 1.
+enum class BusSetup : std::uint8_t {
+  kRp,    ///< random permutations only (baseline)
+  kCba,   ///< RP + homogeneous CBA
+  kHcba,  ///< RP + heterogeneous CBA (TuA gets 50% of bandwidth)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(BusSetup setup) noexcept {
+  switch (setup) {
+    case BusSetup::kRp: return "RP";
+    case BusSetup::kCba: return "CBA";
+    case BusSetup::kHcba: return "H-CBA";
+  }
+  return "?";
+}
+
+/// Bus protocol choice (paper baseline vs the §III-C split variant).
+enum class BusProtocol : std::uint8_t {
+  kNonSplit,  ///< the paper's AMBA AHB-style non-split bus
+  kSplit,     ///< split transactions (atomics still hold the bus)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(BusProtocol p) noexcept {
+  switch (p) {
+    case BusProtocol::kNonSplit: return "non-split";
+    case BusProtocol::kSplit: return "split";
+  }
+  return "?";
+}
+
+struct PlatformConfig {
+  std::uint32_t n_cores = 4;
+
+  bus::ArbiterKind arbiter = bus::ArbiterKind::kRandomPermutation;
+  bool overlapped_arbitration = true;
+  BusProtocol bus_protocol = BusProtocol::kNonSplit;
+
+  /// Optional open-page DRAM bank model (flat 28-cycle latency when unset).
+  std::optional<mem::DramConfig> dram;
+
+  /// Credit-based arbitration; disengaged when nullopt (pure baseline).
+  std::optional<core::CbaConfig> cba;
+
+  cpu::CoreConfig core{};
+
+  /// One slice of the partitioned L2 (per core).
+  cache::CacheConfig l2_partition{
+      .size_bytes = 128 * 1024,
+      .line_bytes = 32,
+      .ways = 8,
+      .placement = cache::PlacementKind::kRandomHash,
+      .replacement = cache::ReplacementKind::kRandom,
+  };
+
+  mem::MemoryTimings timings{};
+
+  PlatformMode mode = PlatformMode::kOperation;
+
+  /// WCET-estimation mode parameters (paper §III-B/C, Table I).
+  Cycle contender_hold = 56;  ///< contenders occupy MaxL cycles per grant
+  core::ContenderPolicy contender_policy =
+      core::ContenderPolicy::kCompLatch;
+  bool tua_zero_initial_budget = true;  ///< TuA starts with zero budget
+
+  /// TDMA slot width when the inner policy is TDMA.
+  Cycle tdma_slot = 56;
+
+  /// Allow a CBA MaxL smaller than the platform's longest transaction
+  /// (credits can clamp at zero). Off by default; the MaxL-sensitivity
+  /// ablation turns it on deliberately.
+  bool allow_maxl_underestimate = false;
+
+  /// The paper's platform with the chosen bus setup, in operation mode.
+  [[nodiscard]] static PlatformConfig paper(BusSetup setup);
+
+  /// Same platform switched to WCET-estimation (maximum-contention) mode.
+  [[nodiscard]] static PlatformConfig paper_wcet(BusSetup setup);
+
+  void validate() const;
+};
+
+}  // namespace cbus::platform

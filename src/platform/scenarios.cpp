@@ -1,0 +1,82 @@
+#include "platform/scenarios.hpp"
+
+#include "common/contracts.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace cbus::platform {
+
+std::uint64_t run_seed(std::uint64_t base_seed, std::uint32_t run_index) {
+  rng::SplitMix64 mix(base_seed);
+  std::uint64_t seed = mix.next();
+  for (std::uint32_t i = 0; i < run_index; ++i) seed = mix.next();
+  return seed;
+}
+
+namespace {
+
+[[nodiscard]] CampaignResult run_campaign(
+    const PlatformConfig& config, cpu::OpStream& tua,
+    const std::vector<cpu::OpStream*>& corunners,
+    const CampaignConfig& campaign) {
+  CBUS_EXPECTS(campaign.runs >= 1);
+  CampaignResult result;
+  result.samples.reserve(campaign.runs);
+
+  rng::SplitMix64 mix(campaign.base_seed);
+  for (std::uint32_t run = 0; run < campaign.runs; ++run) {
+    const std::uint64_t seed = mix.next();
+    rng::SplitMix64 stream_seeds(seed);
+    tua.reset(stream_seeds.next());
+    for (cpu::OpStream* s : corunners) s->reset(stream_seeds.next());
+
+    Multicore machine(config, seed, tua, corunners);
+    const RunResult r = machine.run(campaign.max_cycles);
+
+    if (!r.tua_finished) {
+      ++result.unfinished_runs;
+      continue;
+    }
+    const auto t = static_cast<double>(r.tua_cycles);
+    result.exec_time.add(t);
+    result.samples.push_back(t);
+    result.bus_utilization.add(
+        r.bus_stats.total_cycles == 0
+            ? 0.0
+            : static_cast<double>(r.bus_stats.busy_cycles) /
+                  static_cast<double>(r.bus_stats.total_cycles));
+    result.credit_underflows += r.credit_underflows;
+  }
+  return result;
+}
+
+}  // namespace
+
+CampaignResult run_isolation(const PlatformConfig& config, cpu::OpStream& tua,
+                             const CampaignConfig& campaign) {
+  PlatformConfig iso = config;
+  iso.mode = PlatformMode::kOperation;  // no contender injection
+  return run_campaign(iso, tua, {}, campaign);
+}
+
+CampaignResult run_max_contention(const PlatformConfig& config,
+                                  cpu::OpStream& tua,
+                                  const CampaignConfig& campaign) {
+  CBUS_EXPECTS_MSG(config.mode == PlatformMode::kWcetEstimation,
+                   "maximum contention is a WCET-estimation-mode protocol");
+  return run_campaign(config, tua, {}, campaign);
+}
+
+CampaignResult run_with_corunners(const PlatformConfig& config,
+                                  cpu::OpStream& tua,
+                                  const std::vector<cpu::OpStream*>& corunners,
+                                  const CampaignConfig& campaign) {
+  return run_campaign(config, tua, corunners, campaign);
+}
+
+double slowdown(const CampaignResult& x, const CampaignResult& baseline) {
+  CBUS_EXPECTS(baseline.exec_time.count() > 0 && x.exec_time.count() > 0);
+  CBUS_EXPECTS(baseline.exec_time.mean() > 0.0);
+  return x.exec_time.mean() / baseline.exec_time.mean();
+}
+
+}  // namespace cbus::platform

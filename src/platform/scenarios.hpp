@@ -1,0 +1,60 @@
+// Campaign runners: the measurement protocols of the paper's evaluation.
+//
+// "for each benchmark we show average execution time results for 1,000
+//  runs of each configuration" (§IV-B) -- a campaign re-runs the same
+// workload many times, each run with a fresh seed (new random cache
+// placements, new arbitration randomness), and aggregates execution times.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cpu/op_stream.hpp"
+#include "platform/multicore.hpp"
+#include "platform/platform_config.hpp"
+#include "stats/summary.hpp"
+
+namespace cbus::platform {
+
+struct CampaignConfig {
+  std::uint64_t base_seed = 0xC0FFEE;
+  std::uint32_t runs = 100;
+  Cycle max_cycles = 50'000'000;
+};
+
+struct CampaignResult {
+  stats::OnlineStats exec_time;       ///< TuA execution time per run
+  std::vector<double> samples;        ///< raw per-run times (MBPTA input)
+  stats::OnlineStats bus_utilization; ///< busy fraction per run
+  std::uint64_t credit_underflows = 0;
+  std::uint32_t unfinished_runs = 0;
+};
+
+/// Task under analysis alone on the platform (ISO columns of Figure 1).
+[[nodiscard]] CampaignResult run_isolation(const PlatformConfig& config,
+                                           cpu::OpStream& tua,
+                                           const CampaignConfig& campaign);
+
+/// Maximum-contention / WCET-estimation runs (CON columns of Figure 1):
+/// the TuA on core 0 against N-1 Table-I virtual contenders. `config.mode`
+/// must be kWcetEstimation (use PlatformConfig::paper_wcet).
+[[nodiscard]] CampaignResult run_max_contention(
+    const PlatformConfig& config, cpu::OpStream& tua,
+    const CampaignConfig& campaign);
+
+/// Operation-mode contention against real co-running workloads.
+[[nodiscard]] CampaignResult run_with_corunners(
+    const PlatformConfig& config, cpu::OpStream& tua,
+    const std::vector<cpu::OpStream*>& corunners,
+    const CampaignConfig& campaign);
+
+/// Per-run seed derivation (public so tests can reproduce single runs).
+[[nodiscard]] std::uint64_t run_seed(std::uint64_t base_seed,
+                                     std::uint32_t run_index);
+
+/// Slowdown of `x` relative to a baseline campaign mean.
+[[nodiscard]] double slowdown(const CampaignResult& x,
+                              const CampaignResult& baseline);
+
+}  // namespace cbus::platform

@@ -1,0 +1,53 @@
+// Small distribution helpers used by workload generators.
+//
+// Deliberately minimal and deterministic across platforms (std::
+// distributions are not bit-reproducible across standard libraries, and
+// reproducibility of every run from a seed is a design requirement).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/contracts.hpp"
+#include "rng/permutation.hpp"
+
+namespace cbus::rng {
+
+/// Uniform integer in [lo, hi] inclusive.
+template <typename Engine>
+[[nodiscard]] std::uint32_t uniform_in(Engine& engine, std::uint32_t lo,
+                                       std::uint32_t hi) {
+  CBUS_EXPECTS(lo <= hi);
+  return lo + uniform_below(engine, hi - lo + 1);
+}
+
+/// Bernoulli trial with probability numer/denom.
+template <typename Engine>
+[[nodiscard]] bool bernoulli(Engine& engine, std::uint32_t numer,
+                             std::uint32_t denom) {
+  CBUS_EXPECTS(denom > 0);
+  CBUS_EXPECTS(numer <= denom);
+  return uniform_below(engine, denom) < numer;
+}
+
+/// Uniform double in [0, 1) with 32 bits of resolution.
+template <typename Engine>
+[[nodiscard]] double uniform01(Engine& engine) {
+  return static_cast<double>(static_cast<std::uint32_t>(engine())) /
+         4294967296.0;
+}
+
+/// Geometric number of failures before first success, success prob p in (0,1].
+/// Used for bursty inter-arrival gaps in synthetic workloads.
+template <typename Engine>
+[[nodiscard]] std::uint32_t geometric(Engine& engine, double p) {
+  CBUS_EXPECTS(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  const double u = uniform01(engine);
+  const double g = std::floor(std::log1p(-u) / std::log1p(-p));
+  return g < 0 ? 0u
+               : static_cast<std::uint32_t>(
+                     g > 4294967294.0 ? 4294967294.0 : g);
+}
+
+}  // namespace cbus::rng

@@ -1,0 +1,51 @@
+// Galois linear-feedback shift registers: the classic hardware random-bit
+// source. A 32-bit maximal-length LFSR (taps 32,22,2,1 -> polynomial
+// 0x80200003) produces one pseudo-random bit per clock, exactly like the
+// bit-serial sources feeding FPGA arbiters.
+#pragma once
+
+#include <cstdint>
+
+namespace cbus::rng {
+
+/// Maximal-length 32-bit Galois LFSR; period 2^32 - 1.
+class Lfsr32 {
+ public:
+  using result_type = std::uint32_t;
+
+  /// Feedback mask for x^32 + x^22 + x^2 + x^1 + 1 (a maximal polynomial).
+  static constexpr std::uint32_t kTaps = 0x80200003u;
+
+  explicit Lfsr32(std::uint32_t seed) noexcept
+      : state_(seed == 0 ? 1u : seed) {}
+
+  /// Advance one clock; returns the bit shifted out.
+  [[nodiscard]] bool step() noexcept {
+    const bool out = (state_ & 1u) != 0;
+    state_ >>= 1;
+    if (out) state_ ^= kTaps;
+    return out;
+  }
+
+  /// Collect `n` clocked bits into the low bits of a word (LSB first).
+  [[nodiscard]] std::uint32_t bits(unsigned n) noexcept {
+    std::uint32_t word = 0;
+    for (unsigned i = 0; i < n && i < 32; ++i) {
+      word |= static_cast<std::uint32_t>(step()) << i;
+    }
+    return word;
+  }
+
+  /// One full 32-bit word (32 clocks), satisfying UniformRandomBitGenerator.
+  std::uint32_t operator()() noexcept { return bits(32); }
+
+  static constexpr std::uint32_t min() noexcept { return 0; }
+  static constexpr std::uint32_t max() noexcept { return ~0u; }
+
+  [[nodiscard]] std::uint32_t state() const noexcept { return state_; }
+
+ private:
+  std::uint32_t state_;
+};
+
+}  // namespace cbus::rng

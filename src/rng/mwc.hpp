@@ -1,0 +1,39 @@
+// Multiply-with-carry generator (Marsaglia). The IEC-61508 SIL-3 compliant
+// PRNGs deployed in the LEON3-PTA platform (Agirre et al., DSD 2015) are
+// MWC-class generators: one multiplier, one adder, two registers -- cheap in
+// hardware yet with excellent equidistribution for arbitration purposes.
+// This is the generator class behind the paper's APRANDBANK module.
+#pragma once
+
+#include <cstdint>
+
+namespace cbus::rng {
+
+/// 32-bit-output MWC: x' = a * low32(x) + carry, output low32.
+/// a = 4294957665 gives period ~2^63 (a * 2^31 - 1 prime-safe choice).
+class Mwc32 {
+ public:
+  using result_type = std::uint32_t;
+
+  static constexpr std::uint64_t kMultiplier = 4294957665ULL;
+
+  explicit Mwc32(std::uint64_t seed) noexcept
+      : state_(seed == 0 ? 0x853C49E6748FEA9BULL : seed) {}
+
+  [[nodiscard]] std::uint32_t next() noexcept {
+    const std::uint64_t low = state_ & 0xFFFFFFFFULL;
+    const std::uint64_t carry = state_ >> 32;
+    state_ = kMultiplier * low + carry;
+    return static_cast<std::uint32_t>(state_);
+  }
+
+  std::uint32_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint32_t min() noexcept { return 0; }
+  static constexpr std::uint32_t max() noexcept { return ~0u; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cbus::rng

@@ -1,0 +1,51 @@
+// Unbiased random permutations and bounded uniforms.
+//
+// The random-permutations arbitration policy (Jalle et al., DATE 2014) draws
+// a fresh uniformly-distributed permutation of the masters for each
+// arbitration window. Bias-free sampling matters: a biased shuffle would
+// skew the per-master grant probabilities the MBPTA argument relies on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+#include <span>
+
+#include "common/contracts.hpp"
+
+namespace cbus::rng {
+
+/// Uniform integer in [0, bound) via rejection sampling (no modulo bias).
+/// Engine must satisfy UniformRandomBitGenerator with a 32-bit range.
+template <typename Engine>
+[[nodiscard]] std::uint32_t uniform_below(Engine& engine, std::uint32_t bound) {
+  CBUS_EXPECTS(bound > 0);
+  if (bound == 1) return 0;
+  // Largest multiple of `bound` not exceeding 2^32.
+  const std::uint32_t limit =
+      static_cast<std::uint32_t>(-bound) / bound * bound + bound - 1;
+  for (;;) {
+    const std::uint32_t draw = static_cast<std::uint32_t>(engine());
+    if (draw <= limit || limit == ~0u) return draw % bound;
+  }
+}
+
+/// Fisher-Yates shuffle of `items` using `engine` (unbiased).
+template <typename Engine, typename T>
+void shuffle(Engine& engine, std::span<T> items) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::uint32_t j =
+        uniform_below(engine, static_cast<std::uint32_t>(i));
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+/// Fill `out` with a uniformly random permutation of 0..out.size()-1.
+template <typename Engine>
+void random_permutation(Engine& engine, std::span<std::uint32_t> out) {
+  std::iota(out.begin(), out.end(), 0u);
+  shuffle(engine, out);
+}
+
+}  // namespace cbus::rng

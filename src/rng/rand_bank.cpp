@@ -1,0 +1,2 @@
+// Anchor TU for cbus_rng.
+#include "rng/rand_bank.hpp"

@@ -1,0 +1,33 @@
+// SplitMix64: the canonical seed-expansion generator (Steele et al., OOPSLA
+// 2014 / Vigna). Used only to derive independent seeds for the hardware-style
+// generators from a single campaign seed; never used inside the modelled
+// hardware itself.
+#pragma once
+
+#include <cstdint>
+
+namespace cbus::rng {
+
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  [[nodiscard]] constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cbus::rng

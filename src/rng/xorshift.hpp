@@ -1,0 +1,63 @@
+// XorShift generators (Marsaglia 2003): cheap, hardware-friendly 32/64-bit
+// engines. XorShift32 is a 3-shift register pipeline -- a realistic stand-in
+// for a per-cycle FPGA random word source.
+#pragma once
+
+#include <cstdint>
+
+#include "common/contracts.hpp"
+
+namespace cbus::rng {
+
+/// 32-bit xorshift; period 2^32 - 1; state must be non-zero.
+class XorShift32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit XorShift32(std::uint32_t seed) : state_(seed == 0 ? 0xBAD5EEDu : seed) {}
+
+  [[nodiscard]] std::uint32_t next() noexcept {
+    std::uint32_t x = state_;
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    state_ = x;
+    return x;
+  }
+
+  std::uint32_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint32_t min() noexcept { return 1; }
+  static constexpr std::uint32_t max() noexcept { return ~0u; }
+
+ private:
+  std::uint32_t state_;
+};
+
+/// 64-bit xorshift*; period 2^64 - 1, multiplicative output scrambling.
+class XorShift64Star {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit XorShift64Star(std::uint64_t seed)
+      : state_(seed == 0 ? 0xBAD5EEDBAD5EEDULL : seed) {}
+
+  [[nodiscard]] std::uint64_t next() noexcept {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cbus::rng

@@ -1,0 +1,35 @@
+// Component: anything clocked by the simulation kernel.
+//
+// Tick semantics (documented once, relied on everywhere): within a cycle the
+// kernel ticks components in registration order. The platform registers
+// cores first, then the bus, then memory-side models. A request raised by a
+// core during cycle t is therefore visible to the bus arbiter in the same
+// cycle t, and the paper's 1-cycle arbitration delay is modelled *inside*
+// the bus (grant takes effect at t+1), not by tick ordering.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace cbus::sim {
+
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+  virtual ~Component() = default;
+
+  /// Advance this component by one cycle. `now` is the cycle being executed.
+  virtual void tick(Cycle now) = 0;
+
+  [[nodiscard]] std::string_view name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace cbus::sim

@@ -1,0 +1,24 @@
+#include "sim/kernel.hpp"
+
+namespace cbus::sim {
+
+void Kernel::step() {
+  const Cycle now = clock_.now();
+  for (Component* component : components_) component->tick(now);
+  clock_.advance();
+}
+
+void Kernel::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) step();
+}
+
+bool Kernel::run_until(const std::function<bool()>& done, Cycle max_cycles) {
+  CBUS_EXPECTS(done != nullptr);
+  for (Cycle i = 0; i < max_cycles; ++i) {
+    if (done()) return true;
+    step();
+  }
+  return done();
+}
+
+}  // namespace cbus::sim

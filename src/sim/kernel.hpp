@@ -1,0 +1,48 @@
+// The cycle-driven simulation kernel.
+//
+// Deliberately simple: a vector of non-owning component pointers ticked in
+// registration order under a single clock. Determinism is a hard
+// requirement (MBPTA needs exact reproducibility from a seed), so there is
+// no event heap and no unordered container anywhere on the tick path.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+#include "sim/clock.hpp"
+#include "sim/component.hpp"
+
+namespace cbus::sim {
+
+class Kernel {
+ public:
+  Kernel() = default;
+
+  /// Register a component; ticked in registration order. Kernel does not own
+  /// the component; the caller (the platform) guarantees its lifetime.
+  void add(Component& component) { components_.push_back(&component); }
+
+  [[nodiscard]] Cycle now() const noexcept { return clock_.now(); }
+
+  /// Run exactly `cycles` cycles.
+  void run(Cycle cycles);
+
+  /// Run until `done()` returns true (checked after every cycle) or until
+  /// `max_cycles` elapse. Returns true iff `done()` fired.
+  bool run_until(const std::function<bool()>& done, Cycle max_cycles);
+
+  /// Execute a single cycle.
+  void step();
+
+  [[nodiscard]] std::size_t component_count() const noexcept {
+    return components_.size();
+  }
+
+ private:
+  Clock clock_;
+  std::vector<Component*> components_;
+};
+
+}  // namespace cbus::sim

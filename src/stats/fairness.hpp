@@ -1,0 +1,44 @@
+// Fairness metrics over per-master allocations.
+//
+// The paper's central claim is about *which* quantity is shared fairly:
+// request counts (what RR/FIFO/TDMA/lottery/RP equalise) versus occupancy
+// cycles (what CBA equalises). Jain's index over both vectors quantifies
+// the difference in one number per experiment.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+
+namespace cbus::stats {
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]; 1 == equal.
+/// Zero-sum allocations return 1 (vacuously fair).
+[[nodiscard]] inline double jain_index(std::span<const double> shares) {
+  if (shares.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : shares) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+/// Max-min ratio (max share / min share); infinity if any share is zero
+/// while another is not. 1.0 == perfectly equal.
+[[nodiscard]] inline double max_min_ratio(std::span<const double> shares) {
+  if (shares.empty()) return 1.0;
+  double lo = shares[0];
+  double hi = shares[0];
+  for (double x : shares) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  if (lo == 0.0) return hi == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  return hi / lo;
+}
+
+}  // namespace cbus::stats

@@ -1,0 +1,45 @@
+#include "stats/histogram.hpp"
+
+namespace cbus::stats {
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t bucket_count)
+    : width_(bucket_width), counts_(bucket_count, 0) {
+  CBUS_EXPECTS(bucket_width > 0);
+  CBUS_EXPECTS(bucket_count > 0);
+}
+
+void Histogram::add(std::uint64_t value) noexcept {
+  const std::size_t index = static_cast<std::size_t>(value / width_);
+  if (index < counts_.size()) {
+    ++counts_[index];
+  } else {
+    ++overflow_;
+  }
+  ++total_;
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  CBUS_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+std::uint64_t Histogram::quantile_upper_bound(double q) const {
+  CBUS_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) return (i + 1) * width_;
+  }
+  return counts_.size() * width_;  // in or beyond overflow
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c = 0;
+  overflow_ = 0;
+  total_ = 0;
+}
+
+}  // namespace cbus::stats

@@ -1,0 +1,41 @@
+// Fixed-width histogram over non-negative integer samples (cycle counts,
+// wait times). Cheap enough to keep one per master on the bus.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace cbus::stats {
+
+class Histogram {
+ public:
+  /// `bucket_width` cycles per bucket; values >= bucket_width*bucket_count
+  /// land in the overflow bucket.
+  Histogram(std::uint64_t bucket_width, std::size_t bucket_count);
+
+  void add(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t bucket_width() const noexcept { return width_; }
+
+  /// Smallest value v such that at least `q` fraction of samples are <= v
+  /// (bucket upper-bound resolution).
+  [[nodiscard]] std::uint64_t quantile_upper_bound(double q) const;
+
+  void reset() noexcept;
+
+ private:
+  std::uint64_t width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace cbus::stats

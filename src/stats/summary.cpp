@@ -1,0 +1,90 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbus::stats {
+
+void OnlineStats::add(double x) noexcept {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = x;
+    m2_ = 0.0;
+    min_ = x;
+    max_ = x;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::ci95_halfwidth() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double OnlineStats::cv() const noexcept {
+  return mean_ != 0.0 ? stddev() / mean_ : 0.0;
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double quantile(std::span<const double> sample, double q) {
+  CBUS_EXPECTS(!sample.empty());
+  CBUS_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean_of(std::span<const double> sample) noexcept {
+  if (sample.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : sample) sum += x;
+  return sum / static_cast<double>(sample.size());
+}
+
+double autocorrelation(std::span<const double> sample, std::size_t lag) {
+  CBUS_EXPECTS(lag >= 1);
+  if (sample.size() <= lag + 1) return 0.0;
+  const double mu = mean_of(sample);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const double d = sample[i] - mu;
+    den += d * d;
+    if (i + lag < sample.size()) num += d * (sample[i + lag] - mu);
+  }
+  return den != 0.0 ? num / den : 0.0;
+}
+
+}  // namespace cbus::stats

@@ -1,0 +1,55 @@
+// Online summary statistics (Welford's algorithm) and sample utilities.
+//
+// Used everywhere execution-time samples are aggregated: slowdown tables,
+// isolation-overhead experiments, MBPTA diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace cbus::stats {
+
+/// Numerically-stable running mean/variance/min/max.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< unbiased (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Half-width of the normal-approximation 95% confidence interval on the
+  /// mean (1.96 * s / sqrt(n)); 0 when fewer than two samples.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+  /// Coefficient of variation s/mean (0 when mean is 0).
+  [[nodiscard]] double cv() const noexcept;
+
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact sample quantile (linear interpolation, type-7 like numpy default).
+/// `q` in [0,1]. Sorts a copy; fine for campaign-sized samples.
+[[nodiscard]] double quantile(std::span<const double> sample, double q);
+
+/// Sample mean of a span (0 for empty spans).
+[[nodiscard]] double mean_of(std::span<const double> sample) noexcept;
+
+/// Lag-k autocorrelation estimate; used by MBPTA independence diagnostics.
+[[nodiscard]] double autocorrelation(std::span<const double> sample,
+                                     std::size_t lag);
+
+}  // namespace cbus::stats

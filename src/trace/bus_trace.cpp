@@ -1,0 +1,108 @@
+#include "trace/bus_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "common/contracts.hpp"
+
+namespace cbus::trace {
+
+void BusTraceRecorder::on_request(const bus::BusRequest& request,
+                                  Cycle now) {
+  BusTransaction txn;
+  txn.master = request.master;
+  txn.addr = request.addr;
+  txn.kind = request.kind;
+  txn.issued_at = now;
+  // One pending request per master on the non-split bus: replace or add.
+  const auto it = std::find_if(
+      in_flight_.begin(), in_flight_.end(),
+      [&](const BusTransaction& t) { return t.master == request.master; });
+  if (it != in_flight_.end()) {
+    *it = txn;
+  } else {
+    in_flight_.push_back(txn);
+  }
+}
+
+void BusTraceRecorder::on_transfer_start(const bus::BusRequest& request,
+                                         Cycle start, Cycle hold) {
+  const auto it = std::find_if(
+      in_flight_.begin(), in_flight_.end(),
+      [&](const BusTransaction& t) { return t.master == request.master; });
+  if (it == in_flight_.end()) {
+    // Transfer without a recorded request (recorder attached mid-flight):
+    // synthesize the entry from the request's own stamp.
+    BusTransaction txn;
+    txn.master = request.master;
+    txn.addr = request.addr;
+    txn.kind = request.kind;
+    txn.issued_at = request.issued_at;
+    in_flight_.push_back(txn);
+  }
+  auto& txn = *std::find_if(
+      in_flight_.begin(), in_flight_.end(),
+      [&](const BusTransaction& t) { return t.master == request.master; });
+  txn.started_at = start;
+  txn.hold = hold;
+}
+
+void BusTraceRecorder::on_transfer_complete(const bus::BusRequest& request,
+                                            Cycle end) {
+  const auto it = std::find_if(
+      in_flight_.begin(), in_flight_.end(),
+      [&](const BusTransaction& t) { return t.master == request.master; });
+  if (it == in_flight_.end()) return;  // attached mid-transfer
+  it->completed_at = end;
+  if (capacity_ == 0 || completed_.size() < capacity_) {
+    completed_.push_back(*it);
+  } else {
+    ++dropped_;
+  }
+  in_flight_.erase(it);
+}
+
+stats::OnlineStats BusTraceRecorder::wait_stats(MasterId master) const {
+  stats::OnlineStats s;
+  for (const auto& txn : completed_) {
+    if (txn.master == master) s.add(static_cast<double>(txn.wait()));
+  }
+  return s;
+}
+
+std::vector<Cycle> BusTraceRecorder::occupancy_by_master(
+    std::uint32_t n_masters) const {
+  std::vector<Cycle> occ(n_masters, 0);
+  for (const auto& txn : completed_) {
+    if (txn.master < n_masters) occ[txn.master] += txn.hold;
+  }
+  return occ;
+}
+
+void BusTraceRecorder::clear() {
+  in_flight_.clear();
+  completed_.clear();
+  dropped_ = 0;
+}
+
+void write_bus_trace(std::ostream& out,
+                     const std::vector<BusTransaction>& transactions) {
+  out << "# cbus bus trace v1: master,kind,addr_hex,issued,started,hold,"
+         "completed\n";
+  for (const auto& txn : transactions) {
+    out << txn.master << ',' << to_string(txn.kind) << ',' << std::hex
+        << txn.addr << std::dec << ',' << txn.issued_at << ','
+        << txn.started_at << ',' << txn.hold << ',' << txn.completed_at
+        << '\n';
+  }
+}
+
+void save_bus_trace(const std::string& path,
+                    const std::vector<BusTransaction>& transactions) {
+  std::ofstream out(path);
+  CBUS_EXPECTS_MSG(out.good(), "cannot open bus trace for writing: " + path);
+  write_bus_trace(out, transactions);
+}
+
+}  // namespace cbus::trace

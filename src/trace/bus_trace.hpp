@@ -1,0 +1,76 @@
+// Transaction-level bus tracing: a BusObserver recording every transfer
+// (who, what, when raised, when started, how long) plus CSV export and
+// derived per-master latency statistics.
+//
+// This is the software twin of a bus protocol analyzer on the FPGA: the
+// raw material for wait-time histograms, fairness audits and for
+// debugging arbitration pathologies.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bus/interfaces.hpp"
+#include "common/types.hpp"
+#include "stats/summary.hpp"
+
+namespace cbus::trace {
+
+struct BusTransaction {
+  MasterId master = kNoMaster;
+  Addr addr = 0;
+  MemOpKind kind = MemOpKind::kLoad;
+  Cycle issued_at = 0;   ///< request raised
+  Cycle started_at = 0;  ///< transfer start (grant + 1)
+  Cycle hold = 0;        ///< occupancy cycles
+  Cycle completed_at = 0;
+
+  [[nodiscard]] Cycle wait() const noexcept { return started_at - issued_at; }
+  [[nodiscard]] Cycle turnaround() const noexcept {
+    return completed_at + 1 - issued_at;
+  }
+};
+
+class BusTraceRecorder final : public bus::BusObserver {
+ public:
+  /// Record at most `capacity` transactions (0 = unbounded); further
+  /// activity is counted but not stored.
+  explicit BusTraceRecorder(std::size_t capacity = 0)
+      : capacity_(capacity) {}
+
+  void on_request(const bus::BusRequest& request, Cycle now) override;
+  void on_transfer_start(const bus::BusRequest& request, Cycle start,
+                         Cycle hold) override;
+  void on_transfer_complete(const bus::BusRequest& request,
+                            Cycle end) override;
+
+  [[nodiscard]] const std::vector<BusTransaction>& transactions()
+      const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Wait-time summary for one master over the recorded window.
+  [[nodiscard]] stats::OnlineStats wait_stats(MasterId master) const;
+
+  /// Occupancy cycles per master over the recorded window.
+  [[nodiscard]] std::vector<Cycle> occupancy_by_master(
+      std::uint32_t n_masters) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<BusTransaction> in_flight_;  ///< at most one per master
+  std::vector<BusTransaction> completed_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// CSV: master,kind,addr_hex,issued,started,hold,completed
+void write_bus_trace(std::ostream& out,
+                     const std::vector<BusTransaction>& transactions);
+void save_bus_trace(const std::string& path,
+                    const std::vector<BusTransaction>& transactions);
+
+}  // namespace cbus::trace

@@ -1,0 +1,79 @@
+#include "trace/op_trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace cbus::trace {
+
+std::vector<cpu::MemOp> capture(cpu::OpStream& stream, std::size_t max_ops) {
+  std::vector<cpu::MemOp> ops;
+  ops.reserve(max_ops);
+  for (std::size_t i = 0; i < max_ops; ++i) {
+    auto op = stream.next();
+    if (!op.has_value()) break;
+    ops.push_back(*op);
+  }
+  return ops;
+}
+
+void write_ops(std::ostream& out, const std::vector<cpu::MemOp>& ops) {
+  out << "# cbus op trace v1: kind,addr_hex,compute_before\n";
+  for (const auto& op : ops) {
+    out << to_string(op.kind) << ',' << std::hex << op.addr << std::dec << ','
+        << op.compute_before << '\n';
+  }
+}
+
+void save_ops(const std::string& path, const std::vector<cpu::MemOp>& ops) {
+  std::ofstream out(path);
+  CBUS_EXPECTS_MSG(out.good(), "cannot open trace file for writing: " + path);
+  write_ops(out, ops);
+}
+
+namespace {
+[[nodiscard]] MemOpKind parse_kind(const std::string& text) {
+  if (text == "load") return MemOpKind::kLoad;
+  if (text == "store") return MemOpKind::kStore;
+  if (text == "atomic") return MemOpKind::kAtomic;
+  CBUS_EXPECTS_MSG(false, "bad op kind in trace: " + text);
+  return MemOpKind::kLoad;
+}
+}  // namespace
+
+std::vector<cpu::MemOp> read_ops(std::istream& in) {
+  std::vector<cpu::MemOp> ops;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind_text;
+    std::string addr_text;
+    std::string gap_text;
+    CBUS_EXPECTS_MSG(std::getline(fields, kind_text, ',') &&
+                         std::getline(fields, addr_text, ',') &&
+                         std::getline(fields, gap_text),
+                     "malformed trace line: " + line);
+    cpu::MemOp op;
+    op.kind = parse_kind(kind_text);
+    op.addr = static_cast<Addr>(std::stoul(addr_text, nullptr, 16));
+    op.compute_before =
+        static_cast<std::uint32_t>(std::stoul(gap_text, nullptr, 10));
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+std::vector<cpu::MemOp> load_ops(const std::string& path) {
+  std::ifstream in(path);
+  CBUS_EXPECTS_MSG(in.good(), "cannot open trace file: " + path);
+  return read_ops(in);
+}
+
+std::unique_ptr<workloads::FixedOpsStream> replay(std::vector<cpu::MemOp> ops,
+                                                  std::uint64_t repeat) {
+  return std::make_unique<workloads::FixedOpsStream>(std::move(ops), repeat);
+}
+
+}  // namespace cbus::trace

@@ -1,0 +1,36 @@
+// Memory-operation trace I/O: record any OpStream to a CSV file and replay
+// it later. This is the bridge from real targets: a trace captured on
+// actual hardware (or another simulator) drops in wherever the synthetic
+// generators are used.
+//
+// Format: one op per line, `kind,addr,compute_before` where kind is one of
+// load/store/atomic and addr is hex. Lines starting with '#' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/op_stream.hpp"
+#include "workloads/fixed_stream.hpp"
+
+namespace cbus::trace {
+
+/// Drain up to `max_ops` operations from `stream` into a vector.
+[[nodiscard]] std::vector<cpu::MemOp> capture(cpu::OpStream& stream,
+                                              std::size_t max_ops);
+
+/// Serialize ops to a stream / file.
+void write_ops(std::ostream& out, const std::vector<cpu::MemOp>& ops);
+void save_ops(const std::string& path, const std::vector<cpu::MemOp>& ops);
+
+/// Parse ops back (throws std::invalid_argument on malformed input).
+[[nodiscard]] std::vector<cpu::MemOp> read_ops(std::istream& in);
+[[nodiscard]] std::vector<cpu::MemOp> load_ops(const std::string& path);
+
+/// An OpStream replaying a recorded trace.
+[[nodiscard]] std::unique_ptr<workloads::FixedOpsStream> replay(
+    std::vector<cpu::MemOp> ops, std::uint64_t repeat = 1);
+
+}  // namespace cbus::trace

@@ -1,0 +1,149 @@
+#include "workloads/eembc_like.hpp"
+
+#include "common/contracts.hpp"
+
+namespace cbus::workloads {
+
+// Profile rationale (16 KiB 4-way L1, 128 KiB L2 partition, write-through
+// L1 -- every store is a bus transaction):
+//
+//  * matrix -- dense matrix arithmetic streaming through data far larger
+//    than the L2 partition: strided loads, frequent L2 misses, result
+//    stores that dirty L2 lines (dirty evictions -> 56-cycle
+//    transactions). The most bus-hungry kernel; the paper measures its
+//    worst RP contention slowdown (3.34x).
+//  * cacheb -- the "cache buster" walks memory with a large stride and
+//    mixed stores in bursts: moderate-to-high miss traffic of mixed
+//    lengths.
+//  * canrdr -- CAN remote-data-request response: small resident state
+//    (fits L1), short control bursts, few stores; light bus usage.
+//  * tblook -- table lookup: random probes over a table a few times the L1
+//    with a hot index region; mostly short 5-cycle L2-hit transactions and
+//    high sensitivity to random cache placement (the effect the paper
+//    discusses for this kernel).
+//  * a2time/rspeed/puwmod/ttsprk -- remaining Autobench members modelled
+//    for coverage: small-footprint control kernels with light-to-moderate
+//    traffic and occasional atomics (shared angle/speed state).
+
+KernelProfile eembc_profile(std::string_view kernel) {
+  KernelProfile p;
+  p.name = std::string(kernel);
+
+  if (kernel == "matrix") {
+    // Streaming through data far beyond the L2 slice; a fresh line every
+    // eighth access; result stores dirty the L2 (5-cycle write-throughs
+    // mixed with 28/56-cycle misses). Calibrated to ~25% iso bus
+    // utilization -- the most bus-hungry Autobench kernel but NOT
+    // saturating (paper SIV-B).
+    p.footprint_bytes = 512 * 1024;
+    p.n_ops = 12'000;
+    p.pattern = AccessPattern::kStrided;
+    p.stride_bytes = 4;  // 8 accesses per 32B line
+    p.store_permille_1024 = 240;
+    p.gap_min = 11;
+    p.gap_max = 19;
+    return p;
+  }
+  if (kernel == "cacheb") {
+    // Large-stride sweep with a hot working set: mixed short (5-cycle L2
+    // hit) and long (28-cycle) transactions at moderate rate.
+    p.footprint_bytes = 96 * 1024;  // > L1, < L2 partition
+    p.n_ops = 14'000;
+    p.pattern = AccessPattern::kStrided;
+    p.stride_bytes = 48;
+    p.store_permille_1024 = 140;
+    p.gap_min = 25;
+    p.gap_max = 45;
+    p.hot_permille_1024 = 666;  // ~65% of accesses in the hot pages
+    p.hot_bytes = 6 * 1024;
+    return p;
+  }
+  if (kernel == "canrdr") {
+    // CAN message handling: state fits the L1; rare store write-throughs
+    // are the only bus traffic.
+    p.footprint_bytes = 6 * 1024;
+    p.n_ops = 24'000;
+    p.pattern = AccessPattern::kRandom;
+    p.store_permille_1024 = 70;
+    p.gap_min = 10;
+    p.gap_max = 22;
+    p.hot_permille_1024 = 700;
+    p.hot_bytes = 2 * 1024;
+    return p;
+  }
+  if (kernel == "tblook") {
+    // Random table probes over 3x the L1 with hot index pages: short
+    // L2-hit transactions, highly sensitive to the random placement.
+    p.footprint_bytes = 48 * 1024;
+    p.n_ops = 16'000;
+    p.pattern = AccessPattern::kRandom;
+    p.store_permille_1024 = 40;
+    p.gap_min = 24;
+    p.gap_max = 44;
+    p.hot_permille_1024 = 560;
+    p.hot_bytes = 8 * 1024;
+    return p;
+  }
+  if (kernel == "a2time") {
+    p.footprint_bytes = 8 * 1024;
+    p.n_ops = 20'000;
+    p.pattern = AccessPattern::kRandom;
+    p.store_permille_1024 = 90;
+    p.atomic_permille_1024 = 2;
+    p.gap_min = 8;
+    p.gap_max = 20;
+    p.hot_permille_1024 = 600;
+    p.hot_bytes = 4 * 1024;
+    return p;
+  }
+  if (kernel == "rspeed") {
+    p.footprint_bytes = 12 * 1024;
+    p.n_ops = 18'000;
+    p.pattern = AccessPattern::kRandom;
+    p.store_permille_1024 = 70;
+    p.gap_min = 10;
+    p.gap_max = 24;
+    p.hot_permille_1024 = 500;
+    p.hot_bytes = 4 * 1024;
+    return p;
+  }
+  if (kernel == "puwmod") {
+    p.footprint_bytes = 20 * 1024;
+    p.n_ops = 18'000;
+    p.pattern = AccessPattern::kStrided;
+    p.stride_bytes = 32;
+    p.store_permille_1024 = 180;
+    p.gap_min = 18;
+    p.gap_max = 34;
+    p.burst_prob_1024 = 32;
+    p.burst_len = 3;
+    return p;
+  }
+  if (kernel == "ttsprk") {
+    p.footprint_bytes = 28 * 1024;
+    p.n_ops = 16'000;
+    p.pattern = AccessPattern::kPointerChase;
+    p.store_permille_1024 = 50;
+    p.atomic_permille_1024 = 1;
+    p.gap_min = 14;
+    p.gap_max = 28;
+    return p;
+  }
+  CBUS_EXPECTS_MSG(false, "unknown EEMBC-like kernel: " + std::string(kernel));
+  return p;  // unreachable
+}
+
+std::unique_ptr<KernelStream> make_eembc(std::string_view kernel) {
+  return std::make_unique<KernelStream>(eembc_profile(kernel));
+}
+
+std::vector<std::string_view> figure1_kernels() {
+  return {"cacheb", "canrdr", "matrix", "tblook"};
+}
+
+std::vector<std::string_view> all_kernels() {
+  return {"cacheb", "canrdr", "matrix", "tblook",
+          "a2time", "rspeed", "puwmod", "ttsprk"};
+}
+
+}  // namespace cbus::workloads

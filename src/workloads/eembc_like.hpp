@@ -1,0 +1,32 @@
+// EEMBC-Autobench-like workload profiles.
+//
+// EEMBC Autobench binaries are proprietary, so the evaluation runs
+// synthetic kernels whose *memory-operation signature* matches the real
+// kernels (see DESIGN.md substitution table): footprint relative to the
+// cache hierarchy, access pattern, store fraction, and bus pressure. The
+// four kernels of the paper's Figure 1 (cacheb, canrdr, matrix, tblook)
+// plus four more Autobench members for wider coverage.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "workloads/kernel_stream.hpp"
+
+namespace cbus::workloads {
+
+/// Profile for a named kernel; throws for unknown names.
+[[nodiscard]] KernelProfile eembc_profile(std::string_view kernel);
+
+/// Ready-to-run stream for a named kernel.
+[[nodiscard]] std::unique_ptr<KernelStream> make_eembc(
+    std::string_view kernel);
+
+/// The kernels Figure 1 evaluates, in the paper's order.
+[[nodiscard]] std::vector<std::string_view> figure1_kernels();
+
+/// All available kernels (Figure 1 set + extended set).
+[[nodiscard]] std::vector<std::string_view> all_kernels();
+
+}  // namespace cbus::workloads

@@ -1,0 +1,28 @@
+#include "workloads/fixed_stream.hpp"
+
+#include "common/contracts.hpp"
+
+namespace cbus::workloads {
+
+FixedOpsStream::FixedOpsStream(std::vector<cpu::MemOp> ops,
+                               std::uint64_t repeat)
+    : ops_(std::move(ops)), repeat_(repeat) {
+  CBUS_EXPECTS(repeat >= 1);
+}
+
+std::optional<cpu::MemOp> FixedOpsStream::next() {
+  if (pass_ >= repeat_) return std::nullopt;
+  if (pos_ >= ops_.size()) {
+    ++pass_;
+    pos_ = 0;
+    if (pass_ >= repeat_ || ops_.empty()) return std::nullopt;
+  }
+  return ops_[pos_++];
+}
+
+void FixedOpsStream::reset(std::uint64_t /*seed*/) {
+  pass_ = 0;
+  pos_ = 0;
+}
+
+}  // namespace cbus::workloads

@@ -1,0 +1,31 @@
+// FixedOpsStream: replay an explicit list of operations, optionally looped.
+// The workhorse of unit tests and hand-built microbenchmarks where every
+// access must be exactly where the test expects it.
+#pragma once
+
+#include <vector>
+
+#include "cpu/op_stream.hpp"
+
+namespace cbus::workloads {
+
+class FixedOpsStream final : public cpu::OpStream {
+ public:
+  /// `repeat` full passes over `ops` (repeat >= 1).
+  explicit FixedOpsStream(std::vector<cpu::MemOp> ops,
+                          std::uint64_t repeat = 1);
+
+  [[nodiscard]] std::optional<cpu::MemOp> next() override;
+  void reset(std::uint64_t seed) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "fixed";
+  }
+
+ private:
+  std::vector<cpu::MemOp> ops_;
+  std::uint64_t repeat_;
+  std::uint64_t pass_ = 0;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cbus::workloads

@@ -1,0 +1,68 @@
+// KernelProfile: the parameter set describing a synthetic kernel's memory
+// behaviour. The EEMBC-Autobench-like workloads are instances of this one
+// generator (see eembc_like.cpp for the profiles and the rationale mapping
+// each to the real kernel's access-pattern signature).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace cbus::workloads {
+
+enum class AccessPattern : std::uint8_t {
+  kStrided,       ///< sequential sweep with a fixed stride (matrix rows)
+  kRandom,        ///< uniform over the footprint (hash/table lookups)
+  kPointerChase,  ///< dependent-walk over the footprint (linked structures)
+};
+
+struct KernelProfile {
+  std::string name;
+
+  /// Data footprint in bytes. Relative to the 16 KiB L1 and the 128 KiB L2
+  /// partition this determines where misses land.
+  std::uint32_t footprint_bytes = 32 * 1024;
+
+  /// Memory operations per run (run length).
+  std::uint64_t n_ops = 20'000;
+
+  AccessPattern pattern = AccessPattern::kRandom;
+  std::uint32_t stride_bytes = 32;  ///< for kStrided
+
+  /// Probability (in 1/1024 units, hardware-style) of an op being a store /
+  /// an atomic; the rest are loads.
+  std::uint32_t store_permille_1024 = 100;
+  std::uint32_t atomic_permille_1024 = 0;
+
+  /// Uniform compute gap (cycles) before each op...
+  std::uint32_t gap_min = 8;
+  std::uint32_t gap_max = 16;
+  /// ...except inside bursts: with probability burst_prob_1024/1024 an op
+  /// starts a burst of `burst_len` ops with zero gap (tight loop bodies).
+  std::uint32_t burst_prob_1024 = 0;
+  std::uint32_t burst_len = 0;
+
+  /// Fraction (1/1024) of accesses that stay inside a hot region of
+  /// `hot_bytes`, modelling loop-carried locality.
+  std::uint32_t hot_permille_1024 = 0;
+  std::uint32_t hot_bytes = 4 * 1024;
+
+  /// Base virtual address of the kernel's data segment.
+  Addr base = 0x4000'0000;
+
+  void validate() const {
+    CBUS_EXPECTS(!name.empty());
+    CBUS_EXPECTS(footprint_bytes >= 64);
+    CBUS_EXPECTS(n_ops >= 1);
+    CBUS_EXPECTS(stride_bytes >= 1);
+    CBUS_EXPECTS(store_permille_1024 + atomic_permille_1024 <= 1024);
+    CBUS_EXPECTS(gap_min <= gap_max);
+    CBUS_EXPECTS(hot_permille_1024 <= 1024);
+    CBUS_EXPECTS(hot_bytes <= footprint_bytes);
+    CBUS_EXPECTS(burst_prob_1024 <= 1024);
+  }
+};
+
+}  // namespace cbus::workloads

@@ -1,0 +1,47 @@
+#include "workloads/phased.hpp"
+
+#include "common/contracts.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace cbus::workloads {
+
+PhasedStream::PhasedStream(std::vector<KernelProfile> phases,
+                           std::uint32_t iterations)
+    : iterations_(iterations) {
+  CBUS_EXPECTS(!phases.empty());
+  CBUS_EXPECTS(iterations >= 1);
+  name_ = "phased(";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (i > 0) name_ += '+';
+    name_ += phases[i].name;
+    phases_.push_back(std::make_unique<KernelStream>(std::move(phases[i])));
+  }
+  name_ += ')';
+  reset(0);
+}
+
+void PhasedStream::reset(std::uint64_t seed) {
+  seed_ = seed;
+  iteration_ = 0;
+  index_ = 0;
+  rng::SplitMix64 mix(seed);
+  for (auto& phase : phases_) phase->reset(mix.next());
+}
+
+std::optional<cpu::MemOp> PhasedStream::next() {
+  while (iteration_ < iterations_) {
+    if (auto op = phases_[index_]->next(); op.has_value()) return op;
+    ++index_;
+    if (index_ >= phases_.size()) {
+      ++iteration_;
+      index_ = 0;
+      if (iteration_ >= iterations_) break;
+      // Fresh per-iteration sub-seeds, still derived from the reset seed.
+      rng::SplitMix64 mix(seed_ ^ (0x9E3779B97F4A7C15ULL * iteration_));
+      for (auto& phase : phases_) phase->reset(mix.next());
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cbus::workloads

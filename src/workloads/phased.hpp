@@ -1,0 +1,46 @@
+// PhasedStream: concatenate kernel profiles into program phases.
+//
+// Real applications alternate between behaviours (init, compute sweep,
+// I/O-ish bursts); EVT-based analysis must cope with the resulting
+// execution-time multimodality. A PhasedStream plays each phase's ops in
+// order, optionally cycling for several iterations -- all derived from
+// the same single reset seed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/op_stream.hpp"
+#include "workloads/kernel_stream.hpp"
+
+namespace cbus::workloads {
+
+class PhasedStream final : public cpu::OpStream {
+ public:
+  /// Each profile is one phase (its n_ops is the phase length); the whole
+  /// sequence repeats `iterations` times.
+  PhasedStream(std::vector<KernelProfile> phases, std::uint32_t iterations = 1);
+
+  [[nodiscard]] std::optional<cpu::MemOp> next() override;
+  void reset(std::uint64_t seed) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+
+  [[nodiscard]] std::size_t phase_count() const noexcept {
+    return phases_.size();
+  }
+  /// Phase currently being played (for instrumentation).
+  [[nodiscard]] std::size_t current_phase() const noexcept { return index_; }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<KernelStream>> phases_;
+  std::uint32_t iterations_;
+  std::uint32_t iteration_ = 0;
+  std::size_t index_ = 0;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace cbus::workloads

@@ -1,0 +1,28 @@
+#include "workloads/streaming.hpp"
+
+#include "common/contracts.hpp"
+
+namespace cbus::workloads {
+
+StreamingStream::StreamingStream(std::uint32_t gap, Addr base,
+                                 std::uint32_t footprint_bytes,
+                                 std::uint32_t line_bytes)
+    : gap_(gap), base_(base), footprint_(footprint_bytes), line_(line_bytes) {
+  CBUS_EXPECTS(line_bytes >= 4);
+  CBUS_EXPECTS(footprint_bytes >= line_bytes);
+}
+
+std::optional<cpu::MemOp> StreamingStream::next() {
+  cpu::MemOp op;
+  op.kind = MemOpKind::kLoad;
+  // Touch a fresh line each time; wrap around a footprint so large that
+  // everything has long been evicted by the time it comes round again.
+  op.addr = base_ + static_cast<Addr>((pos_ * line_) % footprint_);
+  op.compute_before = gap_;
+  ++pos_;
+  return op;
+}
+
+void StreamingStream::reset(std::uint64_t /*seed*/) { pos_ = 0; }
+
+}  // namespace cbus::workloads

@@ -1,0 +1,36 @@
+// StreamingStream: the paper's contender archetype -- "streaming
+// applications issuing constantly read requests to memory that take 28
+// cycles" (§II). A back-to-back strided read sweep over a footprint far
+// larger than the whole cache hierarchy, so every access is an L2
+// clean-miss; effectively infinite so contenders never finish before the
+// task under analysis does.
+#pragma once
+
+#include "cpu/op_stream.hpp"
+#include "common/types.hpp"
+
+namespace cbus::workloads {
+
+class StreamingStream final : public cpu::OpStream {
+ public:
+  /// `gap` compute cycles between reads (0 == saturate the bus).
+  explicit StreamingStream(std::uint32_t gap = 0,
+                           Addr base = 0x8000'0000,
+                           std::uint32_t footprint_bytes = 8 * 1024 * 1024,
+                           std::uint32_t line_bytes = 32);
+
+  [[nodiscard]] std::optional<cpu::MemOp> next() override;
+  void reset(std::uint64_t seed) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "streaming";
+  }
+
+ private:
+  std::uint32_t gap_;
+  Addr base_;
+  std::uint32_t footprint_;
+  std::uint32_t line_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace cbus::workloads

@@ -1,0 +1,459 @@
+// Arbitration-policy tests: selection rules, rotation/window/state
+// machinery, statistical grant shares, work conservation and starvation
+// properties for every policy the paper discusses (§II).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "bus/arbiter_factory.hpp"
+#include "bus/deficit_round_robin.hpp"
+#include "bus/fifo.hpp"
+#include "bus/lottery.hpp"
+#include "bus/priority.hpp"
+#include "bus/random_permutation.hpp"
+#include "bus/round_robin.hpp"
+#include "bus/tdma.hpp"
+#include "rng/rand_bank.hpp"
+#include "stats/fairness.hpp"
+
+namespace cbus::bus {
+namespace {
+
+ArbInput input_of(std::uint32_t candidates, std::span<const Cycle> arrival,
+                  Cycle grant_cycle = 1) {
+  return ArbInput{candidates, arrival, grant_cycle};
+}
+
+const std::array<Cycle, 4> kZeroArrival{0, 0, 0, 0};
+
+// --- round-robin ------------------------------------------------------------
+
+TEST(RoundRobin, RotatesFromLastWinner) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival)), 0u);
+  arb.on_grant(0, 0);
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival)), 1u);
+  arb.on_grant(1, 0);
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival)), 2u);
+  arb.on_grant(2, 0);
+  arb.on_grant(3, 0);
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival)), 0u);  // wrap
+}
+
+TEST(RoundRobin, SkipsIdleMasters) {
+  RoundRobinArbiter arb(4);
+  arb.on_grant(0, 0);
+  EXPECT_EQ(arb.pick(input_of(0b1000, kZeroArrival)), 3u);
+}
+
+TEST(RoundRobin, SameMasterAgainIfOnlyCandidate) {
+  RoundRobinArbiter arb(4);
+  arb.on_grant(2, 0);
+  EXPECT_EQ(arb.pick(input_of(0b0100, kZeroArrival)), 2u);
+}
+
+TEST(RoundRobin, ResetRestoresInitialRotation) {
+  RoundRobinArbiter arb(4);
+  arb.on_grant(1, 0);
+  arb.reset();
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival)), 0u);
+}
+
+TEST(RoundRobin, EmptyCandidatesRejected) {
+  RoundRobinArbiter arb(4);
+  EXPECT_THROW((void)arb.pick(input_of(0, kZeroArrival)),
+               std::invalid_argument);
+}
+
+// --- FIFO --------------------------------------------------------------------
+
+TEST(Fifo, OldestArrivalWins) {
+  FifoArbiter arb(4);
+  const std::array<Cycle, 4> arrival{10, 5, 7, 20};
+  EXPECT_EQ(arb.pick(input_of(0b1111, arrival)), 1u);
+}
+
+TEST(Fifo, TieBrokenRoundRobin) {
+  FifoArbiter arb(4);
+  const std::array<Cycle, 4> arrival{3, 3, 3, 3};
+  EXPECT_EQ(arb.pick(input_of(0b1111, arrival)), 0u);
+  arb.on_grant(0, 0);
+  EXPECT_EQ(arb.pick(input_of(0b1111, arrival)), 1u);
+}
+
+TEST(Fifo, OnlyCandidatesConsidered) {
+  FifoArbiter arb(4);
+  const std::array<Cycle, 4> arrival{1, 0, 99, 2};
+  EXPECT_EQ(arb.pick(input_of(0b1100, arrival)), 3u);
+}
+
+// --- fixed priority -------------------------------------------------------------
+
+TEST(Priority, DefaultOrderLowestIndexFirst) {
+  FixedPriorityArbiter arb(4);
+  EXPECT_EQ(arb.pick(input_of(0b1110, kZeroArrival)), 1u);
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival)), 0u);
+}
+
+TEST(Priority, CustomOrder) {
+  FixedPriorityArbiter arb(4, {2, 0, 3, 1});
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival)), 2u);
+  EXPECT_EQ(arb.pick(input_of(0b1011, kZeroArrival)), 0u);
+}
+
+TEST(Priority, RejectsDuplicateOrder) {
+  EXPECT_THROW(FixedPriorityArbiter(3, {0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(FixedPriorityArbiter(3, {0, 1}), std::invalid_argument);
+}
+
+TEST(Priority, CanStarveLowPriority) {
+  // The §II argument against priorities: with master 0 always pending,
+  // master 3 never wins.
+  FixedPriorityArbiter arb(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(arb.pick(input_of(0b1001, kZeroArrival)), 0u);
+  }
+}
+
+// --- lottery ---------------------------------------------------------------------
+
+TEST(Lottery, PicksOnlyCandidates) {
+  rng::RandBank bank(3);
+  LotteryArbiter arb(4, bank.open("t"));
+  for (int i = 0; i < 1000; ++i) {
+    const MasterId w = arb.pick(input_of(0b1010, kZeroArrival));
+    EXPECT_TRUE(w == 1u || w == 3u);
+  }
+}
+
+TEST(Lottery, EqualTicketsRoughlyUniform) {
+  rng::RandBank bank(11);
+  LotteryArbiter arb(4, bank.open("t"));
+  std::array<int, 4> wins{};
+  constexpr int kN = 40'000;
+  for (int i = 0; i < kN; ++i) ++wins[arb.pick(input_of(0b1111, kZeroArrival))];
+  for (const int w : wins) {
+    EXPECT_NEAR(w, kN / 4, 5 * std::sqrt(kN * 0.25 * 0.75));
+  }
+}
+
+TEST(Lottery, WeightedTicketsShiftOdds) {
+  rng::RandBank bank(13);
+  LotteryArbiter arb(2, bank.open("t"), {3, 1});
+  int wins0 = 0;
+  constexpr int kN = 40'000;
+  for (int i = 0; i < kN; ++i) {
+    if (arb.pick(input_of(0b11, kZeroArrival)) == 0u) ++wins0;
+  }
+  EXPECT_NEAR(static_cast<double>(wins0) / kN, 0.75, 0.02);
+}
+
+TEST(Lottery, RejectsZeroTickets) {
+  rng::RandBank bank(1);
+  EXPECT_THROW(LotteryArbiter(2, bank.open("t"), {1, 0}),
+               std::invalid_argument);
+}
+
+// --- random permutations -------------------------------------------------------------
+
+TEST(RandomPermutation, WindowIsAPermutation) {
+  rng::RandBank bank(17);
+  RandomPermutationArbiter arb(4, bank.open("t"));
+  std::uint32_t seen = 0;
+  for (const auto m : arb.window()) seen |= 1u << m;
+  EXPECT_EQ(seen, 0b1111u);
+}
+
+TEST(RandomPermutation, EachMasterOncePerWindow) {
+  rng::RandBank bank(19);
+  RandomPermutationArbiter arb(4, bank.open("t"));
+  std::array<int, 4> grants{};
+  for (int i = 0; i < 4; ++i) {
+    const MasterId w = arb.pick(input_of(0b1111, kZeroArrival));
+    ++grants[w];
+    arb.on_grant(w, 0);
+  }
+  for (const int g : grants) EXPECT_EQ(g, 1);
+}
+
+TEST(RandomPermutation, FollowsPermutationOrderAmongPending) {
+  rng::RandBank bank(23);
+  RandomPermutationArbiter arb(4, bank.open("t"));
+  const auto window = arb.window();  // copy before grants reshuffle it
+  const MasterId first = arb.pick(input_of(0b1111, kZeroArrival));
+  EXPECT_EQ(first, window[0]);
+  arb.on_grant(first, 0);
+  const MasterId second = arb.pick(input_of(0b1111, kZeroArrival));
+  EXPECT_EQ(second, window[1]);
+}
+
+TEST(RandomPermutation, WorkConservingWhenWindowExhausted) {
+  rng::RandBank bank(29);
+  RandomPermutationArbiter arb(2, bank.open("t"));
+  // Grant master 0 within this window; master 0 pending again while master
+  // 1 stays idle: the arbiter must redraw and still serve master 0.
+  MasterId w = arb.pick(input_of(0b01, kZeroArrival));
+  EXPECT_EQ(w, 0u);
+  arb.on_grant(0, 0);
+  w = arb.pick(input_of(0b01, kZeroArrival));
+  EXPECT_EQ(w, 0u);
+}
+
+TEST(RandomPermutation, GrantSharesUniformUnderSaturation) {
+  rng::RandBank bank(31);
+  RandomPermutationArbiter arb(4, bank.open("t"));
+  std::array<int, 4> wins{};
+  constexpr int kN = 40'000;
+  for (int i = 0; i < kN; ++i) {
+    const MasterId w = arb.pick(input_of(0b1111, kZeroArrival));
+    ++wins[w];
+    arb.on_grant(w, 0);
+  }
+  for (const int w : wins) EXPECT_NEAR(w, kN / 4, 4 * std::sqrt(kN / 4.0));
+}
+
+TEST(RandomPermutation, FirstGrantOfWindowUniform) {
+  // Across many windows, each master should open a window 1/4 of the time.
+  rng::RandBank bank(37);
+  RandomPermutationArbiter arb(4, bank.open("t"));
+  std::array<int, 4> first{};
+  constexpr int kWindows = 10'000;
+  for (int w = 0; w < kWindows; ++w) {
+    ++first[arb.window()[0]];
+    for (int i = 0; i < 4; ++i) {
+      const MasterId win = arb.pick(input_of(0b1111, kZeroArrival));
+      arb.on_grant(win, 0);
+    }
+  }
+  for (const int f : first) {
+    EXPECT_NEAR(f, kWindows / 4, 5 * std::sqrt(kWindows * 0.25 * 0.75));
+  }
+}
+
+// --- deficit round-robin --------------------------------------------------------------
+
+TEST(DeficitRoundRobin, FirstPickTakesCursorMaster) {
+  DeficitRoundRobinArbiter arb(4, 56);
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival)), 0u);
+}
+
+TEST(DeficitRoundRobin, StaysOnMasterWhileDeficitPositive) {
+  DeficitRoundRobinArbiter arb(4, 56);
+  MasterId w = arb.pick(input_of(0b1111, kZeroArrival));
+  arb.on_grant(w, 0);
+  arb.on_complete(w, 5);  // spends 5 of the 56 quantum
+  EXPECT_GT(arb.deficit(w), 0);
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival)), w)
+      << "remaining deficit keeps the rotation on the same master";
+}
+
+TEST(DeficitRoundRobin, MovesOnWhenDeficitExhausted) {
+  DeficitRoundRobinArbiter arb(4, 56);
+  MasterId w = arb.pick(input_of(0b1111, kZeroArrival));
+  arb.on_complete(w, 56);  // full quantum consumed
+  EXPECT_LE(arb.deficit(w), 0);
+  EXPECT_NE(arb.pick(input_of(0b1111, kZeroArrival)), w);
+}
+
+TEST(DeficitRoundRobin, OverdrawCarriesIntoNextRound) {
+  // A 56-cycle transaction against a 28-cycle quantum leaves a -28
+  // deficit; the master needs TWO rotation visits before winning again.
+  DeficitRoundRobinArbiter arb(2, 28);
+  MasterId w = arb.pick(input_of(0b11, kZeroArrival));
+  EXPECT_EQ(w, 0u);
+  arb.on_complete(0, 56);
+  EXPECT_EQ(arb.deficit(0), -28);
+  // Master 1 now gets two quantum's worth before 0 returns.
+  EXPECT_EQ(arb.pick(input_of(0b11, kZeroArrival)), 1u);
+  arb.on_complete(1, 28);
+  EXPECT_EQ(arb.pick(input_of(0b11, kZeroArrival)), 1u);
+  arb.on_complete(1, 28);
+  EXPECT_EQ(arb.pick(input_of(0b11, kZeroArrival)), 0u);
+}
+
+TEST(DeficitRoundRobin, IdleMasterDeficitResets) {
+  DeficitRoundRobinArbiter arb(2, 56);
+  // Master 0 idle: its accumulated quantum must not be banked.
+  (void)arb.pick(input_of(0b10, kZeroArrival));
+  EXPECT_EQ(arb.deficit(0), 0);
+}
+
+TEST(DeficitRoundRobin, CycleFairWithMixedHolds) {
+  // Long-run occupancy equalizes even with 5- vs 56-cycle requests: the
+  // defining DRR property (and CBA's, by a different mechanism).
+  DeficitRoundRobinArbiter arb(2, 56);
+  std::array<Cycle, 2> used{0, 0};
+  const std::array<Cycle, 2> holds{5, 56};
+  for (int i = 0; i < 4000; ++i) {
+    const MasterId w = arb.pick(ArbInput{0b11, kZeroArrival, 0});
+    arb.on_grant(w, 0);
+    arb.on_complete(w, holds[w]);
+    used[w] += holds[w];
+  }
+  const double share0 = static_cast<double>(used[0]) /
+                        static_cast<double>(used[0] + used[1]);
+  EXPECT_NEAR(share0, 0.5, 0.03);
+}
+
+TEST(DeficitRoundRobin, ResetClearsState) {
+  DeficitRoundRobinArbiter arb(4, 56);
+  arb.on_complete(0, 30);
+  arb.reset();
+  EXPECT_EQ(arb.deficit(0), 0);
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival)), 0u);
+}
+
+TEST(DeficitRoundRobin, RejectsZeroQuantum) {
+  EXPECT_THROW(DeficitRoundRobinArbiter(4, 0), std::invalid_argument);
+}
+
+// --- TDMA ----------------------------------------------------------------------------
+
+TEST(Tdma, GrantsOnlyOwnerAtSlotStart) {
+  TdmaArbiter arb(4, 56);
+  // grant_cycle 0 is the start of master 0's slot.
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival, 0)), 0u);
+  // grant_cycle 56 starts master 1's slot.
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival, 56)), 1u);
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival, 112)), 2u);
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival, 168)), 3u);
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival, 224)), 0u);
+}
+
+TEST(Tdma, NoGrantMidSlot) {
+  TdmaArbiter arb(4, 56);
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival, 1)), kNoMaster);
+  EXPECT_EQ(arb.pick(input_of(0b1111, kZeroArrival, 55)), kNoMaster);
+}
+
+TEST(Tdma, NoGrantWhenOwnerIdle) {
+  TdmaArbiter arb(4, 56);
+  // Slot of master 0, but only master 1 pending: slot goes idle (the
+  // non-work-conserving behaviour the paper describes).
+  EXPECT_EQ(arb.pick(input_of(0b0010, kZeroArrival, 0)), kNoMaster);
+}
+
+TEST(Tdma, SlotOwnerHelper) {
+  TdmaArbiter arb(4, 10);
+  EXPECT_EQ(arb.slot_owner(0), 0u);
+  EXPECT_EQ(arb.slot_owner(9), 0u);
+  EXPECT_EQ(arb.slot_owner(10), 1u);
+  EXPECT_EQ(arb.slot_owner(39), 3u);
+  EXPECT_EQ(arb.slot_owner(40), 0u);
+  EXPECT_TRUE(arb.is_slot_start(0));
+  EXPECT_TRUE(arb.is_slot_start(10));
+  EXPECT_FALSE(arb.is_slot_start(11));
+}
+
+// --- factory --------------------------------------------------------------------------
+
+TEST(ArbiterFactory, BuildsEveryKind) {
+  rng::RandBank bank(41);
+  for (const auto kind :
+       {ArbiterKind::kRoundRobin, ArbiterKind::kFifo,
+        ArbiterKind::kFixedPriority, ArbiterKind::kLottery,
+        ArbiterKind::kRandomPermutation, ArbiterKind::kTdma}) {
+    const auto arb = make_arbiter(kind, 4, bank);
+    ASSERT_NE(arb, nullptr);
+    EXPECT_EQ(arb->n_masters(), 4u);
+    EXPECT_EQ(arb->name(), to_string(kind));
+  }
+}
+
+TEST(ArbiterFactory, ParseNames) {
+  EXPECT_EQ(parse_arbiter_kind("rr"), ArbiterKind::kRoundRobin);
+  EXPECT_EQ(parse_arbiter_kind("round-robin"), ArbiterKind::kRoundRobin);
+  EXPECT_EQ(parse_arbiter_kind("fifo"), ArbiterKind::kFifo);
+  EXPECT_EQ(parse_arbiter_kind("priority"), ArbiterKind::kFixedPriority);
+  EXPECT_EQ(parse_arbiter_kind("lottery"), ArbiterKind::kLottery);
+  EXPECT_EQ(parse_arbiter_kind("rp"), ArbiterKind::kRandomPermutation);
+  EXPECT_EQ(parse_arbiter_kind("tdma"), ArbiterKind::kTdma);
+  EXPECT_THROW((void)parse_arbiter_kind("nonsense"), std::invalid_argument);
+}
+
+TEST(ArbiterFactory, HwCostsPopulated) {
+  rng::RandBank bank(43);
+  for (const auto kind :
+       {ArbiterKind::kRoundRobin, ArbiterKind::kFifo,
+        ArbiterKind::kFixedPriority, ArbiterKind::kLottery,
+        ArbiterKind::kRandomPermutation, ArbiterKind::kTdma}) {
+    const auto arb = make_arbiter(kind, 4, bank);
+    const HwCost cost = arb->hw_cost();
+    EXPECT_FALSE(cost.notes.empty());
+    EXPECT_GT(cost.lut_equivalents, 0u);
+  }
+}
+
+// --- cross-policy properties (parameterized) --------------------------------------------
+
+class NoStarvationUnderSaturation
+    : public ::testing::TestWithParam<ArbiterKind> {};
+
+// Property: with every master always pending, every request-fair policy
+// grants every master infinitely often (bounded gaps).
+TEST_P(NoStarvationUnderSaturation, AllMastersServed) {
+  rng::RandBank bank(47);
+  const auto arb = make_arbiter(GetParam(), 4, bank, /*tdma_slot=*/8);
+  std::array<int, 4> wins{};
+  Cycle fake_clock = 0;
+  for (int i = 0; i < 4000; ++i) {
+    // For TDMA, walk grant_cycle across slot starts.
+    const Cycle grant_cycle = GetParam() == ArbiterKind::kTdma
+                                  ? (fake_clock += 8)
+                                  : fake_clock++;
+    const ArbInput in{0b1111, kZeroArrival, grant_cycle};
+    const MasterId w = arb->pick(in);
+    if (w == kNoMaster) continue;
+    ++wins[w];
+    arb->on_grant(w, grant_cycle);
+  }
+  for (std::size_t m = 0; m < 4; ++m) {
+    EXPECT_GT(wins[m], 0) << "master " << m << " starved under "
+                          << to_string(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RequestFairPolicies, NoStarvationUnderSaturation,
+                         ::testing::Values(ArbiterKind::kRoundRobin,
+                                           ArbiterKind::kFifo,
+                                           ArbiterKind::kLottery,
+                                           ArbiterKind::kRandomPermutation,
+                                           ArbiterKind::kTdma));
+
+class GrantShareFairness : public ::testing::TestWithParam<ArbiterKind> {};
+
+// Property: under saturation, request-count shares are ~1/N for the
+// request-fair policies -- the very fairness notion the paper argues is
+// insufficient.
+TEST_P(GrantShareFairness, JainNearOne) {
+  rng::RandBank bank(53);
+  const auto arb = make_arbiter(GetParam(), 4, bank, /*tdma_slot=*/8);
+  std::array<double, 4> wins{};
+  Cycle clock = 0;
+  int grants = 0;
+  while (grants < 8000) {
+    const Cycle grant_cycle =
+        GetParam() == ArbiterKind::kTdma ? (clock += 8) : clock++;
+    const MasterId w = arb->pick(ArbInput{0b1111, kZeroArrival, grant_cycle});
+    if (w == kNoMaster) continue;
+    wins[w] += 1.0;
+    arb->on_grant(w, grant_cycle);
+    ++grants;
+  }
+  EXPECT_GT(stats::jain_index(wins), 0.995)
+      << to_string(GetParam()) << " grant shares: " << wins[0] << ' '
+      << wins[1] << ' ' << wins[2] << ' ' << wins[3];
+}
+
+INSTANTIATE_TEST_SUITE_P(RequestFairPolicies, GrantShareFairness,
+                         ::testing::Values(ArbiterKind::kRoundRobin,
+                                           ArbiterKind::kFifo,
+                                           ArbiterKind::kLottery,
+                                           ArbiterKind::kRandomPermutation,
+                                           ArbiterKind::kTdma));
+
+}  // namespace
+}  // namespace cbus::bus

@@ -1,0 +1,130 @@
+// Unit tests for the cycle-driven kernel: tick ordering, run_until
+// semantics, clock progression.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/component.hpp"
+#include "sim/kernel.hpp"
+
+namespace cbus::sim {
+namespace {
+
+class Probe final : public Component {
+ public:
+  Probe(std::string name, std::vector<std::string>* log)
+      : Component(std::move(name)), log_(log) {}
+
+  void tick(Cycle now) override {
+    ++ticks_;
+    last_now_ = now;
+    if (log_ != nullptr) log_->push_back(std::string(name()));
+  }
+
+  std::uint64_t ticks_ = 0;
+  Cycle last_now_ = 0;
+
+ private:
+  std::vector<std::string>* log_;
+};
+
+TEST(Clock, StartsAtZeroAndAdvances) {
+  Clock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.advance();
+  clock.advance();
+  EXPECT_EQ(clock.now(), 2u);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+TEST(Kernel, RunTicksEveryComponentOncePerCycle) {
+  Kernel kernel;
+  Probe a("a", nullptr);
+  Probe b("b", nullptr);
+  kernel.add(a);
+  kernel.add(b);
+  kernel.run(10);
+  EXPECT_EQ(a.ticks_, 10u);
+  EXPECT_EQ(b.ticks_, 10u);
+  EXPECT_EQ(kernel.now(), 10u);
+}
+
+TEST(Kernel, TickOrderIsRegistrationOrder) {
+  Kernel kernel;
+  std::vector<std::string> log;
+  Probe a("core", &log);
+  Probe b("bus", &log);
+  kernel.add(a);
+  kernel.add(b);
+  kernel.run(2);
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], "core");
+  EXPECT_EQ(log[1], "bus");
+  EXPECT_EQ(log[2], "core");
+  EXPECT_EQ(log[3], "bus");
+}
+
+TEST(Kernel, ComponentsSeeCurrentCycle) {
+  Kernel kernel;
+  Probe a("a", nullptr);
+  kernel.add(a);
+  kernel.run(5);
+  EXPECT_EQ(a.last_now_, 4u);  // cycles 0..4 executed
+}
+
+TEST(Kernel, RunUntilStopsWhenPredicateFires) {
+  Kernel kernel;
+  Probe a("a", nullptr);
+  kernel.add(a);
+  const bool fired =
+      kernel.run_until([&]() { return a.ticks_ >= 7; }, 1000);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(a.ticks_, 7u);
+}
+
+TEST(Kernel, RunUntilHonoursBudget) {
+  Kernel kernel;
+  Probe a("a", nullptr);
+  kernel.add(a);
+  const bool fired = kernel.run_until([]() { return false; }, 50);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(kernel.now(), 50u);
+}
+
+TEST(Kernel, RunUntilImmediatelyTrueRunsNothing) {
+  Kernel kernel;
+  Probe a("a", nullptr);
+  kernel.add(a);
+  const bool fired = kernel.run_until([]() { return true; }, 50);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(a.ticks_, 0u);
+}
+
+TEST(Kernel, RunUntilRejectsNullPredicate) {
+  Kernel kernel;
+  EXPECT_THROW((void)kernel.run_until(nullptr, 10), std::invalid_argument);
+}
+
+TEST(Kernel, StepExecutesExactlyOneCycle) {
+  Kernel kernel;
+  Probe a("a", nullptr);
+  kernel.add(a);
+  kernel.step();
+  EXPECT_EQ(a.ticks_, 1u);
+  EXPECT_EQ(kernel.now(), 1u);
+}
+
+TEST(Kernel, ComponentCount) {
+  Kernel kernel;
+  Probe a("a", nullptr);
+  Probe b("b", nullptr);
+  EXPECT_EQ(kernel.component_count(), 0u);
+  kernel.add(a);
+  kernel.add(b);
+  EXPECT_EQ(kernel.component_count(), 2u);
+}
+
+}  // namespace
+}  // namespace cbus::sim

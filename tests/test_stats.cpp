@@ -1,0 +1,218 @@
+// Unit tests for cbus_stats: Welford statistics, quantiles, histograms,
+// fairness indices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/fairness.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace cbus::stats {
+namespace {
+
+// --- OnlineStats ---------------------------------------------------------------
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesConcatenation) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    (i % 2 == 0 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(OnlineStats, Ci95ShrinksWithN) {
+  OnlineStats small;
+  OnlineStats large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(OnlineStats, CoefficientOfVariation) {
+  OnlineStats s;
+  s.add(1.0);
+  s.add(3.0);
+  // mean 2, sd sqrt(2): cv = 0.7071...
+  EXPECT_NEAR(s.cv(), std::sqrt(2.0) / 2.0, 1e-12);
+}
+
+// --- quantile -------------------------------------------------------------------
+
+TEST(Quantile, MedianOfOddSample) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, RejectsEmptyAndBadQ) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantile(v, 1.1), std::invalid_argument);
+}
+
+// --- autocorrelation -------------------------------------------------------------
+
+TEST(Autocorrelation, IidNoiseNearZero) {
+  std::vector<double> v;
+  std::uint64_t state = 88172645463325252ULL;
+  for (int i = 0; i < 5000; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    v.push_back(static_cast<double>(state % 1000));
+  }
+  EXPECT_NEAR(autocorrelation(v, 1), 0.0, 0.05);
+}
+
+TEST(Autocorrelation, AlternatingSequenceNegative) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_LT(autocorrelation(v, 1), -0.9);
+}
+
+TEST(Autocorrelation, TrendPositive) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_GT(autocorrelation(v, 1), 0.9);
+}
+
+// --- Histogram -------------------------------------------------------------------
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(10, 5);  // [0,10) [10,20) ... [40,50), overflow beyond
+  h.add(0);
+  h.add(9);
+  h.add(10);
+  h.add(49);
+  h.add(50);
+  h.add(1000);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 6u);
+}
+
+TEST(Histogram, QuantileUpperBound) {
+  Histogram h(10, 10);
+  for (int i = 0; i < 90; ++i) h.add(5);   // bucket 0
+  for (int i = 0; i < 10; ++i) h.add(95);  // bucket 9
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 10u);
+  EXPECT_EQ(h.quantile_upper_bound(0.99), 100u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h(10, 2);
+  h.add(1);
+  h.add(100);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.bucket(0), 0u);
+}
+
+TEST(Histogram, RejectsBadConfig) {
+  EXPECT_THROW(Histogram(0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(5, 0), std::invalid_argument);
+}
+
+// --- fairness --------------------------------------------------------------------
+
+TEST(Fairness, JainEqualSharesIsOne) {
+  const std::vector<double> shares{0.25, 0.25, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(jain_index(shares), 1.0);
+}
+
+TEST(Fairness, JainSingleHogIsOneOverN) {
+  const std::vector<double> shares{1.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(shares), 0.25);
+}
+
+TEST(Fairness, JainPaperExample) {
+  // The paper's §I example: 5-cycle vs 45-cycle alternating requests give
+  // 10% vs 90% of bandwidth -> Jain = (1)^2 / (2 * (0.01 + 0.81)) = 0.6097...
+  const std::vector<double> shares{0.1, 0.9};
+  EXPECT_NEAR(jain_index(shares), 1.0 / (2 * 0.82), 1e-12);
+}
+
+TEST(Fairness, JainEmptyAndZeros) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 1.0);
+}
+
+TEST(Fairness, MaxMinRatio) {
+  const std::vector<double> shares{0.1, 0.4};
+  EXPECT_DOUBLE_EQ(max_min_ratio(shares), 4.0);
+  const std::vector<double> equal{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(max_min_ratio(equal), 1.0);
+}
+
+TEST(Fairness, MaxMinRatioWithZeroShare) {
+  const std::vector<double> shares{0.0, 0.4};
+  EXPECT_TRUE(std::isinf(max_min_ratio(shares)));
+}
+
+}  // namespace
+}  // namespace cbus::stats

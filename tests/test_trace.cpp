@@ -1,0 +1,216 @@
+// Trace I/O tests: capture, round-trip through CSV, replay equivalence,
+// malformed-input handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bus/bus.hpp"
+#include "bus/round_robin.hpp"
+#include "sim/kernel.hpp"
+#include "trace/bus_trace.hpp"
+#include "trace/op_trace.hpp"
+#include "workloads/eembc_like.hpp"
+
+namespace cbus::trace {
+namespace {
+
+TEST(Trace, CaptureDrainsStream) {
+  auto stream = workloads::make_eembc("canrdr");
+  stream->reset(1);
+  const auto ops = capture(*stream, 100);
+  EXPECT_EQ(ops.size(), 100u);
+}
+
+TEST(Trace, CaptureStopsAtStreamEnd) {
+  workloads::FixedOpsStream s({cpu::MemOp{MemOpKind::kLoad, 1, 0}});
+  const auto ops = capture(s, 100);
+  EXPECT_EQ(ops.size(), 1u);
+}
+
+TEST(Trace, RoundTripThroughText) {
+  std::vector<cpu::MemOp> ops{
+      {MemOpKind::kLoad, 0xDEADBEE0, 3},
+      {MemOpKind::kStore, 0x00000004, 0},
+      {MemOpKind::kAtomic, 0xFFFFFFFC, 77},
+  };
+  std::stringstream buffer;
+  write_ops(buffer, ops);
+  const auto back = read_ops(buffer);
+  ASSERT_EQ(back.size(), ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(back[i].kind, ops[i].kind);
+    EXPECT_EQ(back[i].addr, ops[i].addr);
+    EXPECT_EQ(back[i].compute_before, ops[i].compute_before);
+  }
+}
+
+TEST(Trace, CommentsAndBlankLinesIgnored) {
+  std::stringstream buffer("# comment\n\nload,10,5\n");
+  const auto ops = read_ops(buffer);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].addr, 0x10u);
+  EXPECT_EQ(ops[0].compute_before, 5u);
+}
+
+TEST(Trace, MalformedLineThrows) {
+  std::stringstream missing_field("load,10\n");
+  EXPECT_THROW((void)read_ops(missing_field), std::invalid_argument);
+  std::stringstream bad_kind("jump,10,5\n");
+  EXPECT_THROW((void)read_ops(bad_kind), std::invalid_argument);
+}
+
+TEST(Trace, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cbus_trace_test.csv";
+  auto stream = workloads::make_eembc("tblook");
+  stream->reset(9);
+  const auto ops = capture(*stream, 500);
+  save_ops(path, ops);
+  const auto back = load_ops(path);
+  ASSERT_EQ(back.size(), ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(back[i].addr, ops[i].addr);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_ops("/nonexistent/path/trace.csv"),
+               std::invalid_argument);
+}
+
+TEST(Trace, ReplayMatchesOriginal) {
+  auto stream = workloads::make_eembc("canrdr");
+  stream->reset(4);
+  const auto ops = capture(*stream, 200);
+  auto replayed = replay(ops);
+  for (const auto& expected : ops) {
+    const auto got = replayed->next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->addr, expected.addr);
+    EXPECT_EQ(got->kind, expected.kind);
+    EXPECT_EQ(got->compute_before, expected.compute_before);
+  }
+  EXPECT_FALSE(replayed->next().has_value());
+}
+
+TEST(Trace, ReplayWithRepeat) {
+  std::vector<cpu::MemOp> ops{{MemOpKind::kLoad, 0x10, 0}};
+  auto replayed = replay(ops, 3);
+  int count = 0;
+  while (replayed->next().has_value()) ++count;
+  EXPECT_EQ(count, 3);
+}
+
+// --- bus transaction tracing ------------------------------------------------------------
+
+class FixedHoldSlave final : public bus::BusSlave {
+ public:
+  Cycle begin_transaction(const bus::BusRequest&, Cycle) override {
+    return 5;
+  }
+};
+
+struct TraceRig {
+  TraceRig() : arbiter(2), b(bus::BusConfig{2, true}, arbiter, slave) {
+    b.set_observer(&recorder);
+    kernel.add(b);
+  }
+  FixedHoldSlave slave;
+  bus::RoundRobinArbiter arbiter;
+  bus::NonSplitBus b;
+  BusTraceRecorder recorder;
+  cbus::sim::Kernel kernel;
+};
+
+TEST(BusTrace, RecordsLifecycle) {
+  TraceRig rig;
+  bus::BusRequest req;
+  req.master = 0;
+  req.addr = 0xAB0;
+  rig.b.request(req, 0);
+  rig.kernel.run(10);
+  ASSERT_EQ(rig.recorder.transactions().size(), 1u);
+  const BusTransaction& txn = rig.recorder.transactions()[0];
+  EXPECT_EQ(txn.master, 0u);
+  EXPECT_EQ(txn.addr, 0xAB0u);
+  EXPECT_EQ(txn.issued_at, 0u);
+  EXPECT_EQ(txn.started_at, 1u);
+  EXPECT_EQ(txn.hold, 5u);
+  EXPECT_EQ(txn.completed_at, 5u);
+  EXPECT_EQ(txn.wait(), 1u);
+  EXPECT_EQ(txn.turnaround(), 6u);
+}
+
+TEST(BusTrace, WaitStatsPerMaster) {
+  TraceRig rig;
+  bus::BusRequest a;
+  a.master = 0;
+  bus::BusRequest b2;
+  b2.master = 1;
+  rig.b.request(a, 0);
+  rig.b.request(b2, 0);
+  rig.kernel.run(20);
+  EXPECT_EQ(rig.recorder.wait_stats(0).count(), 1u);
+  EXPECT_EQ(rig.recorder.wait_stats(1).count(), 1u);
+  // The loser waited for the winner's full transfer.
+  EXPECT_GT(rig.recorder.wait_stats(1).mean(),
+            rig.recorder.wait_stats(0).mean());
+}
+
+TEST(BusTrace, OccupancySumsHolds) {
+  TraceRig rig;
+  for (int i = 0; i < 3; ++i) {
+    bus::BusRequest req;
+    req.master = 0;
+    rig.b.request(req, rig.kernel.now());
+    rig.kernel.run(10);
+  }
+  const auto occ = rig.recorder.occupancy_by_master(2);
+  EXPECT_EQ(occ[0], 15u);
+  EXPECT_EQ(occ[1], 0u);
+}
+
+TEST(BusTrace, CapacityDropsExcess) {
+  TraceRig rig;
+  rig.b.set_observer(nullptr);
+  BusTraceRecorder small(2);
+  rig.b.set_observer(&small);
+  for (int i = 0; i < 4; ++i) {
+    bus::BusRequest req;
+    req.master = 0;
+    rig.b.request(req, rig.kernel.now());
+    rig.kernel.run(10);
+  }
+  EXPECT_EQ(small.transactions().size(), 2u);
+  EXPECT_EQ(small.dropped(), 2u);
+}
+
+TEST(BusTrace, CsvRoundTripShape) {
+  TraceRig rig;
+  bus::BusRequest req;
+  req.master = 1;
+  req.kind = MemOpKind::kStore;
+  rig.b.request(req, 0);
+  rig.kernel.run(10);
+  std::stringstream out;
+  write_bus_trace(out, rig.recorder.transactions());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("store"), std::string::npos);
+  EXPECT_NE(text.find("# cbus bus trace"), std::string::npos);
+}
+
+TEST(BusTrace, ClearResets) {
+  TraceRig rig;
+  bus::BusRequest req;
+  req.master = 0;
+  rig.b.request(req, 0);
+  rig.kernel.run(10);
+  rig.recorder.clear();
+  EXPECT_TRUE(rig.recorder.transactions().empty());
+  EXPECT_EQ(rig.recorder.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace cbus::trace

@@ -1,0 +1,355 @@
+// Workload-generator tests: determinism per seed, profile validation,
+// pattern properties (strides, footprints, burstiness), the EEMBC-like
+// profiles and the streaming contender.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "workloads/eembc_like.hpp"
+#include "workloads/fixed_stream.hpp"
+#include "workloads/kernel_stream.hpp"
+#include "workloads/phased.hpp"
+#include "workloads/streaming.hpp"
+
+namespace cbus::workloads {
+namespace {
+
+std::vector<cpu::MemOp> drain(cpu::OpStream& s, std::size_t max = 100'000) {
+  std::vector<cpu::MemOp> ops;
+  while (ops.size() < max) {
+    auto op = s.next();
+    if (!op.has_value()) break;
+    ops.push_back(*op);
+  }
+  return ops;
+}
+
+// --- FixedOpsStream ------------------------------------------------------------
+
+TEST(FixedOpsStream, ReplaysInOrder) {
+  FixedOpsStream s({cpu::MemOp{MemOpKind::kLoad, 0x10, 1},
+                    cpu::MemOp{MemOpKind::kStore, 0x20, 2}});
+  const auto ops = drain(s);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].addr, 0x10u);
+  EXPECT_EQ(ops[1].kind, MemOpKind::kStore);
+  EXPECT_FALSE(s.next().has_value());
+}
+
+TEST(FixedOpsStream, RepeatLoops) {
+  FixedOpsStream s({cpu::MemOp{MemOpKind::kLoad, 0x10, 0}}, 3);
+  EXPECT_EQ(drain(s).size(), 3u);
+}
+
+TEST(FixedOpsStream, ResetRestarts) {
+  FixedOpsStream s({cpu::MemOp{MemOpKind::kLoad, 0x10, 0}});
+  (void)drain(s);
+  s.reset(0);
+  EXPECT_EQ(drain(s).size(), 1u);
+}
+
+TEST(FixedOpsStream, EmptyIsImmediatelyExhausted) {
+  FixedOpsStream s({});
+  EXPECT_FALSE(s.next().has_value());
+}
+
+// --- KernelStream --------------------------------------------------------------
+
+KernelProfile basic_profile() {
+  KernelProfile p;
+  p.name = "test";
+  p.footprint_bytes = 4096;
+  p.n_ops = 500;
+  p.pattern = AccessPattern::kRandom;
+  p.store_permille_1024 = 256;
+  p.gap_min = 2;
+  p.gap_max = 6;
+  return p;
+}
+
+TEST(KernelStream, EmitsExactlyNOps) {
+  KernelStream s(basic_profile());
+  s.reset(7);
+  EXPECT_EQ(drain(s).size(), 500u);
+}
+
+TEST(KernelStream, DeterministicPerSeed) {
+  KernelStream a(basic_profile());
+  KernelStream b(basic_profile());
+  a.reset(42);
+  b.reset(42);
+  const auto ops_a = drain(a);
+  const auto ops_b = drain(b);
+  ASSERT_EQ(ops_a.size(), ops_b.size());
+  for (std::size_t i = 0; i < ops_a.size(); ++i) {
+    EXPECT_EQ(ops_a[i].addr, ops_b[i].addr);
+    EXPECT_EQ(ops_a[i].kind, ops_b[i].kind);
+    EXPECT_EQ(ops_a[i].compute_before, ops_b[i].compute_before);
+  }
+}
+
+TEST(KernelStream, DifferentSeedsDiffer) {
+  KernelStream a(basic_profile());
+  KernelStream b(basic_profile());
+  a.reset(1);
+  b.reset(2);
+  const auto ops_a = drain(a);
+  const auto ops_b = drain(b);
+  int same = 0;
+  for (std::size_t i = 0; i < ops_a.size(); ++i) {
+    if (ops_a[i].addr == ops_b[i].addr) ++same;
+  }
+  EXPECT_LT(same, 50);
+}
+
+TEST(KernelStream, AddressesStayInFootprint) {
+  KernelStream s(basic_profile());
+  s.reset(3);
+  for (const auto& op : drain(s)) {
+    EXPECT_GE(op.addr, 0x4000'0000u);
+    EXPECT_LT(op.addr, 0x4000'0000u + 4096u);
+  }
+}
+
+TEST(KernelStream, GapsWithinBounds) {
+  KernelStream s(basic_profile());
+  s.reset(4);
+  for (const auto& op : drain(s)) {
+    EXPECT_GE(op.compute_before, 2u);
+    EXPECT_LE(op.compute_before, 6u);
+  }
+}
+
+TEST(KernelStream, StoreFractionApproximatelyRespected) {
+  KernelProfile p = basic_profile();
+  p.n_ops = 20'000;
+  KernelStream s(p);
+  s.reset(5);
+  int stores = 0;
+  for (const auto& op : drain(s)) stores += op.kind == MemOpKind::kStore;
+  EXPECT_NEAR(stores / 20'000.0, 0.25, 0.02);
+}
+
+TEST(KernelStream, StridedWalksSequentially) {
+  KernelProfile p = basic_profile();
+  p.pattern = AccessPattern::kStrided;
+  p.stride_bytes = 32;
+  p.store_permille_1024 = 0;
+  p.hot_permille_1024 = 0;
+  KernelStream s(p);
+  s.reset(6);
+  const auto ops = drain(s);
+  for (std::size_t i = 1; i < 16; ++i) {
+    EXPECT_EQ(ops[i].addr - ops[i - 1].addr, 32u);
+  }
+}
+
+TEST(KernelStream, StridedWrapsAtFootprint) {
+  KernelProfile p = basic_profile();
+  p.pattern = AccessPattern::kStrided;
+  p.stride_bytes = 1024;
+  p.footprint_bytes = 4096;
+  p.hot_permille_1024 = 0;
+  p.n_ops = 10;
+  KernelStream s(p);
+  s.reset(6);
+  const auto ops = drain(s);
+  EXPECT_EQ(ops[4].addr, ops[0].addr);  // wrapped after 4 strides
+}
+
+TEST(KernelStream, BurstsProduceZeroGaps) {
+  KernelProfile p = basic_profile();
+  p.burst_prob_1024 = 512;
+  p.burst_len = 4;
+  p.n_ops = 5000;
+  KernelStream s(p);
+  s.reset(8);
+  int zero_gaps = 0;
+  for (const auto& op : drain(s)) zero_gaps += op.compute_before == 0;
+  EXPECT_GT(zero_gaps, 1000);
+}
+
+TEST(KernelStream, HotRegionConcentratesAccesses) {
+  KernelProfile p = basic_profile();
+  p.footprint_bytes = 64 * 1024;
+  p.hot_permille_1024 = 768;  // 75% hot
+  p.hot_bytes = 1024;
+  p.n_ops = 10'000;
+  KernelStream s(p);
+  s.reset(9);
+  int hot = 0;
+  for (const auto& op : drain(s)) {
+    if (op.addr < 0x4000'0000u + 1024u) ++hot;
+  }
+  EXPECT_GT(hot, 7000);
+}
+
+TEST(KernelStream, PointerChaseCoversFootprint) {
+  KernelProfile p = basic_profile();
+  p.pattern = AccessPattern::kPointerChase;
+  p.hot_permille_1024 = 0;
+  p.n_ops = 4000;
+  KernelStream s(p);
+  s.reset(10);
+  std::set<Addr> lines;
+  for (const auto& op : drain(s)) lines.insert(op.addr / 32);
+  EXPECT_GT(lines.size(), 60u);  // visits a good share of 128 lines
+}
+
+TEST(KernelStream, ProfileValidationRejectsBadConfig) {
+  KernelProfile p = basic_profile();
+  p.gap_min = 10;
+  p.gap_max = 5;
+  EXPECT_THROW(KernelStream{p}, std::invalid_argument);
+
+  p = basic_profile();
+  p.store_permille_1024 = 1000;
+  p.atomic_permille_1024 = 100;
+  EXPECT_THROW(KernelStream{p}, std::invalid_argument);
+
+  p = basic_profile();
+  p.hot_bytes = p.footprint_bytes + 1;
+  EXPECT_THROW(KernelStream{p}, std::invalid_argument);
+}
+
+// --- EEMBC-like profiles ----------------------------------------------------------
+
+TEST(EembcLike, Figure1KernelsExist) {
+  for (const auto name : figure1_kernels()) {
+    const auto stream = make_eembc(name);
+    ASSERT_NE(stream, nullptr);
+    EXPECT_EQ(stream->name(), name);
+  }
+}
+
+TEST(EembcLike, AllKernelsValidateAndRun) {
+  for (const auto name : all_kernels()) {
+    auto stream = make_eembc(name);
+    stream->reset(11);
+    const auto ops = drain(*stream);
+    EXPECT_GT(ops.size(), 1000u) << name;
+  }
+}
+
+TEST(EembcLike, UnknownKernelThrows) {
+  EXPECT_THROW((void)eembc_profile("bogus"), std::invalid_argument);
+}
+
+TEST(EembcLike, MatrixIsTheBusHungriest) {
+  // matrix must have the largest footprint (streaming beyond the L2 slice).
+  const auto matrix = eembc_profile("matrix");
+  for (const auto name : figure1_kernels()) {
+    if (name == "matrix") continue;
+    EXPECT_GE(matrix.footprint_bytes, eembc_profile(name).footprint_bytes);
+  }
+}
+
+TEST(EembcLike, CanrdrFitsInL1) {
+  EXPECT_LE(eembc_profile("canrdr").footprint_bytes, 16u * 1024u);
+}
+
+// --- StreamingStream ---------------------------------------------------------------
+
+TEST(Streaming, NeverEnds) {
+  StreamingStream s(0);
+  for (int i = 0; i < 10'000; ++i) ASSERT_TRUE(s.next().has_value());
+}
+
+TEST(Streaming, TouchesFreshLines) {
+  StreamingStream s(0, 0x8000'0000, 1024 * 1024, 32);
+  std::set<Addr> lines;
+  for (int i = 0; i < 1000; ++i) lines.insert(s.next()->addr / 32);
+  EXPECT_EQ(lines.size(), 1000u);
+}
+
+TEST(Streaming, AllLoadsWithConfiguredGap) {
+  StreamingStream s(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto op = *s.next();
+    EXPECT_EQ(op.kind, MemOpKind::kLoad);
+    EXPECT_EQ(op.compute_before, 3u);
+  }
+}
+
+TEST(Streaming, ResetRestartsSweep) {
+  StreamingStream s(0);
+  const Addr first = s.next()->addr;
+  (void)s.next();
+  s.reset(0);
+  EXPECT_EQ(s.next()->addr, first);
+}
+
+// --- PhasedStream ----------------------------------------------------------------------
+
+TEST(Phased, ConcatenatesPhasesInOrder) {
+  KernelProfile a = basic_profile();
+  a.name = "ph-a";
+  a.n_ops = 10;
+  a.base = 0x1000'0000;
+  KernelProfile b = basic_profile();
+  b.name = "ph-b";
+  b.n_ops = 5;
+  b.base = 0x2000'0000;
+  PhasedStream s({a, b});
+  s.reset(1);
+  const auto ops = drain(s);
+  ASSERT_EQ(ops.size(), 15u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_LT(ops[i].addr, 0x2000'0000u);
+  for (std::size_t i = 10; i < 15; ++i) EXPECT_GE(ops[i].addr, 0x2000'0000u);
+}
+
+TEST(Phased, IterationsRepeatTheSequence) {
+  KernelProfile a = basic_profile();
+  a.name = "ph-it";
+  a.n_ops = 7;
+  PhasedStream s({a}, /*iterations=*/3);
+  s.reset(2);
+  EXPECT_EQ(drain(s).size(), 21u);
+}
+
+TEST(Phased, DeterministicPerSeed) {
+  KernelProfile a = basic_profile();
+  a.name = "ph-det";
+  a.n_ops = 50;
+  PhasedStream s1({a}, 2);
+  PhasedStream s2({a}, 2);
+  s1.reset(9);
+  s2.reset(9);
+  const auto ops1 = drain(s1);
+  const auto ops2 = drain(s2);
+  ASSERT_EQ(ops1.size(), ops2.size());
+  for (std::size_t i = 0; i < ops1.size(); ++i) {
+    EXPECT_EQ(ops1[i].addr, ops2[i].addr);
+  }
+}
+
+TEST(Phased, NameListsPhases) {
+  KernelProfile a = basic_profile();
+  a.name = "alpha";
+  KernelProfile b = basic_profile();
+  b.name = "beta";
+  PhasedStream s({a, b});
+  EXPECT_EQ(s.name(), "phased(alpha+beta)");
+}
+
+TEST(Phased, RejectsEmptyAndZeroIterations) {
+  EXPECT_THROW(PhasedStream({}, 1), std::invalid_argument);
+  KernelProfile a = basic_profile();
+  EXPECT_THROW(PhasedStream({a}, 0), std::invalid_argument);
+}
+
+TEST(Phased, ResetRestartsFromPhaseZero) {
+  KernelProfile a = basic_profile();
+  a.name = "ph-reset";
+  a.n_ops = 5;
+  PhasedStream s({a}, 2);
+  s.reset(3);
+  (void)drain(s);
+  s.reset(3);
+  EXPECT_EQ(s.current_phase(), 0u);
+  EXPECT_EQ(drain(s).size(), 10u);
+}
+
+}  // namespace
+}  // namespace cbus::workloads

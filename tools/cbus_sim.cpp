@@ -1,0 +1,198 @@
+// cbus_sim: command-line driver for the platform simulator.
+//
+// Runs a measurement campaign for one kernel under a chosen bus setup and
+// scenario and prints machine-readable CSV (one row per run) plus a
+// summary -- the entry point for scripting parameter sweeps without
+// writing C++.
+//
+// Usage:
+//   cbus_sim [--kernel NAME] [--setup rp|cba|hcba] [--scenario iso|con|stream]
+//            [--arbiter rr|fifo|priority|lottery|rp|tdma]
+//            [--runs N] [--seed S] [--cores N] [--pwcet] [--csv]
+//
+// Examples:
+//   cbus_sim --kernel matrix --setup cba --scenario con --runs 100 --pwcet
+//   cbus_sim --kernel tblook --setup rp --scenario iso --csv
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mbpta/pwcet.hpp"
+#include "platform/config_file.hpp"
+#include "platform/platform_config.hpp"
+#include "platform/scenarios.hpp"
+#include "workloads/eembc_like.hpp"
+#include "workloads/streaming.hpp"
+
+namespace {
+
+using namespace cbus;
+
+struct Options {
+  std::string config_path;  // optional platform config file
+  std::string kernel = "matrix";
+  std::string setup = "cba";
+  std::string scenario = "con";
+  std::string arbiter;  // empty = the platform default (random permutations)
+  std::uint32_t runs = 20;
+  std::uint64_t seed = 0xC0FFEE;
+  std::uint32_t cores = 4;
+  bool pwcet = false;
+  bool csv = false;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "cbus_sim -- CBA bus platform simulator\n"
+      "  --config FILE     platform config file (overrides --setup/--cores;\n"
+      "                    see src/platform/config_file.hpp for the keys)\n"
+      "  --kernel NAME     EEMBC-like kernel (cacheb canrdr matrix tblook\n"
+      "                    a2time rspeed puwmod ttsprk)     [matrix]\n"
+      "  --setup S         rp | cba | hcba                  [cba]\n"
+      "  --scenario S      iso (isolation) | con (max contention, WCET\n"
+      "                    protocol) | stream (3 streaming co-runners)\n"
+      "                                                     [con]\n"
+      "  --arbiter A       rr|fifo|priority|lottery|rp|tdma [rp]\n"
+      "  --runs N          randomized runs                  [20]\n"
+      "  --seed S          campaign seed                    [0xC0FFEE]\n"
+      "  --cores N         core count (CBA rescaled)        [4]\n"
+      "  --pwcet           run the MBPTA analysis on the samples\n"
+      "  --csv             per-run CSV on stdout\n";
+  std::exit(code);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (arg == "--config") {
+      opt.config_path = value();
+    } else if (arg == "--kernel") {
+      opt.kernel = value();
+    } else if (arg == "--setup") {
+      opt.setup = value();
+    } else if (arg == "--scenario") {
+      opt.scenario = value();
+    } else if (arg == "--arbiter") {
+      opt.arbiter = value();
+    } else if (arg == "--runs") {
+      opt.runs = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(value(), nullptr, 0);
+    } else if (arg == "--cores") {
+      opt.cores = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--pwcet") {
+      opt.pwcet = true;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(2);
+    }
+  }
+  return opt;
+}
+
+platform::BusSetup parse_setup(const std::string& text) {
+  if (text == "rp") return platform::BusSetup::kRp;
+  if (text == "cba") return platform::BusSetup::kCba;
+  if (text == "hcba") return platform::BusSetup::kHcba;
+  std::cerr << "unknown setup: " << text << "\n";
+  usage(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  try {
+    platform::PlatformConfig cfg;
+    if (!opt.config_path.empty()) {
+      cfg = platform::load_config(opt.config_path);
+      if (opt.scenario == "con" &&
+          cfg.mode != PlatformMode::kWcetEstimation) {
+        std::cerr << "note: scenario 'con' needs 'mode = wcet' in the "
+                     "config file\n";
+      }
+    } else {
+      const platform::BusSetup setup = parse_setup(opt.setup);
+      cfg = opt.scenario == "con"
+                ? platform::PlatformConfig::paper_wcet(setup)
+                : platform::PlatformConfig::paper(setup);
+      if (opt.cores != 4) {
+        cfg.n_cores = opt.cores;
+        if (cfg.cba.has_value()) {
+          cfg.cba = core::CbaConfig::homogeneous(opt.cores,
+                                                 cfg.timings.max_latency());
+        }
+      }
+      if (!opt.arbiter.empty()) {
+        cfg.arbiter = bus::parse_arbiter_kind(opt.arbiter);
+      }
+    }
+    cfg.validate();
+
+    auto tua = workloads::make_eembc(opt.kernel);
+    platform::CampaignConfig campaign;
+    campaign.runs = opt.runs;
+    campaign.base_seed = opt.seed;
+
+    platform::CampaignResult result;
+    if (opt.scenario == "iso") {
+      result = platform::run_isolation(cfg, *tua, campaign);
+    } else if (opt.scenario == "con") {
+      result = platform::run_max_contention(cfg, *tua, campaign);
+    } else if (opt.scenario == "stream") {
+      workloads::StreamingStream s1(0), s2(0), s3(0);
+      std::vector<cpu::OpStream*> streams{&s1, &s2, &s3};
+      streams.resize(
+          std::min<std::size_t>(streams.size(), cfg.n_cores - 1));
+      result = platform::run_with_corunners(cfg, *tua, streams, campaign);
+    } else {
+      std::cerr << "unknown scenario: " << opt.scenario << "\n";
+      usage(2);
+    }
+
+    if (opt.csv) {
+      std::cout << "run,cycles\n";
+      for (std::size_t i = 0; i < result.samples.size(); ++i) {
+        std::cout << i << ',' << result.samples[i] << '\n';
+      }
+    }
+
+    std::cout << "kernel=" << opt.kernel << " setup=" << opt.setup
+              << " scenario=" << opt.scenario << " runs=" << opt.runs
+              << "\nmean=" << result.exec_time.mean()
+              << " min=" << result.exec_time.min()
+              << " max=" << result.exec_time.max()
+              << " ci95=" << result.exec_time.ci95_halfwidth()
+              << " bus_util=" << result.bus_utilization.mean()
+              << " unfinished=" << result.unfinished_runs << "\n";
+
+    if (opt.pwcet) {
+      mbpta::MbptaConfig mcfg;
+      mcfg.block_size = std::max<std::size_t>(2, opt.runs / 30);
+      const auto analysis = mbpta::analyze(result.samples, mcfg);
+      std::cout << "gumbel: location=" << analysis.fit.location
+                << " scale=" << analysis.fit.scale
+                << " cv_ok=" << analysis.diagnostics.cv.accepted
+                << " indep_ok=" << analysis.diagnostics.runs.accepted << "\n";
+      for (const auto& point : analysis.curve) {
+        std::cout << "pwcet p=" << point.exceedance_probability << " -> "
+                  << point.wcet_estimate << "\n";
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
