@@ -1,0 +1,225 @@
+#include "exp/experiment.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "platform/config_file.hpp"
+#include "workloads/eembc_like.hpp"
+
+namespace cbus::exp {
+
+namespace {
+
+[[nodiscard]] std::vector<std::string> split_words(const std::string& text) {
+  std::vector<std::string> words;
+  std::istringstream in(text);
+  std::string word;
+  while (in >> word) words.push_back(word);
+  return words;
+}
+
+[[nodiscard]] bool is_platform_key(const std::string& key) {
+  const auto& keys = platform::config_keys();
+  return std::find(keys.begin(), keys.end(), key) != keys.end();
+}
+
+[[nodiscard]] bool is_sweepable_key(const std::string& key) {
+  return is_platform_key(key) || key == "kernel" || key == "scenario";
+}
+
+[[nodiscard]] bool parse_switch(const std::string& value,
+                                const std::string& key, int line_no) {
+  if (value == "on" || value == "true" || value == "1") return true;
+  if (value == "off" || value == "false" || value == "0") return false;
+  CBUS_EXPECTS_MSG(false, "line " + std::to_string(line_no) + ": '" + key +
+                              "' wants on/off, got: " + value);
+  return false;  // unreachable
+}
+
+/// Validate a kernel name early so typos fail at parse time, not in a
+/// worker thread halfway through a campaign.
+void check_kernel(const std::string& name, int line_no) {
+  const auto known = workloads::all_kernels();
+  if (std::find(known.begin(), known.end(), name) != known.end()) return;
+  CBUS_EXPECTS_MSG(false, "line " + std::to_string(line_no) +
+                              ": unknown kernel '" + name +
+                              "' (known: " + known_kernel_list() + ")");
+}
+
+}  // namespace
+
+std::string known_kernel_list() {
+  std::string list;
+  for (const auto kernel : workloads::all_kernels()) {
+    if (!list.empty()) list += ' ';
+    list += kernel;
+  }
+  return list;
+}
+
+WorkloadSpec parse_workload(const std::string& text) {
+  WorkloadSpec spec;
+  if (text == "idle") {
+    spec.kind = WorkloadSpec::Kind::kIdle;
+    return spec;
+  }
+  if (text == "stream" || text.rfind("stream:", 0) == 0) {
+    spec.kind = WorkloadSpec::Kind::kStream;
+    if (const auto colon = text.find(':'); colon != std::string::npos) {
+      try {
+        spec.gap = platform::parse_config_u32(text.substr(colon + 1),
+                                              "stream gap", 0);
+      } catch (const std::invalid_argument&) {
+        throw std::invalid_argument("bad stream gap in '" + text +
+                                    "' (want stream[:gap], gap a uint32)");
+      }
+    }
+    return spec;
+  }
+  const auto known = workloads::all_kernels();
+  CBUS_EXPECTS_MSG(
+      std::find(known.begin(), known.end(), text) != known.end(),
+      "unknown workload '" + text + "' (kernel name, stream[:gap] or idle)");
+  spec.kind = WorkloadSpec::Kind::kKernel;
+  spec.kernel = text;
+  return spec;
+}
+
+std::string_view to_string(Scenario scenario) noexcept {
+  switch (scenario) {
+    case Scenario::kIsolation: return "iso";
+    case Scenario::kMaxContention: return "con";
+    case Scenario::kStream: return "stream";
+    case Scenario::kCorun: return "corun";
+  }
+  return "?";
+}
+
+Scenario parse_scenario(const std::string& text) {
+  if (text == "iso") return Scenario::kIsolation;
+  if (text == "con") return Scenario::kMaxContention;
+  if (text == "stream") return Scenario::kStream;
+  if (text == "corun") return Scenario::kCorun;
+  CBUS_EXPECTS_MSG(false,
+                   "unknown scenario: " + text + " (iso|con|stream|corun)");
+  return Scenario::kIsolation;  // unreachable
+}
+
+void ExperimentSpec::set_platform_key(const std::string& key,
+                                      const std::string& value) {
+  for (auto& [k, v] : platform_keys) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  platform_keys.emplace_back(key, value);
+}
+
+ExperimentSpec parse_experiment(std::istream& in) {
+  ExperimentSpec spec;
+  platform::scan_config_lines(in, [&](const std::string& key,
+                                      const std::string& value,
+                                      int line_no) {
+    const std::string where = "line " + std::to_string(line_no) + ": ";
+
+    // `sweep <key> = v1 v2 ...`
+    if (key.rfind("sweep", 0) == 0 &&
+        (key.size() == 5 || key[5] == ' ' || key[5] == '\t')) {
+      const std::string axis = platform::config_trim(key.substr(5));
+      CBUS_EXPECTS_MSG(!axis.empty(), where + "sweep without a key");
+      CBUS_EXPECTS_MSG(is_sweepable_key(axis),
+                       where + "'" + axis +
+                           "' is not sweepable (platform keys, kernel and "
+                           "scenario are)");
+      CBUS_EXPECTS_MSG(
+          std::none_of(spec.sweeps.begin(), spec.sweeps.end(),
+                       [&](const SweepAxis& a) { return a.key == axis; }),
+          where + "duplicate sweep axis '" + axis + "'");
+      SweepAxis sweep{axis, split_words(value)};
+      CBUS_EXPECTS_MSG(!sweep.values.empty(),
+                       where + "sweep '" + axis + "' has no values");
+      if (axis == "kernel") {
+        for (const auto& v : sweep.values) check_kernel(v, line_no);
+      } else if (axis == "scenario") {
+        for (const auto& v : sweep.values) (void)parse_scenario(v);
+      }
+      spec.sweeps.push_back(std::move(sweep));
+      return;
+    }
+
+    // `core<N> = workload`
+    if (key.rfind("core", 0) == 0 && key.size() > 4 &&
+        std::all_of(key.begin() + 4, key.end(),
+                    [](char c) { return c >= '0' && c <= '9'; })) {
+      const std::uint64_t index =
+          platform::parse_config_uint(key.substr(4), key, line_no);
+      CBUS_EXPECTS_MSG(index < kMaxMasters,
+                       where + "core index out of range: " + key);
+      try {
+        if (index == 0) {
+          const WorkloadSpec tua = parse_workload(value);
+          CBUS_EXPECTS_MSG(tua.kind == WorkloadSpec::Kind::kKernel,
+                           "core0 (the task under analysis) must be a "
+                           "kernel, got: " + value);
+          spec.kernel = tua.kernel;
+        } else {
+          spec.corunners[static_cast<std::uint32_t>(index)] =
+              parse_workload(value);
+        }
+      } catch (const std::invalid_argument& e) {
+        // Re-throw with the line number, without another contract wrap.
+        throw std::invalid_argument(where + e.what());
+      }
+      return;
+    }
+
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "kernel") {
+      check_kernel(value, line_no);
+      spec.kernel = value;
+    } else if (key == "scenario") {
+      try {
+        (void)parse_scenario(value);
+      } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(where + e.what());
+      }
+      spec.scenario = value;
+    } else if (key == "runs") {
+      spec.runs = platform::parse_config_u32(value, key, line_no);
+      CBUS_EXPECTS_MSG(spec.runs >= 1, where + "runs must be positive");
+    } else if (key == "seed") {
+      spec.seed = platform::parse_config_uint(value, key, line_no);
+    } else if (key == "max_cycles") {
+      spec.max_cycles = platform::parse_config_uint(value, key, line_no);
+      CBUS_EXPECTS_MSG(spec.max_cycles >= 1,
+                       where + "max_cycles must be positive");
+    } else if (key == "pwcet") {
+      spec.pwcet = parse_switch(value, key, line_no);
+    } else if (key == "summary") {
+      spec.summary = parse_switch(value, key, line_no);
+    } else if (key == "csv") {
+      spec.csv_path = value;
+    } else if (key == "json") {
+      spec.json_path = value;
+    } else if (key == "threads") {
+      spec.threads = platform::parse_config_u32(value, key, line_no);
+    } else if (is_platform_key(key)) {
+      spec.set_platform_key(key, value);
+    } else {
+      CBUS_EXPECTS_MSG(false, where + "unknown key '" + key + "'");
+    }
+  });
+  return spec;
+}
+
+ExperimentSpec load_experiment(const std::string& path) {
+  std::ifstream in(path);
+  CBUS_EXPECTS_MSG(in.good(), "cannot open experiment file: " + path);
+  return parse_experiment(in);
+}
+
+}  // namespace cbus::exp

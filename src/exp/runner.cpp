@@ -1,0 +1,270 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "common/contracts.hpp"
+#include "platform/config_file.hpp"
+#include "rng/rand_bank.hpp"
+#include "workloads/eembc_like.hpp"
+#include "workloads/fixed_stream.hpp"
+#include "workloads/streaming.hpp"
+
+namespace cbus::exp {
+
+namespace {
+
+/// Resolve one sweep point into a PlatformConfig by layering the axis
+/// overrides over the experiment's platform keys over the base text, then
+/// handing the whole thing to the platform parser (later lines win).
+[[nodiscard]] platform::PlatformConfig make_config(
+    const ExperimentSpec& spec, const Job& job) {
+  std::ostringstream text;
+  text << spec.platform_text << '\n';
+  for (const auto& [key, value] : spec.platform_keys) {
+    text << key << " = " << value << '\n';
+  }
+  for (const auto& [key, value] : job.axes) {
+    if (key == "kernel" || key == "scenario") continue;
+    text << key << " = " << value << '\n';
+  }
+  // Maximum contention is definitionally a WCET-estimation-mode protocol
+  // (paper §III-B), so the scenario implies the mode -- and a declared
+  // `mode = operation` (plain key or sweep value) is a contradiction the
+  // user must resolve, not something to silently override.
+  if (job.scenario == Scenario::kMaxContention) {
+    std::string declared;
+    if (!spec.platform_text.empty()) {
+      std::istringstream base(spec.platform_text);
+      platform::scan_config_lines(
+          base, [&](const std::string& key, const std::string& value, int) {
+            if (key == "mode") declared = value;
+          });
+    }
+    for (const auto& [key, value] : spec.platform_keys) {
+      if (key == "mode") declared = value;
+    }
+    for (const auto& [key, value] : job.axes) {
+      if (key == "mode") declared = value;
+    }
+    CBUS_EXPECTS_MSG(declared.empty() || declared == "wcet",
+                     "scenario 'con' is the WCET-estimation protocol and "
+                     "conflicts with mode = " + declared);
+    text << "mode = wcet\n";
+  }
+  std::istringstream in(text.str());
+  return platform::parse_config(in);
+}
+
+[[nodiscard]] std::unique_ptr<cpu::OpStream> make_stream(
+    const WorkloadSpec& spec) {
+  switch (spec.kind) {
+    case WorkloadSpec::Kind::kKernel:
+      return workloads::make_eembc(spec.kernel);
+    case WorkloadSpec::Kind::kStream:
+      return std::make_unique<workloads::StreamingStream>(spec.gap);
+    case WorkloadSpec::Kind::kIdle:
+      // An empty op list finishes immediately: the core sits idle.
+      return std::make_unique<workloads::FixedOpsStream>(
+          std::vector<cpu::MemOp>{});
+  }
+  CBUS_ASSERT(false);
+  return nullptr;  // unreachable
+}
+
+/// Build the co-runner streams for a corun job: masters 1..k in order,
+/// with unassigned cores below the highest assigned index idling.
+[[nodiscard]] std::vector<std::unique_ptr<cpu::OpStream>> make_corunners(
+    const ExperimentSpec& spec, std::uint32_t n_cores) {
+  std::vector<std::unique_ptr<cpu::OpStream>> streams;
+  std::uint32_t highest = 0;
+  for (const auto& [index, workload] : spec.corunners) {
+    if (index < n_cores) highest = std::max(highest, index);
+  }
+  for (std::uint32_t core = 1; core <= highest; ++core) {
+    const auto it = spec.corunners.find(core);
+    streams.push_back(it == spec.corunners.end()
+                          ? make_stream(WorkloadSpec{})  // idle filler
+                          : make_stream(it->second));
+  }
+  return streams;
+}
+
+}  // namespace
+
+std::size_t ExperimentResult::failed_jobs() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(jobs.begin(), jobs.end(),
+                    [](const JobResult& j) { return j.failed(); }));
+}
+
+std::vector<Job> expand(const ExperimentSpec& spec) {
+  std::size_t total = 1;
+  for (const auto& axis : spec.sweeps) {
+    CBUS_EXPECTS_MSG(!axis.values.empty(),
+                     "sweep '" + axis.key + "' has no values");
+    total *= axis.values.size();
+  }
+
+  std::vector<Job> jobs;
+  jobs.reserve(total);
+  std::vector<std::size_t> odometer(spec.sweeps.size(), 0);
+  for (std::size_t index = 0; index < total; ++index) {
+    Job job;
+    job.index = index;
+    job.kernel = spec.kernel;
+    job.scenario = parse_scenario(spec.scenario);
+    for (std::size_t a = 0; a < spec.sweeps.size(); ++a) {
+      const std::string& value = spec.sweeps[a].values[odometer[a]];
+      job.axes.emplace_back(spec.sweeps[a].key, value);
+      if (spec.sweeps[a].key == "kernel") {
+        job.kernel = value;
+      } else if (spec.sweeps[a].key == "scenario") {
+        job.scenario = parse_scenario(value);
+      }
+    }
+    try {
+      job.config = make_config(spec, job);
+    } catch (const std::invalid_argument& e) {
+      std::ostringstream msg;
+      msg << "job " << index;
+      for (const auto& [k, v] : job.axes) msg << ' ' << k << '=' << v;
+      msg << ": " << e.what();
+      CBUS_EXPECTS_MSG(false, msg.str());
+    }
+    jobs.push_back(std::move(job));
+
+    // Advance the odometer, last axis fastest.
+    for (std::size_t a = spec.sweeps.size(); a-- > 0;) {
+      if (++odometer[a] < spec.sweeps[a].values.size()) break;
+      odometer[a] = 0;
+    }
+  }
+
+  // A co-runner assignment beyond the core count is a declared workload
+  // that would silently never run. Under a `cores` sweep, too-small
+  // sweep points drop assignments by design, so the bound is the LARGEST
+  // core count any corun job runs with.
+  std::uint32_t max_corun_cores = 0;
+  bool any_corun = false;
+  for (const Job& job : jobs) {
+    if (job.scenario == Scenario::kCorun) {
+      any_corun = true;
+      max_corun_cores = std::max(max_corun_cores, job.config.n_cores);
+    }
+  }
+  if (any_corun) {
+    for (const auto& [index, workload] : spec.corunners) {
+      CBUS_EXPECTS_MSG(index < max_corun_cores,
+                       "core" + std::to_string(index) +
+                           " assignment would never run: every corun job "
+                           "has cores <= " +
+                           std::to_string(max_corun_cores));
+    }
+  }
+
+  // Per-job seed streams from the master seed, in job order, so results
+  // do not depend on which thread picks up which job.
+  rng::RandBank bank(spec.seed);
+  for (Job& job : jobs) job.seed = bank.derive_seed();
+  return jobs;
+}
+
+JobResult run_job(const ExperimentSpec& spec, const Job& job) {
+  JobResult out;
+  out.index = job.index;
+  out.axes = job.axes;
+  out.kernel = job.kernel;
+  out.scenario = std::string(to_string(job.scenario));
+  out.seed = job.seed;
+  try {
+    auto tua = workloads::make_eembc(job.kernel);
+    platform::CampaignConfig campaign;
+    campaign.base_seed = job.seed;
+    campaign.runs = spec.runs;
+    campaign.max_cycles = spec.max_cycles;
+
+    switch (job.scenario) {
+      case Scenario::kIsolation:
+        out.campaign = platform::run_isolation(job.config, *tua, campaign);
+        break;
+      case Scenario::kMaxContention:
+        out.campaign =
+            platform::run_max_contention(job.config, *tua, campaign);
+        break;
+      case Scenario::kStream: {
+        // The legacy cbus_sim scenario: saturating streaming readers on
+        // every other core, capped at three.
+        workloads::StreamingStream s1(0), s2(0), s3(0);
+        std::vector<cpu::OpStream*> streams{&s1, &s2, &s3};
+        streams.resize(std::min<std::size_t>(streams.size(),
+                                             job.config.n_cores - 1));
+        out.campaign = platform::run_with_corunners(job.config, *tua,
+                                                    streams, campaign);
+        break;
+      }
+      case Scenario::kCorun: {
+        const auto owned = make_corunners(spec, job.config.n_cores);
+        std::vector<cpu::OpStream*> streams;
+        streams.reserve(owned.size());
+        for (const auto& s : owned) streams.push_back(s.get());
+        out.campaign = platform::run_with_corunners(job.config, *tua,
+                                                    streams, campaign);
+        break;
+      }
+    }
+
+    if (spec.pwcet) {
+      mbpta::MbptaConfig mcfg;
+      mcfg.block_size = std::max<std::size_t>(2, spec.runs / 30);
+      try {
+        out.mbpta = mbpta::analyze(out.campaign.samples, mcfg);
+      } catch (const std::exception& e) {
+        out.mbpta_error = e.what();
+      }
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                std::uint32_t threads_override) {
+  const std::vector<Job> jobs = expand(spec);
+
+  std::uint32_t threads =
+      threads_override != 0 ? threads_override : spec.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<std::uint32_t>(
+      std::min<std::size_t>(threads, jobs.size()));
+
+  ExperimentResult result;
+  result.jobs.resize(jobs.size());
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      result.jobs[i] = run_job(spec, jobs[i]);
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return result;
+}
+
+}  // namespace cbus::exp

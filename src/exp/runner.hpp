@@ -1,0 +1,69 @@
+// Experiment execution: sweep expansion into a job list, then a thread
+// pool that runs one campaign per job.
+//
+// Determinism contract: expansion happens single-threaded and derives one
+// seed per job from the experiment master seed through an rng::RandBank,
+// and every job writes into its own pre-allocated result slot -- so the
+// result vector is bit-identical no matter how many worker threads run
+// the jobs or in which order they finish.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "mbpta/pwcet.hpp"
+#include "platform/platform_config.hpp"
+#include "platform/scenarios.hpp"
+
+namespace cbus::exp {
+
+/// One point of the sweep grid: a fully-resolved campaign to run.
+struct Job {
+  std::size_t index = 0;
+  /// Axis assignments in sweep-declaration order (empty when no sweeps).
+  std::vector<std::pair<std::string, std::string>> axes;
+  std::string kernel;
+  Scenario scenario = Scenario::kMaxContention;
+  platform::PlatformConfig config;
+  std::uint64_t seed = 0;  ///< campaign base seed, derived per job
+};
+
+/// What one finished (or failed) job reports to the sinks.
+struct JobResult {
+  std::size_t index = 0;
+  std::vector<std::pair<std::string, std::string>> axes;
+  std::string kernel;
+  std::string scenario;
+  std::uint64_t seed = 0;
+  platform::CampaignResult campaign;
+  std::optional<mbpta::MbptaResult> mbpta;
+  std::string mbpta_error;  ///< analysis declined (e.g. too few samples)
+  std::string error;        ///< nonempty when the job itself failed
+
+  [[nodiscard]] bool failed() const noexcept { return !error.empty(); }
+};
+
+struct ExperimentResult {
+  std::vector<JobResult> jobs;
+  [[nodiscard]] std::size_t failed_jobs() const noexcept;
+};
+
+/// Expand the sweep axes into the cartesian-product job list (declaration
+/// order, last axis fastest) and resolve each point's PlatformConfig.
+/// Throws std::invalid_argument naming the offending sweep point when a
+/// combination is invalid (e.g. `setup = hcba` with `cores = 1`).
+[[nodiscard]] std::vector<Job> expand(const ExperimentSpec& spec);
+
+/// Run every job. `threads_override` (when nonzero) beats spec.threads;
+/// 0/0 falls back to the hardware concurrency, clamped to the job count.
+[[nodiscard]] ExperimentResult run_experiment(
+    const ExperimentSpec& spec, std::uint32_t threads_override = 0);
+
+/// Run one already-expanded job (exposed for tests).
+[[nodiscard]] JobResult run_job(const ExperimentSpec& spec, const Job& job);
+
+}  // namespace cbus::exp

@@ -1,0 +1,275 @@
+#include "exp/sinks.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "common/contracts.hpp"
+
+namespace cbus::exp {
+
+namespace {
+
+/// Shortest round-trippable decimal rendering: integral doubles (cycle
+/// counts) print without a decimal point and 159.4 stays "159.4", so
+/// CSV/JSON rows are stable across thread counts and platforms with
+/// IEEE doubles.
+[[nodiscard]] std::string fmt(double x) {
+  char buf[40];
+  for (int digits = 15; digits <= 17; ++digits) {
+    std::snprintf(buf, sizeof buf, "%.*g", digits, x);
+    if (std::strtod(buf, nullptr) == x) break;
+  }
+  return buf;
+}
+
+[[nodiscard]] std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// The pWCET estimate at an exceedance probability, "" when unavailable.
+[[nodiscard]] std::string pwcet_at(const JobResult& job, double p) {
+  if (!job.mbpta.has_value()) return "";
+  for (const auto& point : job.mbpta->curve) {
+    if (point.exceedance_probability == p) return fmt(point.wcet_estimate);
+  }
+  return "";
+}
+
+/// Sweep-axis columns beyond kernel/scenario (which always get columns).
+[[nodiscard]] std::vector<std::string> extra_axis_keys(
+    const ExperimentSpec& spec) {
+  std::vector<std::string> keys;
+  for (const auto& axis : spec.sweeps) {
+    if (axis.key != "kernel" && axis.key != "scenario") {
+      keys.push_back(axis.key);
+    }
+  }
+  return keys;
+}
+
+[[nodiscard]] std::string axis_value(const JobResult& job,
+                                     const std::string& key) {
+  for (const auto& [k, v] : job.axes) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+class CsvSink final : public ResultSink {
+ public:
+  void write(const ExperimentSpec& spec,
+             const std::vector<JobResult>& results,
+             std::ostream& out) const override {
+    const auto extra = extra_axis_keys(spec);
+    out << "job,kernel,scenario";
+    for (const auto& key : extra) out << ',' << key;
+    out << ",seed,run,cycles";
+    if (spec.pwcet) {
+      out << ",gumbel_location,gumbel_scale,pwcet_1e-9,pwcet_1e-12";
+    }
+    out << '\n';
+
+    for (const JobResult& job : results) {
+      if (job.failed()) continue;  // the summary sink reports failures
+      std::string prefix = std::to_string(job.index);
+      prefix += ',' + job.kernel + ',' + job.scenario;
+      for (const auto& key : extra) prefix += ',' + axis_value(job, key);
+      prefix += ',' + std::to_string(job.seed);
+      std::string suffix;
+      if (spec.pwcet) {
+        suffix = ',';
+        if (job.mbpta.has_value()) {
+          suffix += fmt(job.mbpta->fit.location) + ',' +
+                    fmt(job.mbpta->fit.scale);
+        } else {
+          suffix += ',';
+        }
+        suffix += ',' + pwcet_at(job, 1e-9) + ',' + pwcet_at(job, 1e-12);
+      }
+      const auto& samples = job.campaign.samples;
+      for (std::size_t run = 0; run < samples.size(); ++run) {
+        out << prefix << ',' << run << ',' << fmt(samples[run]) << suffix
+            << '\n';
+      }
+    }
+  }
+};
+
+class JsonSink final : public ResultSink {
+ public:
+  void write(const ExperimentSpec& spec,
+             const std::vector<JobResult>& results,
+             std::ostream& out) const override {
+    out << "{\n";
+    out << "  \"experiment\": \"" << json_escape(spec.name) << "\",\n";
+    out << "  \"runs_per_job\": " << spec.runs << ",\n";
+    out << "  \"base_seed\": " << spec.seed << ",\n";
+    out << "  \"jobs\": [";
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      const JobResult& job = results[j];
+      out << (j == 0 ? "\n" : ",\n");
+      out << "    {\n";
+      out << "      \"job\": " << job.index << ",\n";
+      out << "      \"kernel\": \"" << json_escape(job.kernel) << "\",\n";
+      out << "      \"scenario\": \"" << json_escape(job.scenario)
+          << "\",\n";
+      out << "      \"axes\": {";
+      for (std::size_t a = 0; a < job.axes.size(); ++a) {
+        out << (a == 0 ? "" : ", ") << '"' << json_escape(job.axes[a].first)
+            << "\": \"" << json_escape(job.axes[a].second) << '"';
+      }
+      out << "},\n";
+      out << "      \"seed\": " << job.seed;
+      if (job.failed()) {
+        out << ",\n      \"error\": \"" << json_escape(job.error)
+            << "\"\n    }";
+        continue;
+      }
+      const auto& stats = job.campaign.exec_time;
+      out << ",\n      \"mean\": " << fmt(stats.mean());
+      out << ",\n      \"min\": " << fmt(stats.min());
+      out << ",\n      \"max\": " << fmt(stats.max());
+      out << ",\n      \"ci95\": " << fmt(stats.ci95_halfwidth());
+      out << ",\n      \"bus_util\": "
+          << fmt(job.campaign.bus_utilization.mean());
+      out << ",\n      \"unfinished\": " << job.campaign.unfinished_runs;
+      out << ",\n      \"credit_underflows\": "
+          << job.campaign.credit_underflows;
+      out << ",\n      \"samples\": [";
+      const auto& samples = job.campaign.samples;
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        out << (i == 0 ? "" : ", ") << fmt(samples[i]);
+      }
+      out << ']';
+      if (job.mbpta.has_value()) {
+        const auto& m = *job.mbpta;
+        out << ",\n      \"pwcet\": {\n";
+        out << "        \"location\": " << fmt(m.fit.location) << ",\n";
+        out << "        \"scale\": " << fmt(m.fit.scale) << ",\n";
+        out << "        \"cv_ok\": "
+            << (m.diagnostics.cv.accepted ? "true" : "false") << ",\n";
+        out << "        \"indep_ok\": "
+            << (m.diagnostics.runs.accepted ? "true" : "false") << ",\n";
+        out << "        \"curve\": [";
+        for (std::size_t i = 0; i < m.curve.size(); ++i) {
+          out << (i == 0 ? "" : ", ") << "{\"p\": "
+              << fmt(m.curve[i].exceedance_probability) << ", \"wcet\": "
+              << fmt(m.curve[i].wcet_estimate) << '}';
+        }
+        out << "]\n      }";
+      } else if (!job.mbpta_error.empty()) {
+        out << ",\n      \"pwcet_error\": \"" << json_escape(job.mbpta_error)
+            << '"';
+      }
+      out << "\n    }";
+    }
+    out << (results.empty() ? "]\n" : "\n  ]\n");
+    out << "}\n";
+  }
+};
+
+class SummarySink final : public ResultSink {
+ public:
+  void write(const ExperimentSpec& spec,
+             const std::vector<JobResult>& results,
+             std::ostream& out) const override {
+    std::size_t failed = 0;
+    for (const auto& job : results) failed += job.failed() ? 1 : 0;
+    out << "experiment '" << spec.name << "': " << results.size()
+        << " job(s), " << spec.runs << " runs/job";
+    if (failed != 0) out << ", " << failed << " FAILED";
+    out << '\n';
+    for (const JobResult& job : results) {
+      out << "[" << job.index << "] kernel=" << job.kernel
+          << " scenario=" << job.scenario;
+      for (const auto& [key, value] : job.axes) {
+        if (key == "kernel" || key == "scenario") continue;
+        out << ' ' << key << '=' << value;
+      }
+      if (job.failed()) {
+        out << " ERROR: " << job.error << '\n';
+        continue;
+      }
+      const auto& stats = job.campaign.exec_time;
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    " | mean=%.6g ci95=%.3g min=%.6g max=%.6g util=%.3f",
+                    stats.mean(), stats.ci95_halfwidth(), stats.min(),
+                    stats.max(), job.campaign.bus_utilization.mean());
+      out << line;
+      if (job.campaign.unfinished_runs != 0) {
+        out << " unfinished=" << job.campaign.unfinished_runs;
+      }
+      if (job.mbpta.has_value()) {
+        out << " pwcet(1e-12)=" << pwcet_at(job, 1e-12);
+      } else if (!job.mbpta_error.empty()) {
+        out << " pwcet=n/a (" << job.mbpta_error << ")";
+      }
+      out << '\n';
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ResultSink> make_sink(SinkKind kind) {
+  switch (kind) {
+    case SinkKind::kCsv: return std::make_unique<CsvSink>();
+    case SinkKind::kJson: return std::make_unique<JsonSink>();
+    case SinkKind::kSummary: return std::make_unique<SummarySink>();
+  }
+  CBUS_ASSERT(false);
+  return nullptr;  // unreachable
+}
+
+namespace {
+
+void write_to(const std::string& path, SinkKind kind,
+              const ExperimentSpec& spec,
+              const std::vector<JobResult>& results, std::ostream& out) {
+  const auto sink = make_sink(kind);
+  if (path == "-") {
+    sink->write(spec, results, out);
+    return;
+  }
+  std::ofstream file(path);
+  CBUS_EXPECTS_MSG(file.good(), "cannot open output file: " + path);
+  sink->write(spec, results, file);
+}
+
+}  // namespace
+
+void emit_outputs(const ExperimentSpec& spec,
+                  const std::vector<JobResult>& results, std::ostream& out) {
+  if (!spec.csv_path.empty()) {
+    write_to(spec.csv_path, SinkKind::kCsv, spec, results, out);
+  }
+  if (!spec.json_path.empty()) {
+    write_to(spec.json_path, SinkKind::kJson, spec, results, out);
+  }
+  if (spec.summary) {
+    make_sink(SinkKind::kSummary)->write(spec, results, out);
+  }
+}
+
+}  // namespace cbus::exp

@@ -1,0 +1,40 @@
+// Result sinks: where a finished experiment's numbers go.
+//
+// Sinks are pure formatters over the deterministic JobResult vector --
+// they never re-run anything, so writing the same results through the
+// same sink twice produces byte-identical output (the golden tests and
+// the 1-vs-N-thread determinism check rely on this).
+//
+//   CSV     one row per finished run (tidy data: job axes repeated per
+//           row; optional per-job MBPTA/pWCET columns when pwcet is on)
+//   JSON    one document: per-job summary stats, samples, pWCET curves
+//   summary human-readable per-job table (stats::OnlineStats digests)
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace cbus::exp {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void write(const ExperimentSpec& spec,
+                     const std::vector<JobResult>& results,
+                     std::ostream& out) const = 0;
+};
+
+enum class SinkKind : std::uint8_t { kCsv, kJson, kSummary };
+
+[[nodiscard]] std::unique_ptr<ResultSink> make_sink(SinkKind kind);
+
+/// Write every output the spec asks for (csv/json paths, "-" = stdout;
+/// summary to stdout). Throws std::invalid_argument when a file cannot
+/// be opened.
+void emit_outputs(const ExperimentSpec& spec,
+                  const std::vector<JobResult>& results, std::ostream& out);
+
+}  // namespace cbus::exp

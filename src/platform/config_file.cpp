@@ -1,6 +1,7 @@
 #include "platform/config_file.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <sstream>
 
@@ -10,38 +11,33 @@ namespace cbus::platform {
 
 namespace {
 
-[[nodiscard]] std::string trim(const std::string& text) {
-  const auto begin = text.find_first_not_of(" \t");
-  if (begin == std::string::npos) return "";
-  const auto end = text.find_last_not_of(" \t");
-  return text.substr(begin, end - begin + 1);
-}
-
-[[nodiscard]] std::uint64_t parse_number(const std::string& value,
-                                         const std::string& key) {
-  try {
-    std::size_t used = 0;
-    const std::uint64_t parsed = std::stoull(value, &used, 0);
-    CBUS_EXPECTS_MSG(used == value.size(), "trailing junk");
-    return parsed;
-  } catch (const std::exception&) {
-    CBUS_EXPECTS_MSG(false, "bad number for '" + key + "': " + value);
-  }
-  return 0;  // unreachable
-}
-
 /// Setup keyword -> CBA config; resolved at the end of parsing so `cores`
 /// and `maxl` may appear in any order.
 enum class SetupKeyword { kRp, kCba, kHcba };
 
 }  // namespace
 
-PlatformConfig parse_config(std::istream& in) {
-  PlatformConfig cfg;
-  SetupKeyword setup = SetupKeyword::kRp;
-  bool wcet_mode = false;
-  Cycle maxl = cfg.timings.max_latency();
+const std::vector<std::string_view>& config_keys() {
+  // Keep in sync with parse_config's dispatch below (a test pins the
+  // two together by round-tripping every key).
+  static const std::vector<std::string_view> keys = {
+      "cores",    "arbiter", "setup",        "mode",
+      "bus",      "dram",    "l1_bytes",     "l2_bytes",
+      "store_buffer", "maxl", "tdma_slot"};
+  return keys;
+}
 
+std::string config_trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t");
+  return text.substr(begin, end - begin + 1);
+}
+
+void scan_config_lines(
+    std::istream& in,
+    const std::function<void(const std::string&, const std::string&, int)>&
+        handle) {
   std::string line;
   int line_no = 0;
   while (std::getline(in, line)) {
@@ -50,21 +46,66 @@ PlatformConfig parse_config(std::istream& in) {
     if (const auto hash = line.find('#'); hash != std::string::npos) {
       line.erase(hash);
     }
-    const std::string text = trim(line);
+    const std::string text = config_trim(line);
     if (text.empty()) continue;
 
     const auto eq = text.find('=');
     CBUS_EXPECTS_MSG(eq != std::string::npos,
                      "line " + std::to_string(line_no) +
                          ": expected 'key = value', got: " + text);
-    const std::string key = trim(text.substr(0, eq));
-    const std::string value = trim(text.substr(eq + 1));
+    const std::string key = config_trim(text.substr(0, eq));
+    const std::string value = config_trim(text.substr(eq + 1));
     CBUS_EXPECTS_MSG(!key.empty() && !value.empty(),
                      "line " + std::to_string(line_no) +
                          ": empty key or value");
+    handle(key, value, line_no);
+  }
+}
 
+std::uint64_t parse_config_uint(const std::string& value,
+                                const std::string& key, int line_no) {
+  const std::string where = "line " + std::to_string(line_no) + ": ";
+  // stoull silently wraps negatives ("-1" -> 2^64-1) and skips leading
+  // whitespace, so the first character must be a digit.
+  CBUS_EXPECTS_MSG(!value.empty() && std::isdigit(
+                       static_cast<unsigned char>(value.front())),
+                   where + "bad number for '" + key + "': " + value);
+  std::size_t used = 0;
+  std::uint64_t parsed = 0;
+  try {
+    parsed = std::stoull(value, &used, 0);
+  } catch (const std::out_of_range&) {
+    CBUS_EXPECTS_MSG(false, where + "number out of range for '" + key +
+                                "': " + value);
+  } catch (const std::invalid_argument&) {
+    CBUS_EXPECTS_MSG(false,
+                     where + "bad number for '" + key + "': " + value);
+  }
+  CBUS_EXPECTS_MSG(used == value.size(),
+                   where + "trailing characters after number for '" + key +
+                       "': " + value);
+  return parsed;
+}
+
+std::uint32_t parse_config_u32(const std::string& value,
+                               const std::string& key, int line_no) {
+  const std::uint64_t parsed = parse_config_uint(value, key, line_no);
+  CBUS_EXPECTS_MSG(parsed <= 0xFFFF'FFFFull,
+                   "line " + std::to_string(line_no) +
+                       ": number out of range for '" + key + "': " + value);
+  return static_cast<std::uint32_t>(parsed);
+}
+
+PlatformConfig parse_config(std::istream& in) {
+  PlatformConfig cfg;
+  SetupKeyword setup = SetupKeyword::kRp;
+  bool wcet_mode = false;
+  Cycle maxl = cfg.timings.max_latency();
+
+  scan_config_lines(in, [&](const std::string& key,
+                            const std::string& value, int line_no) {
     if (key == "cores") {
-      cfg.n_cores = static_cast<std::uint32_t>(parse_number(value, key));
+      cfg.n_cores = parse_config_u32(value, key, line_no);
     } else if (key == "arbiter") {
       cfg.arbiter = bus::parse_arbiter_kind(value);
     } else if (key == "setup") {
@@ -102,31 +143,28 @@ PlatformConfig parse_config(std::istream& in) {
         CBUS_EXPECTS_MSG(false, "unknown dram model: " + value);
       }
     } else if (key == "l1_bytes") {
-      cfg.core.dl1.size_bytes =
-          static_cast<std::uint32_t>(parse_number(value, key));
+      cfg.core.dl1.size_bytes = parse_config_u32(value, key, line_no);
     } else if (key == "l2_bytes") {
-      cfg.l2_partition.size_bytes =
-          static_cast<std::uint32_t>(parse_number(value, key));
+      cfg.l2_partition.size_bytes = parse_config_u32(value, key, line_no);
     } else if (key == "store_buffer") {
-      cfg.core.store_buffer_depth =
-          static_cast<std::uint32_t>(parse_number(value, key));
+      cfg.core.store_buffer_depth = parse_config_u32(value, key, line_no);
     } else if (key == "maxl") {
       // Drives the CBA budget sizing (resolved below) and the TDMA slot /
       // DRR quantum; values below the platform's real worst case need
       // allow_maxl_underestimate (the A2 ablation scenario).
-      maxl = parse_number(value, key);
+      maxl = parse_config_uint(value, key, line_no);
       CBUS_EXPECTS_MSG(maxl >= 1, "maxl must be positive");
       cfg.tdma_slot = maxl;
       if (maxl < cfg.timings.max_latency()) {
         cfg.allow_maxl_underestimate = true;
       }
     } else if (key == "tdma_slot") {
-      cfg.tdma_slot = parse_number(value, key);
+      cfg.tdma_slot = parse_config_uint(value, key, line_no);
     } else {
       CBUS_EXPECTS_MSG(false, "line " + std::to_string(line_no) +
                                   ": unknown key '" + key + "'");
     }
-  }
+  });
 
   // Resolve the CBA setup against the final core count / MaxL.
   switch (setup) {

@@ -18,8 +18,12 @@
 // Unknown keys throw (catching typos beats silently ignoring them).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "platform/platform_config.hpp"
 
@@ -28,6 +32,39 @@ namespace cbus::platform {
 /// Parse a configuration stream into a PlatformConfig (validated).
 /// Throws std::invalid_argument with the offending line on errors.
 [[nodiscard]] PlatformConfig parse_config(std::istream& in);
+
+/// Strict unsigned-integer parse for `key = value` config lines, shared by
+/// this parser and the experiment-file parser. Accepts decimal, 0x hex
+/// and leading-0 octal (std::stoull base 0); rejects empty values,
+/// signs, trailing garbage and out-of-range values with a message naming
+/// `key` and `line_no`. Throws std::invalid_argument.
+[[nodiscard]] std::uint64_t parse_config_uint(const std::string& value,
+                                              const std::string& key,
+                                              int line_no);
+
+/// parse_config_uint narrowed to uint32 fields: additionally rejects
+/// values above 2^32-1 instead of silently truncating them.
+[[nodiscard]] std::uint32_t parse_config_u32(const std::string& value,
+                                             const std::string& key,
+                                             int line_no);
+
+/// Strip leading/trailing spaces and tabs (the dialect's whitespace).
+[[nodiscard]] std::string config_trim(const std::string& text);
+
+/// Every key parse_config accepts, so layers on top (the experiment
+/// parser) can recognise platform keys without re-listing them.
+[[nodiscard]] const std::vector<std::string_view>& config_keys();
+
+/// Scan the `key = value` dialect shared by platform config files and
+/// experiment files: strips `#` comments and whitespace, skips blank
+/// lines, splits each remaining line on its first '=' and rejects
+/// malformed or empty-sided lines naming the line number. Calls
+/// `handle(key, value, line_no)` per line; exceptions propagate.
+void scan_config_lines(
+    std::istream& in,
+    const std::function<void(const std::string& key,
+                             const std::string& value, int line_no)>&
+        handle);
 
 /// Parse a configuration file by path.
 [[nodiscard]] PlatformConfig load_config(const std::string& path);

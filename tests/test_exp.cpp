@@ -1,0 +1,431 @@
+// Experiment subsystem tests: format parsing (good and bad inputs),
+// sweep expansion, thread-count-invariant determinism and golden sink
+// output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
+#include "exp/sinks.hpp"
+
+namespace cbus::exp {
+namespace {
+
+[[nodiscard]] ExperimentSpec parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_experiment(in);
+}
+
+/// Expect parse_experiment to throw with both fragments in the message.
+void expect_parse_error(const std::string& text, const std::string& frag_a,
+                        const std::string& frag_b = "") {
+  try {
+    (void)parse(text);
+    FAIL() << "should have thrown for: " << text;
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(frag_a), std::string::npos) << what;
+    if (!frag_b.empty()) {
+      EXPECT_NE(what.find(frag_b), std::string::npos) << what;
+    }
+  }
+}
+
+// --- format parsing ---------------------------------------------------------
+
+TEST(ExperimentFormat, ParsesFullExample) {
+  const ExperimentSpec spec = parse(
+      "# a comment\n"
+      "name = my-study\n"
+      "scenario = corun\n"
+      "kernel = tblook\n"
+      "core1 = stream\n"
+      "core2 = stream:4\n"
+      "core3 = matrix\n"
+      "sweep arbiter = rr tdma rp\n"
+      "sweep cores = 2 4\n"
+      "setup = hcba\n"
+      "runs = 12\n"
+      "seed = 0xBEEF\n"
+      "max_cycles = 1000000\n"
+      "pwcet = on\n"
+      "summary = off\n"
+      "threads = 3\n"
+      "csv = out.csv\n"
+      "json = -\n");
+  EXPECT_EQ(spec.name, "my-study");
+  EXPECT_EQ(spec.scenario, "corun");
+  EXPECT_EQ(spec.kernel, "tblook");
+  ASSERT_EQ(spec.corunners.size(), 3u);
+  EXPECT_EQ(spec.corunners.at(1).kind, WorkloadSpec::Kind::kStream);
+  EXPECT_EQ(spec.corunners.at(1).gap, 0u);
+  EXPECT_EQ(spec.corunners.at(2).gap, 4u);
+  EXPECT_EQ(spec.corunners.at(3).kind, WorkloadSpec::Kind::kKernel);
+  EXPECT_EQ(spec.corunners.at(3).kernel, "matrix");
+  ASSERT_EQ(spec.sweeps.size(), 2u);
+  EXPECT_EQ(spec.sweeps[0].key, "arbiter");
+  EXPECT_EQ(spec.sweeps[0].values,
+            (std::vector<std::string>{"rr", "tdma", "rp"}));
+  EXPECT_EQ(spec.sweeps[1].key, "cores");
+  EXPECT_EQ(spec.runs, 12u);
+  EXPECT_EQ(spec.seed, 0xBEEFu);
+  EXPECT_EQ(spec.max_cycles, 1'000'000u);
+  EXPECT_TRUE(spec.pwcet);
+  EXPECT_FALSE(spec.summary);
+  EXPECT_EQ(spec.threads, 3u);
+  EXPECT_EQ(spec.csv_path, "out.csv");
+  EXPECT_EQ(spec.json_path, "-");
+  ASSERT_EQ(spec.platform_keys.size(), 1u);
+  EXPECT_EQ(spec.platform_keys[0].first, "setup");
+  EXPECT_EQ(spec.platform_keys[0].second, "hcba");
+}
+
+TEST(ExperimentFormat, Core0IsTheKernelAlias) {
+  const ExperimentSpec spec = parse("core0 = cacheb\n");
+  EXPECT_EQ(spec.kernel, "cacheb");
+  EXPECT_TRUE(spec.corunners.empty());
+}
+
+TEST(ExperimentFormat, PlatformKeyLastWriteWins) {
+  const ExperimentSpec spec = parse("cores = 2\ncores = 8\n");
+  ASSERT_EQ(spec.platform_keys.size(), 1u);
+  EXPECT_EQ(spec.platform_keys[0].second, "8");
+}
+
+TEST(ExperimentFormat, RejectsUnknownKeyWithLineNumber) {
+  expect_parse_error("runs = 3\nbogus = 1\n", "line 2", "bogus");
+}
+
+TEST(ExperimentFormat, RejectsBadValues) {
+  expect_parse_error("runs = zero\n", "bad number", "runs");
+  expect_parse_error("runs = 0\n", "runs must be positive");
+  expect_parse_error("runs = -3\n", "bad number");
+  expect_parse_error("runs = 3x\n", "trailing characters");
+  expect_parse_error("seed = 99999999999999999999999\n", "out of range");
+  // uint32 fields must reject (not truncate) values above 2^32-1:
+  // runs = 2^32+1 would otherwise silently become 1.
+  expect_parse_error("runs = 4294967297\n", "out of range");
+  expect_parse_error("threads = 4294967296\n", "out of range");
+  expect_parse_error("core1 = stream:4294967297\n", "bad stream gap",
+                     "line 1");
+  expect_parse_error("pwcet = maybe\n", "on/off");
+  expect_parse_error("kernel = bogus\n", "unknown kernel", "known:");
+  expect_parse_error("scenario = chaos\n", "unknown scenario");
+  expect_parse_error("core1 = warp\n", "unknown workload");
+  expect_parse_error("core0 = stream\n", "must be a kernel");
+  expect_parse_error("core99 = stream\n", "core index out of range");
+  expect_parse_error("runs 3\n", "expected 'key = value'");
+}
+
+TEST(ExperimentFormat, RejectsBadSweeps) {
+  expect_parse_error("sweep runs = 1 2\n", "not sweepable");
+  expect_parse_error("sweep kernel = matrix\nsweep kernel = tblook\n",
+                     "duplicate sweep axis");
+  expect_parse_error("sweep kernel = matrix warp\n", "unknown kernel");
+  expect_parse_error("sweep scenario = iso chaos\n", "unknown scenario");
+}
+
+TEST(ExperimentFormat, ParseWorkloadVariants) {
+  EXPECT_EQ(parse_workload("idle").kind, WorkloadSpec::Kind::kIdle);
+  EXPECT_EQ(parse_workload("stream").gap, 0u);
+  EXPECT_EQ(parse_workload("stream:7").gap, 7u);
+  EXPECT_EQ(parse_workload("rspeed").kernel, "rspeed");
+  EXPECT_THROW((void)parse_workload("stream:x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_workload(""), std::invalid_argument);
+}
+
+TEST(ExperimentFormat, MissingFileThrows) {
+  EXPECT_THROW((void)load_experiment("/nonexistent/x.exp"),
+               std::invalid_argument);
+}
+
+// --- sweep expansion --------------------------------------------------------
+
+TEST(SweepExpansion, CartesianProductLastAxisFastest) {
+  const ExperimentSpec spec = parse(
+      "sweep kernel = matrix tblook\n"
+      "sweep setup = rp cba hcba\n"
+      "scenario = iso\n");
+  const std::vector<Job> jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 6u);
+  EXPECT_EQ(jobs[0].kernel, "matrix");
+  EXPECT_EQ(jobs[0].axes[1].second, "rp");
+  EXPECT_EQ(jobs[1].axes[1].second, "cba");   // setup (last axis) fastest
+  EXPECT_EQ(jobs[2].axes[1].second, "hcba");
+  EXPECT_EQ(jobs[3].kernel, "tblook");
+  EXPECT_EQ(jobs[3].axes[1].second, "rp");
+  // Axis overrides reached the platform config.
+  EXPECT_FALSE(jobs[0].config.cba.has_value());
+  EXPECT_TRUE(jobs[1].config.cba.has_value());
+}
+
+TEST(SweepExpansion, NoSweepsMakesOneJob) {
+  const ExperimentSpec spec = parse("scenario = iso\n");
+  EXPECT_EQ(expand(spec).size(), 1u);
+}
+
+TEST(SweepExpansion, PerJobSeedsAreDistinctAndStable) {
+  const ExperimentSpec spec = parse("sweep setup = rp cba hcba\n");
+  const auto a = expand(spec);
+  const auto b = expand(spec);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_NE(a[0].seed, a[1].seed);
+  EXPECT_NE(a[1].seed, a[2].seed);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);
+  }
+}
+
+TEST(SweepExpansion, ConScenarioImpliesWcetMode) {
+  const ExperimentSpec spec = parse("scenario = con\nsetup = cba\n");
+  const auto jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].config.mode, PlatformMode::kWcetEstimation);
+}
+
+TEST(SweepExpansion, CorunRejectsAssignmentBeyondCoreCount) {
+  const ExperimentSpec bad = parse(
+      "scenario = corun\ncores = 2\ncore3 = stream\nkernel = canrdr\n");
+  try {
+    (void)expand(bad);
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("core3"), std::string::npos)
+        << e.what();
+  }
+  // Under a cores sweep, the bound is the largest sweep point: core3
+  // runs in the cores=4 jobs, so dropping it at cores=2 is by design...
+  const ExperimentSpec swept = parse(
+      "scenario = corun\nsweep cores = 2 4\ncore3 = stream\n"
+      "kernel = canrdr\n");
+  EXPECT_EQ(expand(swept).size(), 2u);
+  // ... but an assignment above EVERY sweep point would never run.
+  const ExperimentSpec never = parse(
+      "scenario = corun\nsweep cores = 2 4\ncore7 = stream\n"
+      "kernel = canrdr\n");
+  EXPECT_THROW((void)expand(never), std::invalid_argument);
+}
+
+TEST(SweepExpansion, ConScenarioRejectsDeclaredOperationMode) {
+  // The conflict is caught in any layer, including a base config text
+  // (the --config file route).
+  ExperimentSpec with_text = parse("scenario = con\n");
+  with_text.platform_text = "mode = operation\n";
+  EXPECT_THROW((void)expand(with_text), std::invalid_argument);
+  // `con` implies wcet mode; a declared operation mode is a conflict the
+  // user must resolve, not something to silently override.
+  const ExperimentSpec plain = parse("scenario = con\nmode = operation\n");
+  EXPECT_THROW((void)expand(plain), std::invalid_argument);
+  const ExperimentSpec swept =
+      parse("scenario = con\nsweep mode = operation wcet\n");
+  EXPECT_THROW((void)expand(swept), std::invalid_argument);
+  const ExperimentSpec ok = parse("scenario = con\nmode = wcet\n");
+  EXPECT_EQ(expand(ok).size(), 1u);
+}
+
+TEST(SweepExpansion, InvalidCombinationNamesTheSweepPoint) {
+  const ExperimentSpec spec =
+      parse("setup = hcba\nsweep cores = 4 1\nscenario = iso\n");
+  try {
+    (void)expand(spec);
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("job 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("cores=1"), std::string::npos) << what;
+  }
+}
+
+// --- execution determinism --------------------------------------------------
+
+[[nodiscard]] std::string csv_of(const ExperimentSpec& spec,
+                                 const ExperimentResult& result) {
+  std::ostringstream out;
+  make_sink(SinkKind::kCsv)->write(spec, result.jobs, out);
+  return out.str();
+}
+
+TEST(Runner, SameCsvAtOneAndFourThreads) {
+  const ExperimentSpec spec = parse(
+      "scenario = con\n"
+      "kernel = canrdr\n"
+      "sweep setup = rp cba hcba\n"
+      "cores = 2\n"
+      "runs = 3\n");
+  const auto serial = run_experiment(spec, /*threads=*/1);
+  const auto parallel = run_experiment(spec, /*threads=*/4);
+  ASSERT_EQ(serial.jobs.size(), 3u);
+  EXPECT_EQ(serial.failed_jobs(), 0u);
+  const std::string a = csv_of(spec, serial);
+  EXPECT_EQ(a, csv_of(spec, parallel));
+  EXPECT_NE(a.find("canrdr"), std::string::npos);
+}
+
+TEST(Runner, CorunAssignsCorunnersAndIdleGaps) {
+  // core2 unassigned between core1 and core3: it must idle, not shift
+  // core3's workload down a master.
+  const ExperimentSpec spec = parse(
+      "scenario = corun\n"
+      "kernel = canrdr\n"
+      "core1 = stream\n"
+      "core3 = stream\n"
+      "runs = 2\n");
+  const auto result = run_experiment(spec, 1);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_EQ(result.failed_jobs(), 0u);
+  EXPECT_EQ(result.jobs[0].campaign.exec_time.count(), 2u);
+}
+
+TEST(Runner, FailedJobIsReportedNotThrown) {
+  // operation mode + con is impossible; the runner must record the error.
+  ExperimentSpec spec = parse("scenario = con\nruns = 1\n");
+  std::vector<Job> jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 1u);
+  jobs[0].config.mode = PlatformMode::kOperation;
+  const JobResult r = run_job(spec, jobs[0]);
+  EXPECT_TRUE(r.failed());
+  EXPECT_NE(r.error.find("WCET"), std::string::npos);
+}
+
+TEST(Runner, PwcetProducesCurve) {
+  const ExperimentSpec spec = parse(
+      "scenario = iso\n"
+      "kernel = canrdr\n"
+      "cores = 2\n"
+      "runs = 30\n"
+      "pwcet = on\n");
+  const auto result = run_experiment(spec, 2);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  ASSERT_TRUE(result.jobs[0].mbpta.has_value()) << result.jobs[0].mbpta_error;
+  EXPECT_FALSE(result.jobs[0].mbpta->curve.empty());
+}
+
+// --- golden sink output -----------------------------------------------------
+
+/// A hand-built two-job result set with exactly known numbers.
+[[nodiscard]] std::vector<JobResult> golden_results() {
+  std::vector<JobResult> results(2);
+  results[0].index = 0;
+  results[0].axes = {{"setup", "rp"}};
+  results[0].kernel = "matrix";
+  results[0].scenario = "con";
+  results[0].seed = 42;
+  for (const double x : {100.0, 110.0, 120.0}) {
+    results[0].campaign.exec_time.add(x);
+    results[0].campaign.samples.push_back(x);
+    results[0].campaign.bus_utilization.add(0.5);
+  }
+  results[1].index = 1;
+  results[1].axes = {{"setup", "cba"}};
+  results[1].kernel = "matrix";
+  results[1].scenario = "con";
+  results[1].seed = 43;
+  results[1].error = "boom";
+  return results;
+}
+
+[[nodiscard]] ExperimentSpec golden_spec() {
+  ExperimentSpec spec = parse("name = golden\nsweep setup = rp cba\n");
+  spec.runs = 3;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(Sinks, CsvGolden) {
+  std::ostringstream out;
+  make_sink(SinkKind::kCsv)->write(golden_spec(), golden_results(), out);
+  EXPECT_EQ(out.str(),
+            "job,kernel,scenario,setup,seed,run,cycles\n"
+            "0,matrix,con,rp,42,0,100\n"
+            "0,matrix,con,rp,42,1,110\n"
+            "0,matrix,con,rp,42,2,120\n");  // failed job 1 has no rows
+}
+
+TEST(Sinks, JsonGolden) {
+  std::ostringstream out;
+  make_sink(SinkKind::kJson)->write(golden_spec(), golden_results(), out);
+  const std::string expected =
+      "{\n"
+      "  \"experiment\": \"golden\",\n"
+      "  \"runs_per_job\": 3,\n"
+      "  \"base_seed\": 7,\n"
+      "  \"jobs\": [\n"
+      "    {\n"
+      "      \"job\": 0,\n"
+      "      \"kernel\": \"matrix\",\n"
+      "      \"scenario\": \"con\",\n"
+      "      \"axes\": {\"setup\": \"rp\"},\n"
+      "      \"seed\": 42,\n"
+      "      \"mean\": 110,\n"
+      "      \"min\": 100,\n"
+      "      \"max\": 120,\n"
+      "      \"ci95\": 11.316065276116667,\n"
+      "      \"bus_util\": 0.5,\n"
+      "      \"unfinished\": 0,\n"
+      "      \"credit_underflows\": 0,\n"
+      "      \"samples\": [100, 110, 120]\n"
+      "    },\n"
+      "    {\n"
+      "      \"job\": 1,\n"
+      "      \"kernel\": \"matrix\",\n"
+      "      \"scenario\": \"con\",\n"
+      "      \"axes\": {\"setup\": \"cba\"},\n"
+      "      \"seed\": 43,\n"
+      "      \"error\": \"boom\"\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(Sinks, SummaryReportsFailures) {
+  std::ostringstream out;
+  make_sink(SinkKind::kSummary)->write(golden_spec(), golden_results(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("1 FAILED"), std::string::npos) << text;
+  EXPECT_NE(text.find("ERROR: boom"), std::string::npos) << text;
+  EXPECT_NE(text.find("mean=110"), std::string::npos) << text;
+}
+
+TEST(Sinks, PwcetColumnsAppearWhenEnabled) {
+  ExperimentSpec spec = golden_spec();
+  spec.pwcet = true;
+  auto results = golden_results();
+  results[0].mbpta.emplace();
+  results[0].mbpta->fit.location = 118.0;
+  results[0].mbpta->fit.scale = 2.0;
+  results[0].mbpta->curve = {{1e-9, 159.4}, {1e-12, 173.2}};
+  std::ostringstream out;
+  make_sink(SinkKind::kCsv)->write(spec, results, out);
+  EXPECT_EQ(out.str(),
+            "job,kernel,scenario,setup,seed,run,cycles,"
+            "gumbel_location,gumbel_scale,pwcet_1e-9,pwcet_1e-12\n"
+            "0,matrix,con,rp,42,0,100,118,2,159.4,173.2\n"
+            "0,matrix,con,rp,42,1,110,118,2,159.4,173.2\n"
+            "0,matrix,con,rp,42,2,120,118,2,159.4,173.2\n");
+}
+
+TEST(Sinks, JsonCarriesPwcetError) {
+  ExperimentSpec spec = golden_spec();
+  spec.pwcet = true;
+  auto results = golden_results();
+  results[0].mbpta_error = "too few samples";
+  std::ostringstream out;
+  make_sink(SinkKind::kJson)->write(spec, results, out);
+  EXPECT_NE(out.str().find("\"pwcet_error\": \"too few samples\""),
+            std::string::npos)
+      << out.str();
+}
+
+TEST(Sinks, EmitOutputsHonoursStdoutDashes) {
+  ExperimentSpec spec = golden_spec();
+  spec.csv_path = "-";
+  spec.summary = false;
+  std::ostringstream out;
+  emit_outputs(spec, golden_results(), out);
+  EXPECT_EQ(out.str().rfind("job,kernel", 0), 0u);
+}
+
+}  // namespace
+}  // namespace cbus::exp

@@ -2,6 +2,7 @@
 // SyntheticMaster timing, campaign determinism and the scenario runners.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 
 #include "platform/config_file.hpp"
@@ -372,6 +373,56 @@ TEST(ConfigFile, UnknownKeyThrowsWithLineNumber) {
     EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("bogus_key"), std::string::npos);
   }
+}
+
+TEST(ConfigFile, NumberErrorsNameKeyAndLine) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& fragment) {
+    std::istringstream in(text);
+    try {
+      (void)parse_config(in);
+      FAIL() << "should have thrown for: " << text;
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+      EXPECT_NE(what.find(fragment), std::string::npos) << what;
+    }
+  };
+  // stoull would silently accept the "123" prefix of "123abc".
+  expect_error("cores = 4\nl2_bytes = 123abc\n", "trailing characters");
+  // ... and silently wrap "-1" to 2^64-1.
+  expect_error("cores = 4\ntdma_slot = -1\n", "bad number");
+  expect_error("cores = 4\nmaxl = 99999999999999999999999\n",
+               "out of range");
+  // Values that fit uint64 but overflow the uint32 field must not be
+  // silently truncated.
+  expect_error("cores = 4\nl1_bytes = 4294967296\n", "out of range");
+}
+
+TEST(ConfigFile, ConfigKeysMatchesTheParser) {
+  // Pins config_keys() to parse_config's dispatch: every advertised key
+  // must parse with a representative value.
+  const std::map<std::string, std::string> sample = {
+      {"cores", "4"},          {"arbiter", "rr"},    {"setup", "cba"},
+      {"mode", "wcet"},        {"bus", "split"},     {"dram", "banked"},
+      {"l1_bytes", "8192"},    {"l2_bytes", "65536"},
+      {"store_buffer", "2"},   {"maxl", "56"},       {"tdma_slot", "56"}};
+  for (const auto key : config_keys()) {
+    const auto it = sample.find(std::string(key));
+    ASSERT_NE(it, sample.end()) << "no sample value for key " << key;
+    std::istringstream in(it->first + " = " + it->second + "\n");
+    EXPECT_NO_THROW((void)parse_config(in)) << key;
+  }
+  EXPECT_EQ(config_keys().size(), sample.size());
+}
+
+TEST(ConfigFile, ParseConfigUintAcceptsBases) {
+  EXPECT_EQ(parse_config_uint("56", "maxl", 1), 56u);
+  EXPECT_EQ(parse_config_uint("0x38", "maxl", 1), 56u);
+  EXPECT_THROW((void)parse_config_uint("", "maxl", 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_config_uint(" 56", "maxl", 1),
+               std::invalid_argument);
 }
 
 TEST(ConfigFile, MalformedValueThrows) {

@@ -1,44 +1,52 @@
 // cbus_sim: command-line driver for the platform simulator.
 //
-// Runs a measurement campaign for one kernel under a chosen bus setup and
-// scenario and prints machine-readable CSV (one row per run) plus a
-// summary -- the entry point for scripting parameter sweeps without
-// writing C++.
+// Two ways in, one engine: `--experiment FILE` runs a declarative
+// experiment file (sweeps, per-core workloads, CSV/JSON sinks -- see
+// docs/EXPERIMENTS.md), while the classic flags describe a single
+// campaign. Both paths route through the src/exp/ subsystem, so a flag
+// invocation is exactly a one-job experiment.
 //
 // Usage:
-//   cbus_sim [--kernel NAME] [--setup rp|cba|hcba] [--scenario iso|con|stream]
-//            [--arbiter rr|fifo|priority|lottery|rp|tdma]
+//   cbus_sim --experiment FILE [--threads N] [--runs N] [--seed S]
+//            [--pwcet] [--csv]
+//   cbus_sim [--kernel NAME] [--setup rp|cba|hcba]
+//            [--scenario iso|con|stream] [--arbiter KIND]
 //            [--runs N] [--seed S] [--cores N] [--pwcet] [--csv]
 //
 // Examples:
+//   cbus_sim --experiment examples/experiments/paper_con.exp --threads 4
 //   cbus_sim --kernel matrix --setup cba --scenario con --runs 100 --pwcet
 //   cbus_sim --kernel tblook --setup rp --scenario iso --csv
+#include <algorithm>
 #include <cstdint>
-#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
-#include <vector>
 
-#include "mbpta/pwcet.hpp"
+#include "bus/arbiter_factory.hpp"
+#include "exp/experiment.hpp"
 #include "platform/config_file.hpp"
-#include "platform/platform_config.hpp"
-#include "platform/scenarios.hpp"
+#include "exp/runner.hpp"
+#include "exp/sinks.hpp"
 #include "workloads/eembc_like.hpp"
-#include "workloads/streaming.hpp"
 
 namespace {
 
 using namespace cbus;
 
 struct Options {
-  std::string config_path;  // optional platform config file
-  std::string kernel = "matrix";
-  std::string setup = "cba";
-  std::string scenario = "con";
-  std::string arbiter;  // empty = the platform default (random permutations)
-  std::uint32_t runs = 20;
-  std::uint64_t seed = 0xC0FFEE;
-  std::uint32_t cores = 4;
+  std::string experiment_path;  // declarative experiment file
+  std::string config_path;      // platform config file (base layer)
+  std::optional<std::string> kernel;
+  std::optional<std::string> setup;
+  std::optional<std::string> scenario;
+  std::optional<std::string> arbiter;
+  std::optional<std::uint32_t> runs;
+  std::optional<std::uint64_t> seed;
+  std::optional<std::uint32_t> cores;
+  std::optional<std::uint32_t> threads;
   bool pwcet = false;
   bool csv = false;
 };
@@ -46,16 +54,20 @@ struct Options {
 [[noreturn]] void usage(int code) {
   std::cout <<
       "cbus_sim -- CBA bus platform simulator\n"
-      "  --config FILE     platform config file (overrides --setup/--cores;\n"
-      "                    see src/platform/config_file.hpp for the keys)\n"
+      "  --experiment FILE experiment file: sweeps, per-core workloads,\n"
+      "                    CSV/JSON outputs (see docs/EXPERIMENTS.md);\n"
+      "                    other flags act as overrides\n"
+      "  --threads N       worker threads for experiment jobs [hardware]\n"
+      "  --config FILE     platform config file layered under the other\n"
+      "                    flags (see src/platform/config_file.hpp)\n"
       "  --kernel NAME     EEMBC-like kernel (cacheb canrdr matrix tblook\n"
       "                    a2time rspeed puwmod ttsprk)     [matrix]\n"
       "  --setup S         rp | cba | hcba                  [cba]\n"
       "  --scenario S      iso (isolation) | con (max contention, WCET\n"
       "                    protocol) | stream (3 streaming co-runners)\n"
       "                                                     [con]\n"
-      "  --arbiter A       rr|fifo|priority|lottery|rp|tdma [rp]\n"
-      "  --runs N          randomized runs                  [20]\n"
+      "  --arbiter A       rr|fifo|priority|lottery|rp|tdma|drr [rp]\n"
+      "  --runs N          randomized runs per job          [20]\n"
       "  --seed S          campaign seed                    [0xC0FFEE]\n"
       "  --cores N         core count (CBA rescaled)        [4]\n"
       "  --pwcet           run the MBPTA analysis on the samples\n"
@@ -63,50 +75,125 @@ struct Options {
   std::exit(code);
 }
 
+/// One-line fatal error on stderr; scripted sweeps fail loudly instead of
+/// scrolling a usage dump.
+[[noreturn]] void die(const std::string& message) {
+  std::cerr << "cbus_sim: " << message << "\n";
+  std::exit(2);
+}
+
 Options parse(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(2);
+      if (i + 1 >= argc) die("missing value for " + arg);
       return argv[++i];
     };
-    if (arg == "--config") {
-      opt.config_path = value();
-    } else if (arg == "--kernel") {
-      opt.kernel = value();
-    } else if (arg == "--setup") {
-      opt.setup = value();
-    } else if (arg == "--scenario") {
-      opt.scenario = value();
-    } else if (arg == "--arbiter") {
-      opt.arbiter = value();
-    } else if (arg == "--runs") {
-      opt.runs = static_cast<std::uint32_t>(std::stoul(value()));
-    } else if (arg == "--seed") {
-      opt.seed = std::stoull(value(), nullptr, 0);
-    } else if (arg == "--cores") {
-      opt.cores = static_cast<std::uint32_t>(std::stoul(value()));
-    } else if (arg == "--pwcet") {
-      opt.pwcet = true;
-    } else if (arg == "--csv") {
-      opt.csv = true;
-    } else if (arg == "--help" || arg == "-h") {
-      usage(0);
-    } else {
-      std::cerr << "unknown option: " << arg << "\n";
-      usage(2);
+    try {
+      if (arg == "--experiment") {
+        opt.experiment_path = value();
+      } else if (arg == "--config") {
+        opt.config_path = value();
+      } else if (arg == "--kernel") {
+        opt.kernel = value();
+      } else if (arg == "--setup") {
+        opt.setup = value();
+      } else if (arg == "--scenario") {
+        opt.scenario = value();
+      } else if (arg == "--arbiter") {
+        opt.arbiter = value();
+      } else if (arg == "--runs") {
+        opt.runs = platform::parse_config_u32(value(), arg, 0);
+      } else if (arg == "--seed") {
+        opt.seed = platform::parse_config_uint(value(), arg, 0);
+      } else if (arg == "--cores") {
+        opt.cores = platform::parse_config_u32(value(), arg, 0);
+      } else if (arg == "--threads") {
+        opt.threads = platform::parse_config_u32(value(), arg, 0);
+      } else if (arg == "--pwcet") {
+        opt.pwcet = true;
+      } else if (arg == "--csv") {
+        opt.csv = true;
+      } else if (arg == "--help" || arg == "-h") {
+        usage(0);
+      } else {
+        die("unknown option: " + arg);
+      }
+    } catch (const std::exception&) {
+      die("bad value for " + arg);
     }
   }
+
+  // Validate enum-like flags up front with one-line errors.
+  if (opt.kernel.has_value()) {
+    const auto known = workloads::all_kernels();
+    if (std::find(known.begin(), known.end(), *opt.kernel) == known.end()) {
+      die("unknown kernel '" + *opt.kernel +
+          "' (known: " + exp::known_kernel_list() + ")");
+    }
+  }
+  if (opt.setup.has_value() && *opt.setup != "rp" && *opt.setup != "cba" &&
+      *opt.setup != "hcba") {
+    die("unknown setup '" + *opt.setup + "' (rp|cba|hcba)");
+  }
+  if (opt.arbiter.has_value()) {
+    try {
+      (void)bus::parse_arbiter_kind(*opt.arbiter);
+    } catch (const std::exception&) {
+      die("unknown arbiter '" + *opt.arbiter +
+          "' (rr|fifo|priority|lottery|rp|tdma|drr)");
+    }
+  }
+  if (opt.scenario.has_value()) {
+    try {
+      (void)exp::parse_scenario(*opt.scenario);
+    } catch (const std::exception&) {
+      die("unknown scenario '" + *opt.scenario + "' (iso|con|stream|corun)");
+    }
+  }
+  if (opt.runs.has_value() && *opt.runs == 0) die("--runs must be positive");
   return opt;
 }
 
-platform::BusSetup parse_setup(const std::string& text) {
-  if (text == "rp") return platform::BusSetup::kRp;
-  if (text == "cba") return platform::BusSetup::kCba;
-  if (text == "hcba") return platform::BusSetup::kHcba;
-  std::cerr << "unknown setup: " << text << "\n";
-  usage(2);
+/// Assemble the ExperimentSpec: the experiment file (or built-in defaults)
+/// with explicitly-passed flags layered on top.
+exp::ExperimentSpec build_spec(const Options& opt) {
+  exp::ExperimentSpec spec;
+  if (!opt.experiment_path.empty()) {
+    spec = exp::load_experiment(opt.experiment_path);
+  } else {
+    // The classic flag interface is a one-job experiment over the paper
+    // platform; `--setup cba` was its historical default. The default
+    // must not be injected over a --config file, whose own setup line
+    // has to win unless --setup is passed explicitly (handled below).
+    spec.name = "cli";
+    if (opt.config_path.empty()) {
+      spec.set_platform_key("setup", opt.setup.value_or("cba"));
+    }
+  }
+  if (!opt.config_path.empty()) {
+    std::ifstream in(opt.config_path);
+    if (!in.good()) die("cannot open config file: " + opt.config_path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    spec.platform_text = text.str();
+  }
+  if (opt.kernel.has_value()) spec.kernel = *opt.kernel;
+  if (opt.scenario.has_value()) spec.scenario = *opt.scenario;
+  if (opt.setup.has_value()) spec.set_platform_key("setup", *opt.setup);
+  if (opt.arbiter.has_value()) {
+    spec.set_platform_key("arbiter", *opt.arbiter);
+  }
+  if (opt.cores.has_value()) {
+    spec.set_platform_key("cores", std::to_string(*opt.cores));
+  }
+  if (opt.runs.has_value()) spec.runs = *opt.runs;
+  if (opt.seed.has_value()) spec.seed = *opt.seed;
+  if (opt.threads.has_value()) spec.threads = *opt.threads;
+  if (opt.pwcet) spec.pwcet = true;
+  if (opt.csv) spec.csv_path = "-";
+  return spec;
 }
 
 }  // namespace
@@ -114,85 +201,17 @@ platform::BusSetup parse_setup(const std::string& text) {
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   try {
-    platform::PlatformConfig cfg;
-    if (!opt.config_path.empty()) {
-      cfg = platform::load_config(opt.config_path);
-      if (opt.scenario == "con" &&
-          cfg.mode != PlatformMode::kWcetEstimation) {
-        std::cerr << "note: scenario 'con' needs 'mode = wcet' in the "
-                     "config file\n";
-      }
-    } else {
-      const platform::BusSetup setup = parse_setup(opt.setup);
-      cfg = opt.scenario == "con"
-                ? platform::PlatformConfig::paper_wcet(setup)
-                : platform::PlatformConfig::paper(setup);
-      if (opt.cores != 4) {
-        cfg.n_cores = opt.cores;
-        if (cfg.cba.has_value()) {
-          cfg.cba = core::CbaConfig::homogeneous(opt.cores,
-                                                 cfg.timings.max_latency());
-        }
-      }
-      if (!opt.arbiter.empty()) {
-        cfg.arbiter = bus::parse_arbiter_kind(opt.arbiter);
-      }
-    }
-    cfg.validate();
-
-    auto tua = workloads::make_eembc(opt.kernel);
-    platform::CampaignConfig campaign;
-    campaign.runs = opt.runs;
-    campaign.base_seed = opt.seed;
-
-    platform::CampaignResult result;
-    if (opt.scenario == "iso") {
-      result = platform::run_isolation(cfg, *tua, campaign);
-    } else if (opt.scenario == "con") {
-      result = platform::run_max_contention(cfg, *tua, campaign);
-    } else if (opt.scenario == "stream") {
-      workloads::StreamingStream s1(0), s2(0), s3(0);
-      std::vector<cpu::OpStream*> streams{&s1, &s2, &s3};
-      streams.resize(
-          std::min<std::size_t>(streams.size(), cfg.n_cores - 1));
-      result = platform::run_with_corunners(cfg, *tua, streams, campaign);
-    } else {
-      std::cerr << "unknown scenario: " << opt.scenario << "\n";
-      usage(2);
-    }
-
-    if (opt.csv) {
-      std::cout << "run,cycles\n";
-      for (std::size_t i = 0; i < result.samples.size(); ++i) {
-        std::cout << i << ',' << result.samples[i] << '\n';
-      }
-    }
-
-    std::cout << "kernel=" << opt.kernel << " setup=" << opt.setup
-              << " scenario=" << opt.scenario << " runs=" << opt.runs
-              << "\nmean=" << result.exec_time.mean()
-              << " min=" << result.exec_time.min()
-              << " max=" << result.exec_time.max()
-              << " ci95=" << result.exec_time.ci95_halfwidth()
-              << " bus_util=" << result.bus_utilization.mean()
-              << " unfinished=" << result.unfinished_runs << "\n";
-
-    if (opt.pwcet) {
-      mbpta::MbptaConfig mcfg;
-      mcfg.block_size = std::max<std::size_t>(2, opt.runs / 30);
-      const auto analysis = mbpta::analyze(result.samples, mcfg);
-      std::cout << "gumbel: location=" << analysis.fit.location
-                << " scale=" << analysis.fit.scale
-                << " cv_ok=" << analysis.diagnostics.cv.accepted
-                << " indep_ok=" << analysis.diagnostics.runs.accepted << "\n";
-      for (const auto& point : analysis.curve) {
-        std::cout << "pwcet p=" << point.exceedance_probability << " -> "
-                  << point.wcet_estimate << "\n";
-      }
+    const exp::ExperimentSpec spec = build_spec(opt);
+    const exp::ExperimentResult result = exp::run_experiment(spec);
+    exp::emit_outputs(spec, result.jobs, std::cout);
+    if (const std::size_t failed = result.failed_jobs(); failed != 0) {
+      std::cerr << "cbus_sim: " << failed << " of " << result.jobs.size()
+                << " job(s) failed\n";
+      return 1;
     }
     return 0;
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    std::cerr << "cbus_sim: error: " << e.what() << "\n";
     return 1;
   }
 }
