@@ -27,7 +27,7 @@ namespace {
 
 using namespace cbus;
 using platform::BusSetup;
-using platform::CampaignConfig;
+using platform::CampaignSpec;
 using platform::PlatformConfig;
 
 struct Row {
@@ -41,35 +41,37 @@ struct Row {
 
 Row measure(std::string_view kernel, std::uint32_t runs) {
   auto tua = workloads::make_eembc(kernel);
-  CampaignConfig campaign;
-  campaign.runs = runs;
-  campaign.base_seed = 0xF161;
+  CampaignSpec spec;
+  spec.tua = tua.get();
+  spec.runs = runs;
+  spec.base_seed = 0xF161;
 
-  const auto rp_iso =
-      run_isolation(PlatformConfig::paper(BusSetup::kRp), *tua, campaign);
-  const double base = rp_iso.exec_time.mean();
+  const auto mean = [&](CampaignSpec::Protocol protocol,
+                        const PlatformConfig& config) {
+    spec.protocol = protocol;
+    spec.config = config;
+    return platform::run_campaign(spec).exec_time().mean();
+  };
+  using Protocol = CampaignSpec::Protocol;
+
+  const double base =
+      mean(Protocol::kIsolation, PlatformConfig::paper(BusSetup::kRp));
 
   Row row;
   row.cba_iso =
-      run_isolation(PlatformConfig::paper(BusSetup::kCba), *tua, campaign)
-          .exec_time.mean() /
+      mean(Protocol::kIsolation, PlatformConfig::paper(BusSetup::kCba)) /
       base;
   row.hcba_iso =
-      run_isolation(PlatformConfig::paper(BusSetup::kHcba), *tua, campaign)
-          .exec_time.mean() /
+      mean(Protocol::kIsolation, PlatformConfig::paper(BusSetup::kHcba)) /
       base;
-  row.rp_con = run_max_contention(PlatformConfig::paper_wcet(BusSetup::kRp),
-                                  *tua, campaign)
-                   .exec_time.mean() /
+  row.rp_con = mean(Protocol::kMaxContention,
+                    PlatformConfig::paper_wcet(BusSetup::kRp)) /
                base;
-  row.cba_con = run_max_contention(PlatformConfig::paper_wcet(BusSetup::kCba),
-                                   *tua, campaign)
-                    .exec_time.mean() /
+  row.cba_con = mean(Protocol::kMaxContention,
+                     PlatformConfig::paper_wcet(BusSetup::kCba)) /
                 base;
-  row.hcba_con = run_max_contention(
-                     PlatformConfig::paper_wcet(BusSetup::kHcba), *tua,
-                     campaign)
-                     .exec_time.mean() /
+  row.hcba_con = mean(Protocol::kMaxContention,
+                      PlatformConfig::paper_wcet(BusSetup::kHcba)) /
                  base;
   return row;
 }

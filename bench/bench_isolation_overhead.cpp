@@ -20,7 +20,7 @@ namespace {
 
 using namespace cbus;
 using platform::BusSetup;
-using platform::CampaignConfig;
+using platform::CampaignSpec;
 using platform::PlatformConfig;
 
 void print_isolation_overheads() {
@@ -37,26 +37,28 @@ void print_isolation_overheads() {
   int n = 0;
   for (const auto kernel : workloads::all_kernels()) {
     auto tua = workloads::make_eembc(kernel);
-    CampaignConfig campaign;
-    campaign.runs = runs;
-    campaign.base_seed = 0x150;
+    CampaignSpec spec;
+    spec.protocol = CampaignSpec::Protocol::kIsolation;
+    spec.tua = tua.get();
+    spec.runs = runs;
+    spec.base_seed = 0x150;
 
-    const auto rp =
-        run_isolation(PlatformConfig::paper(BusSetup::kRp), *tua, campaign);
-    const auto cba =
-        run_isolation(PlatformConfig::paper(BusSetup::kCba), *tua, campaign);
-    const auto hcba =
-        run_isolation(PlatformConfig::paper(BusSetup::kHcba), *tua, campaign);
+    spec.config = PlatformConfig::paper(BusSetup::kRp);
+    const auto rp = platform::run_campaign(spec);
+    spec.config = PlatformConfig::paper(BusSetup::kCba);
+    const auto cba = platform::run_campaign(spec);
+    spec.config = PlatformConfig::paper(BusSetup::kHcba);
+    const auto hcba = platform::run_campaign(spec);
 
-    const double base = rp.exec_time.mean();
-    const double r_cba = cba.exec_time.mean() / base;
-    const double r_hcba = hcba.exec_time.mean() / base;
+    const double base = rp.exec_time().mean();
+    const double r_cba = cba.exec_time().mean() / base;
+    const double r_hcba = hcba.exec_time().mean() / base;
     sum_cba += r_cba;
     sum_hcba += r_hcba;
     ++n;
     table.add_row({std::string(kernel), bench::fmt(base, 0),
                    bench::fmt(r_cba) + "x", bench::fmt(r_hcba) + "x",
-                   bench::fmt(100.0 * rp.bus_utilization.mean(), 1) + "%"});
+                   bench::fmt(100.0 * rp.bus_utilization().mean(), 1) + "%"});
   }
   table.print();
   std::cout << "\naverage CBA isolation overhead   : "

@@ -22,7 +22,7 @@ namespace {
 
 using namespace cbus;
 using platform::BusSetup;
-using platform::CampaignConfig;
+using platform::CampaignSpec;
 using platform::PlatformConfig;
 
 void print_mbpta() {
@@ -39,31 +39,36 @@ void print_mbpta() {
                       "CV ok", "indep ok"});
   for (const auto kernel : workloads::figure1_kernels()) {
     auto tua = workloads::make_eembc(kernel);
-    CampaignConfig campaign;
-    campaign.runs = runs;
-    campaign.base_seed = 0xE57;
-    const auto analysis_runs = run_max_contention(
-        PlatformConfig::paper_wcet(BusSetup::kCba), *tua, campaign);
+    CampaignSpec analysis_spec;
+    analysis_spec.protocol = CampaignSpec::Protocol::kMaxContention;
+    analysis_spec.config = PlatformConfig::paper_wcet(BusSetup::kCba);
+    analysis_spec.tua = tua.get();
+    analysis_spec.runs = runs;
+    analysis_spec.base_seed = 0xE57;
+    const auto analysis_runs = platform::run_campaign(analysis_spec);
 
     mbpta::MbptaConfig mcfg;
     mcfg.block_size = 10;
-    const auto result = mbpta::analyze(analysis_runs.samples, mcfg);
+    const auto result = mbpta::analyze(analysis_runs.samples(), mcfg);
 
     workloads::StreamingStream s1(0), s2(0), s3(0);
-    CampaignConfig op_campaign;
-    op_campaign.runs = std::max(10u, runs / 5);
-    op_campaign.base_seed = 0x0b5;
-    const auto op =
-        run_with_corunners(PlatformConfig::paper(BusSetup::kCba), *tua,
-                           {&s1, &s2, &s3}, op_campaign);
+    CampaignSpec op_spec;
+    op_spec.protocol = CampaignSpec::Protocol::kCorun;
+    op_spec.config = PlatformConfig::paper(BusSetup::kCba);
+    op_spec.tua = tua.get();
+    op_spec.corunners = {&s1, &s2, &s3};
+    op_spec.runs = std::max(10u, runs / 5);
+    op_spec.base_seed = 0x0b5;
+    const auto op = platform::run_campaign(op_spec);
 
     const double p9 = result.fit.quantile_exceedance(1e-9);
     const double p12 = result.fit.quantile_exceedance(1e-12);
     table.add_row(
-        {std::string(kernel), bench::fmt(analysis_runs.exec_time.mean(), 0),
-         bench::fmt(analysis_runs.exec_time.max(), 0), bench::fmt(p9, 0),
-         bench::fmt(p12, 0), bench::fmt(op.exec_time.max(), 0),
-         op.exec_time.max() <= p12 ? "holds" : "VIOLATED",
+        {std::string(kernel),
+         bench::fmt(analysis_runs.exec_time().mean(), 0),
+         bench::fmt(analysis_runs.exec_time().max(), 0), bench::fmt(p9, 0),
+         bench::fmt(p12, 0), bench::fmt(op.exec_time().max(), 0),
+         op.exec_time().max() <= p12 ? "holds" : "VIOLATED",
          result.diagnostics.cv.accepted ? "yes" : "no",
          result.diagnostics.runs.accepted ? "yes" : "no"});
   }

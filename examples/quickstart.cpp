@@ -26,41 +26,53 @@ int main(int argc, char** argv) {
 
   auto tua = workloads::make_eembc(kernel);
 
-  platform::CampaignConfig campaign;
-  campaign.runs = runs;
-  campaign.base_seed = 0xC0FFEE;
+  // One CampaignSpec describes a whole campaign; protocol and platform
+  // vary per measurement below.
+  platform::CampaignSpec spec;
+  spec.tua = tua.get();
+  spec.runs = runs;
+  spec.base_seed = 0xC0FFEE;
 
   // 1. Baseline: random-permutations bus, task alone on the machine.
-  const auto rp_iso = platform::run_isolation(
-      platform::PlatformConfig::paper(platform::BusSetup::kRp), *tua,
-      campaign);
-  std::cout << "RP  isolation      : " << rp_iso.exec_time.mean()
+  spec.protocol = platform::CampaignSpec::Protocol::kIsolation;
+  spec.config = platform::PlatformConfig::paper(platform::BusSetup::kRp);
+  const auto rp_iso = platform::run_campaign(spec);
+  std::cout << "RP  isolation      : " << rp_iso.exec_time().mean()
             << " cycles (avg)\n";
 
   // 2. Baseline under maximum contention (WCET-estimation protocol).
-  const auto rp_con = platform::run_max_contention(
-      platform::PlatformConfig::paper_wcet(platform::BusSetup::kRp), *tua,
-      campaign);
-  std::cout << "RP  max contention : " << rp_con.exec_time.mean()
+  spec.protocol = platform::CampaignSpec::Protocol::kMaxContention;
+  spec.config =
+      platform::PlatformConfig::paper_wcet(platform::BusSetup::kRp);
+  const auto rp_con = platform::run_campaign(spec);
+  std::cout << "RP  max contention : " << rp_con.exec_time().mean()
             << " cycles -> slowdown " << platform::slowdown(rp_con, rp_iso)
             << "x\n";
 
   // 3. Same contention with CBA enabled: slowdown drops towards the
   //    core-count bound.
-  const auto cba_con = platform::run_max_contention(
-      platform::PlatformConfig::paper_wcet(platform::BusSetup::kCba), *tua,
-      campaign);
-  std::cout << "CBA max contention : " << cba_con.exec_time.mean()
+  spec.config =
+      platform::PlatformConfig::paper_wcet(platform::BusSetup::kCba);
+  const auto cba_con = platform::run_campaign(spec);
+  std::cout << "CBA max contention : " << cba_con.exec_time().mean()
             << " cycles -> slowdown " << platform::slowdown(cba_con, rp_iso)
             << "x\n";
 
   // 4. H-CBA: give the task under analysis 50% of the bus.
-  const auto hcba_con = platform::run_max_contention(
-      platform::PlatformConfig::paper_wcet(platform::BusSetup::kHcba), *tua,
-      campaign);
-  std::cout << "H-CBA max contention: " << hcba_con.exec_time.mean()
+  spec.config =
+      platform::PlatformConfig::paper_wcet(platform::BusSetup::kHcba);
+  const auto hcba_con = platform::run_campaign(spec);
+  std::cout << "H-CBA max contention: " << hcba_con.exec_time().mean()
             << " cycles -> slowdown " << platform::slowdown(hcba_con, rp_iso)
             << "x\n";
+
+  // The metric record behind every campaign: Jain's fairness index over
+  // per-master occupancy cycles, straight from the aggregate.
+  std::cout << "\nCBA occupancy fairness (Jain, 1.0 = equal): "
+            << cba_con.aggregate.element_stats("fair.jain_occupancy").mean()
+            << " vs RP "
+            << rp_con.aggregate.element_stats("fair.jain_occupancy").mean()
+            << "\n";
 
   std::cout << "\nCBA turns an (in general) unbounded contention slowdown "
                "into one bounded by the core count.\n";

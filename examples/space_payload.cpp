@@ -31,26 +31,32 @@ int main(int argc, char** argv) {
   workloads::StreamingStream payload3(0);
   const std::vector<cpu::OpStream*> payloads{&payload1, &payload2, &payload3};
 
-  platform::CampaignConfig campaign;
-  campaign.runs = runs;
-  campaign.base_seed = 0x5ACE;
+  platform::CampaignSpec spec;
+  spec.tua = control.get();
+  spec.runs = runs;
+  spec.base_seed = 0x5ACE;
 
-  const auto iso = platform::run_isolation(
-      platform::PlatformConfig::paper(platform::BusSetup::kRp), *control,
-      campaign);
-  std::cout << "control task alone          : " << iso.exec_time.mean()
+  spec.protocol = platform::CampaignSpec::Protocol::kIsolation;
+  spec.config = platform::PlatformConfig::paper(platform::BusSetup::kRp);
+  const auto iso = platform::run_campaign(spec);
+  std::cout << "control task alone          : " << iso.exec_time().mean()
             << " cycles\n";
 
+  spec.protocol = platform::CampaignSpec::Protocol::kCorun;
+  spec.corunners = payloads;
   for (const auto setup :
        {platform::BusSetup::kRp, platform::BusSetup::kCba,
         platform::BusSetup::kHcba}) {
-    const auto cfg = platform::PlatformConfig::paper(setup);
-    const auto r =
-        platform::run_with_corunners(cfg, *control, payloads, campaign);
+    spec.config = platform::PlatformConfig::paper(setup);
+    const auto r = platform::run_campaign(spec);
     std::cout << "with 3 streaming payloads, " << to_string(setup) << "\t: "
-              << r.exec_time.mean() << " cycles -> slowdown "
+              << r.exec_time().mean() << " cycles -> slowdown "
               << platform::slowdown(r, iso) << "x  (bus util "
-              << 100.0 * r.bus_utilization.mean() << "%)\n";
+              << 100.0 * r.bus_utilization().mean() << "%, control share "
+              << 100.0 *
+                     r.aggregate.element_stats("bus.occupancy_share", 0)
+                         .mean()
+              << "%)\n";
   }
 
   std::cout << "\nH-CBA (control task at 50% bandwidth) shields the "

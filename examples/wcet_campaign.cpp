@@ -30,20 +30,23 @@ int main(int argc, char** argv) {
             << runs << " analysis runs)\n\n";
 
   auto tua = workloads::make_eembc(kernel);
-  platform::CampaignConfig campaign;
-  campaign.runs = runs;
-  campaign.base_seed = 0xE57;
+  platform::CampaignSpec spec;
+  spec.tua = tua.get();
+  spec.runs = runs;
+  spec.base_seed = 0xE57;
 
   // Analysis-time measurements under the Table-I protocol.
-  const auto analysis_runs = platform::run_max_contention(
-      platform::PlatformConfig::paper_wcet(platform::BusSetup::kCba), *tua,
-      campaign);
+  spec.protocol = platform::CampaignSpec::Protocol::kMaxContention;
+  spec.config =
+      platform::PlatformConfig::paper_wcet(platform::BusSetup::kCba);
+  const auto analysis_runs = platform::run_campaign(spec);
 
   mbpta::MbptaConfig mcfg;
   mcfg.block_size = 10;
-  const auto result = mbpta::analyze(analysis_runs.samples, mcfg);
+  const auto result = mbpta::analyze(analysis_runs.samples(), mcfg);
 
-  std::cout << "samples            : " << analysis_runs.samples.size() << "\n"
+  std::cout << "samples            : " << analysis_runs.samples().size()
+            << "\n"
             << "block maxima used  : " << result.maxima_used << "\n"
             << "observed max       : " << result.observed_max << " cycles\n"
             << "Gumbel fit (PWM)   : location=" << result.fit.location
@@ -74,18 +77,20 @@ int main(int argc, char** argv) {
   // Validation: operation-mode execution with real streaming co-runners
   // must stay below the pWCET estimates.
   workloads::StreamingStream s1(0), s2(0), s3(0);
-  platform::CampaignConfig op_campaign;
-  op_campaign.runs = runs / 4 + 1;
-  op_campaign.base_seed = 0x0b5;
-  const auto op = platform::run_with_corunners(
-      platform::PlatformConfig::paper(platform::BusSetup::kCba), *tua,
-      {&s1, &s2, &s3}, op_campaign);
+  platform::CampaignSpec op_spec;
+  op_spec.protocol = platform::CampaignSpec::Protocol::kCorun;
+  op_spec.config = platform::PlatformConfig::paper(platform::BusSetup::kCba);
+  op_spec.tua = tua.get();
+  op_spec.corunners = {&s1, &s2, &s3};
+  op_spec.runs = runs / 4 + 1;
+  op_spec.base_seed = 0x0b5;
+  const auto op = platform::run_campaign(op_spec);
 
   std::cout << "\noperation-mode max (real contenders): "
-            << op.exec_time.max() << " cycles\n"
+            << op.exec_time().max() << " cycles\n"
             << "pWCET@1e-12                         : "
             << result.fit.quantile_exceedance(1e-12) << " cycles\n"
-            << (op.exec_time.max() <=
+            << (op.exec_time().max() <=
                         result.fit.quantile_exceedance(1e-12)
                     ? "bound holds."
                     : "BOUND VIOLATED -- investigate!")

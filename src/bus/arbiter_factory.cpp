@@ -24,6 +24,29 @@ std::string_view to_string(ArbiterKind kind) noexcept {
   return "?";
 }
 
+std::string_view short_name(ArbiterKind kind) noexcept {
+  switch (kind) {
+    case ArbiterKind::kRoundRobin: return "rr";
+    case ArbiterKind::kFifo: return "fifo";
+    case ArbiterKind::kFixedPriority: return "priority";
+    case ArbiterKind::kLottery: return "lottery";
+    case ArbiterKind::kRandomPermutation: return "rp";
+    case ArbiterKind::kTdma: return "tdma";
+    case ArbiterKind::kDeficitRoundRobin: return "drr";
+  }
+  return "?";
+}
+
+std::span<const ArbiterKind> all_arbiter_kinds() noexcept {
+  static constexpr ArbiterKind kAll[] = {
+      ArbiterKind::kRoundRobin,       ArbiterKind::kFifo,
+      ArbiterKind::kFixedPriority,    ArbiterKind::kLottery,
+      ArbiterKind::kRandomPermutation, ArbiterKind::kTdma,
+      ArbiterKind::kDeficitRoundRobin,
+  };
+  return kAll;
+}
+
 ArbiterKind parse_arbiter_kind(std::string_view text) {
   if (text == "rr" || text == "round-robin") return ArbiterKind::kRoundRobin;
   if (text == "fifo") return ArbiterKind::kFifo;

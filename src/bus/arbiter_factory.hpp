@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string_view>
 
 #include "bus/arbiter.hpp"
@@ -25,6 +26,13 @@ enum class ArbiterKind : std::uint8_t {
 
 /// Parse "rr", "fifo", "priority", "lottery", "rp", "tdma" (throws on junk).
 [[nodiscard]] ArbiterKind parse_arbiter_kind(std::string_view text);
+
+/// The short name parse_arbiter_kind accepts for each kind ("rr", "rp",
+/// "drr", ...) -- the single source for CLI listings and usage text.
+[[nodiscard]] std::string_view short_name(ArbiterKind kind) noexcept;
+
+/// Every arbiter kind, in declaration order.
+[[nodiscard]] std::span<const ArbiterKind> all_arbiter_kinds() noexcept;
 
 /// Build an arbiter. `bank` supplies channels for the randomized policies;
 /// `tdma_slot` is the TDMA slot width / DRR quantum (MaxL), ignored by

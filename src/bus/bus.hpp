@@ -52,6 +52,29 @@ struct BusStatistics {
   Cycle idle_cycles = 0;   ///< cycles the bus was idle (incl. arbitration)
   Cycle total_cycles = 0;  ///< cycles ticked
 
+  /// Sums of the per-master counters, computed in one pass. Callers that
+  /// derive several shares (the metrics probes) take totals() once
+  /// instead of re-summing per master.
+  struct Totals {
+    std::uint64_t requests = 0;
+    std::uint64_t grants = 0;
+    std::uint64_t completions = 0;
+    Cycle wait_cycles = 0;
+    Cycle hold_cycles = 0;
+  };
+
+  [[nodiscard]] Totals totals() const {
+    Totals t;
+    for (const auto& pm : master) {
+      t.requests += pm.requests;
+      t.grants += pm.grants;
+      t.completions += pm.completions;
+      t.wait_cycles += pm.wait_cycles;
+      t.hold_cycles += pm.hold_cycles;
+    }
+    return t;
+  }
+
   /// Fraction of all ticked cycles master m held the bus.
   [[nodiscard]] double occupancy_share(MasterId m) const {
     CBUS_EXPECTS(m < master.size());
@@ -61,14 +84,19 @@ struct BusStatistics {
                      static_cast<double>(total_cycles);
   }
 
-  /// Fraction of all grants that went to master m.
-  [[nodiscard]] double grant_share(MasterId m) const {
+  /// Fraction of all grants that went to master m, against a precomputed
+  /// totals() -- O(1), for callers deriving every master's share.
+  [[nodiscard]] double grant_share(MasterId m, const Totals& t) const {
     CBUS_EXPECTS(m < master.size());
-    std::uint64_t total = 0;
-    for (const auto& pm : master) total += pm.grants;
-    return total == 0 ? 0.0
-                      : static_cast<double>(master[m].grants) /
-                            static_cast<double>(total);
+    return t.grants == 0 ? 0.0
+                         : static_cast<double>(master[m].grants) /
+                               static_cast<double>(t.grants);
+  }
+
+  /// Fraction of all grants that went to master m (convenience form;
+  /// re-sums the grant total on every call).
+  [[nodiscard]] double grant_share(MasterId m) const {
+    return grant_share(m, totals());
   }
 };
 

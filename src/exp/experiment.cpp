@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/contracts.hpp"
+#include "metrics/probes.hpp"
 #include "platform/config_file.hpp"
 #include "workloads/eembc_like.hpp"
 
@@ -87,6 +88,38 @@ WorkloadSpec parse_workload(const std::string& text) {
   return spec;
 }
 
+std::vector<std::string> parse_metric_selection(const std::string& value) {
+  // Commas and whitespace both separate entries, so the directive reads
+  // naturally either way.
+  std::string spaced = value;
+  for (char& c : spaced) {
+    if (c == ',') c = ' ';
+  }
+  const std::vector<std::string> entries = split_words(spaced);
+  CBUS_EXPECTS_MSG(!entries.empty(), "empty metrics selection");
+
+  if (entries.size() == 1 && entries[0] == "all") {
+    std::vector<std::string> all;
+    for (const metrics::MetricInfo& info : metrics::metric_catalog()) {
+      all.emplace_back(info.key);
+    }
+    return all;
+  }
+
+  for (const std::string& entry : entries) {
+    const metrics::KeyRef ref = metrics::parse_key_ref(entry);
+    const metrics::MetricInfo* info = metrics::find_metric(ref.base);
+    CBUS_EXPECTS_MSG(info != nullptr,
+                     "unknown metric key '" + ref.base +
+                         "' (see `cbus_sim --list metrics`)");
+    CBUS_EXPECTS_MSG(ref.element == std::nullopt || info->per_master,
+                     "'" + ref.base +
+                         "' is a scalar metric; [index] selects elements "
+                         "of per-master metrics only");
+  }
+  return entries;
+}
+
 std::string_view to_string(Scenario scenario) noexcept {
   switch (scenario) {
     case Scenario::kIsolation: return "iso";
@@ -95,6 +128,16 @@ std::string_view to_string(Scenario scenario) noexcept {
     case Scenario::kCorun: return "corun";
   }
   return "?";
+}
+
+std::span<const Scenario> all_scenarios() noexcept {
+  static constexpr Scenario kAll[] = {
+      Scenario::kIsolation,
+      Scenario::kMaxContention,
+      Scenario::kStream,
+      Scenario::kCorun,
+  };
+  return kAll;
 }
 
 Scenario parse_scenario(const std::string& text) {
@@ -199,6 +242,12 @@ ExperimentSpec parse_experiment(std::istream& in) {
                        where + "max_cycles must be positive");
     } else if (key == "pwcet") {
       spec.pwcet = parse_switch(value, key, line_no);
+    } else if (key == "metrics") {
+      try {
+        spec.metrics = parse_metric_selection(value);
+      } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(where + e.what());
+      }
     } else if (key == "summary") {
       spec.summary = parse_switch(value, key, line_no);
     } else if (key == "csv") {

@@ -17,6 +17,7 @@
 //   csv      = results.csv          # per-run rows ("-" = stdout)
 //   json     = results.json         # structured summary ("-" = stdout)
 //   pwcet    = on                   # per-job MBPTA columns
+//   metrics  = fair.jain_occupancy,bus.occupancy_share   # or `all`
 //
 // Per-core workload assignments drive the `corun` scenario (core 0 is
 // always the task under analysis):
@@ -39,6 +40,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -71,6 +73,14 @@ struct WorkloadSpec {
 /// Parse "matrix" / "stream" / "stream:4" / "idle"; throws on junk.
 [[nodiscard]] WorkloadSpec parse_workload(const std::string& text);
 
+/// Parse a `metrics` selection: `all` (the whole probe catalog, in
+/// catalog order) or a comma- and/or whitespace-separated list of
+/// catalog keys, each optionally addressing one vector element
+/// (`bus.occupancy_share[2]`). Throws std::invalid_argument on unknown
+/// keys, malformed references, or an element index on a scalar key.
+[[nodiscard]] std::vector<std::string> parse_metric_selection(
+    const std::string& value);
+
 /// Space-joined names of every known kernel, for error messages.
 [[nodiscard]] std::string known_kernel_list();
 
@@ -86,6 +96,10 @@ enum class Scenario : std::uint8_t {
 
 /// Parse "iso" / "con" / "stream" / "corun"; throws on junk.
 [[nodiscard]] Scenario parse_scenario(const std::string& text);
+
+/// Every scenario, in declaration order -- the single source for CLI
+/// listings (`cbus_sim --list scenarios`).
+[[nodiscard]] std::span<const Scenario> all_scenarios() noexcept;
 
 /// Everything a parsed experiment file declares.
 struct ExperimentSpec {
@@ -109,6 +123,11 @@ struct ExperimentSpec {
   std::uint64_t seed = 0xC0FFEE;    ///< master seed (per-job seeds derive)
   Cycle max_cycles = 50'000'000;    ///< per-run cycle budget
   bool pwcet = false;               ///< per-job MBPTA analysis
+
+  /// Metric selections from the `metrics` directive, in declaration
+  /// order: catalog keys (`fair.jain_occupancy`), optionally one vector
+  /// element (`bus.occupancy_share[2]`). Empty = no metric columns.
+  std::vector<std::string> metrics;
 
   std::string csv_path;             ///< per-run CSV; "-" = stdout
   std::string json_path;            ///< JSON document; "-" = stdout

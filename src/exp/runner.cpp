@@ -182,46 +182,48 @@ JobResult run_job(const ExperimentSpec& spec, const Job& job) {
   out.seed = job.seed;
   try {
     auto tua = workloads::make_eembc(job.kernel);
-    platform::CampaignConfig campaign;
+    platform::CampaignSpec campaign;
+    campaign.config = job.config;
+    campaign.tua = tua.get();
     campaign.base_seed = job.seed;
     campaign.runs = spec.runs;
     campaign.max_cycles = spec.max_cycles;
 
+    // Owned co-runner streams (kStream/kCorun); campaign.corunners holds
+    // non-owning views into this vector.
+    std::vector<std::unique_ptr<cpu::OpStream>> owned;
     switch (job.scenario) {
       case Scenario::kIsolation:
-        out.campaign = platform::run_isolation(job.config, *tua, campaign);
+        campaign.protocol = platform::CampaignSpec::Protocol::kIsolation;
         break;
       case Scenario::kMaxContention:
-        out.campaign =
-            platform::run_max_contention(job.config, *tua, campaign);
+        campaign.protocol =
+            platform::CampaignSpec::Protocol::kMaxContention;
         break;
-      case Scenario::kStream: {
+      case Scenario::kStream:
         // The legacy cbus_sim scenario: saturating streaming readers on
         // every other core, capped at three.
-        workloads::StreamingStream s1(0), s2(0), s3(0);
-        std::vector<cpu::OpStream*> streams{&s1, &s2, &s3};
-        streams.resize(std::min<std::size_t>(streams.size(),
-                                             job.config.n_cores - 1));
-        out.campaign = platform::run_with_corunners(job.config, *tua,
-                                                    streams, campaign);
+        campaign.protocol = platform::CampaignSpec::Protocol::kCorun;
+        for (std::uint32_t i = 0;
+             i < std::min<std::uint32_t>(3, job.config.n_cores - 1); ++i) {
+          owned.push_back(std::make_unique<workloads::StreamingStream>(0));
+        }
         break;
-      }
-      case Scenario::kCorun: {
-        const auto owned = make_corunners(spec, job.config.n_cores);
-        std::vector<cpu::OpStream*> streams;
-        streams.reserve(owned.size());
-        for (const auto& s : owned) streams.push_back(s.get());
-        out.campaign = platform::run_with_corunners(job.config, *tua,
-                                                    streams, campaign);
+      case Scenario::kCorun:
+        campaign.protocol = platform::CampaignSpec::Protocol::kCorun;
+        owned = make_corunners(spec, job.config.n_cores);
         break;
-      }
     }
+    campaign.corunners.reserve(owned.size());
+    for (const auto& s : owned) campaign.corunners.push_back(s.get());
+
+    out.campaign = platform::run_campaign(campaign);
 
     if (spec.pwcet) {
       mbpta::MbptaConfig mcfg;
       mcfg.block_size = std::max<std::size_t>(2, spec.runs / 30);
       try {
-        out.mbpta = mbpta::analyze(out.campaign.samples, mcfg);
+        out.mbpta = mbpta::analyze(out.campaign.samples(), mcfg);
       } catch (const std::exception& e) {
         out.mbpta_error = e.what();
       }

@@ -1,11 +1,14 @@
 #include "exp/sinks.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <ostream>
 
 #include "common/contracts.hpp"
+#include "metrics/record.hpp"
 
 namespace cbus::exp {
 
@@ -75,15 +78,70 @@ namespace {
   return "";
 }
 
+/// One rendered metric column: a key plus the element it reads.
+struct MetricColumn {
+  std::string header;   ///< bare key, or key[i] for vector elements
+  std::string base;     ///< key without the element suffix
+  std::size_t element = 0;
+};
+
+/// Resolve the spec's metric selections against the result set. A bare
+/// per-master key expands to one column per element, sized by the widest
+/// finished job (a `cores` sweep makes widths job-dependent; narrower
+/// jobs render empty cells). Column layout depends only on the job
+/// results, so it is identical for any worker-thread count.
+[[nodiscard]] std::vector<MetricColumn> metric_columns(
+    const ExperimentSpec& spec, const std::vector<JobResult>& results) {
+  std::vector<MetricColumn> columns;
+  for (const std::string& entry : spec.metrics) {
+    const metrics::KeyRef ref = metrics::parse_key_ref(entry);
+    if (ref.element.has_value()) {
+      columns.push_back(MetricColumn{entry, ref.base, *ref.element});
+      continue;
+    }
+    std::size_t width = 0;
+    bool vector_valued = false;
+    for (const JobResult& job : results) {
+      if (job.failed() || !job.campaign.aggregate.has(ref.base)) continue;
+      width = std::max(width, job.campaign.aggregate.width(ref.base));
+      vector_valued |= job.campaign.aggregate.is_vector(ref.base);
+    }
+    if (!vector_valued) {
+      columns.push_back(MetricColumn{ref.base, ref.base, 0});
+      continue;
+    }
+    for (std::size_t e = 0; e < width; ++e) {
+      columns.push_back(
+          MetricColumn{metrics::element_key(ref.base, e), ref.base, e});
+    }
+  }
+  return columns;
+}
+
+/// The per-run value of one metric column, "" when the job lacks the key
+/// or the element (narrow jobs under a `cores` sweep).
+[[nodiscard]] std::string metric_cell(const JobResult& job,
+                                      const MetricColumn& column,
+                                      std::size_t run) {
+  const auto& aggregate = job.campaign.aggregate;
+  if (!aggregate.has(column.base) ||
+      column.element >= aggregate.width(column.base)) {
+    return "";
+  }
+  return fmt(aggregate.element_samples(column.base, column.element)[run]);
+}
+
 class CsvSink final : public ResultSink {
  public:
   void write(const ExperimentSpec& spec,
              const std::vector<JobResult>& results,
              std::ostream& out) const override {
     const auto extra = extra_axis_keys(spec);
+    const auto metric_cols = metric_columns(spec, results);
     out << "job,kernel,scenario";
     for (const auto& key : extra) out << ',' << key;
     out << ",seed,run,cycles";
+    for (const auto& column : metric_cols) out << ',' << column.header;
     if (spec.pwcet) {
       out << ",gumbel_location,gumbel_scale,pwcet_1e-9,pwcet_1e-12";
     }
@@ -106,14 +164,63 @@ class CsvSink final : public ResultSink {
         }
         suffix += ',' + pwcet_at(job, 1e-9) + ',' + pwcet_at(job, 1e-12);
       }
-      const auto& samples = job.campaign.samples;
+      const auto& samples = job.campaign.samples();
       for (std::size_t run = 0; run < samples.size(); ++run) {
-        out << prefix << ',' << run << ',' << fmt(samples[run]) << suffix
-            << '\n';
+        out << prefix << ',' << run << ',' << fmt(samples[run]);
+        for (const auto& column : metric_cols) {
+          out << ',' << metric_cell(job, column, run);
+        }
+        out << suffix << '\n';
       }
     }
   }
 };
+
+/// JSON has no inf/nan literals; non-finite metric values (the
+/// fair.maxmin_* infinity contract over idle masters, and the NaN a
+/// Welford mean over infinities degrades to) render as null.
+[[nodiscard]] std::string json_number(double x) {
+  return std::isfinite(x) ? fmt(x) : "null";
+}
+
+/// {"mean": ..., "min": ..., "max": ..., "stddev": ...} for one element.
+void write_element_stats(std::ostream& out, const stats::OnlineStats& s) {
+  out << "{\"mean\": " << json_number(s.mean()) << ", \"min\": "
+      << json_number(s.min()) << ", \"max\": " << json_number(s.max())
+      << ", \"stddev\": " << json_number(s.stddev()) << '}';
+}
+
+/// One selected metric as a JSON value: per-element stats objects --
+/// an array for full per-master keys, a single object otherwise, null
+/// when the job never produced the key/element.
+void write_metric_json(std::ostream& out, const JobResult& job,
+                       const std::string& entry) {
+  const metrics::KeyRef ref = metrics::parse_key_ref(entry);
+  const auto& aggregate = job.campaign.aggregate;
+  if (!aggregate.has(ref.base)) {
+    out << "null";
+    return;
+  }
+  const std::size_t width = aggregate.width(ref.base);
+  if (ref.element.has_value()) {
+    if (*ref.element >= width) {
+      out << "null";
+      return;
+    }
+    write_element_stats(out, aggregate.element_stats(ref.base, *ref.element));
+    return;
+  }
+  if (!aggregate.is_vector(ref.base)) {
+    write_element_stats(out, aggregate.element_stats(ref.base));
+    return;
+  }
+  out << '[';
+  for (std::size_t e = 0; e < width; ++e) {
+    if (e != 0) out << ", ";
+    write_element_stats(out, aggregate.element_stats(ref.base, e));
+  }
+  out << ']';
+}
 
 class JsonSink final : public ResultSink {
  public:
@@ -145,22 +252,31 @@ class JsonSink final : public ResultSink {
             << "\"\n    }";
         continue;
       }
-      const auto& stats = job.campaign.exec_time;
+      const auto& stats = job.campaign.exec_time();
       out << ",\n      \"mean\": " << fmt(stats.mean());
       out << ",\n      \"min\": " << fmt(stats.min());
       out << ",\n      \"max\": " << fmt(stats.max());
       out << ",\n      \"ci95\": " << fmt(stats.ci95_halfwidth());
       out << ",\n      \"bus_util\": "
-          << fmt(job.campaign.bus_utilization.mean());
+          << fmt(job.campaign.bus_utilization().mean());
       out << ",\n      \"unfinished\": " << job.campaign.unfinished_runs;
       out << ",\n      \"credit_underflows\": "
-          << job.campaign.credit_underflows;
+          << job.campaign.credit_underflows();
       out << ",\n      \"samples\": [";
-      const auto& samples = job.campaign.samples;
+      const auto& samples = job.campaign.samples();
       for (std::size_t i = 0; i < samples.size(); ++i) {
         out << (i == 0 ? "" : ", ") << fmt(samples[i]);
       }
       out << ']';
+      if (!spec.metrics.empty()) {
+        out << ",\n      \"metrics\": {";
+        for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
+          out << (m == 0 ? "\n" : ",\n");
+          out << "        \"" << json_escape(spec.metrics[m]) << "\": ";
+          write_metric_json(out, job, spec.metrics[m]);
+        }
+        out << "\n      }";
+      }
       if (job.mbpta.has_value()) {
         const auto& m = *job.mbpta;
         out << ",\n      \"pwcet\": {\n";
@@ -210,12 +326,12 @@ class SummarySink final : public ResultSink {
         out << " ERROR: " << job.error << '\n';
         continue;
       }
-      const auto& stats = job.campaign.exec_time;
+      const auto& stats = job.campaign.exec_time();
       char line[160];
       std::snprintf(line, sizeof line,
                     " | mean=%.6g ci95=%.3g min=%.6g max=%.6g util=%.3f",
                     stats.mean(), stats.ci95_halfwidth(), stats.min(),
-                    stats.max(), job.campaign.bus_utilization.mean());
+                    stats.max(), job.campaign.bus_utilization().mean());
       out << line;
       if (job.campaign.unfinished_runs != 0) {
         out << " unfinished=" << job.campaign.unfinished_runs;

@@ -1,0 +1,134 @@
+#include "metrics/aggregator.hpp"
+
+#include <cstdio>
+
+namespace cbus::metrics {
+
+void Aggregator::add(const Record& run) {
+  if (runs_ == 0) {
+    keys_.reserve(run.size());
+    for (const auto& [key, value] : run) {
+      KeyAggregate agg;
+      agg.key = key;
+      agg.vector_valued = value.is_vector();
+      agg.stats.resize(value.size());
+      agg.samples.resize(value.size());
+      keys_.push_back(std::move(agg));
+    }
+  } else {
+    CBUS_EXPECTS_MSG(run.size() == keys_.size(),
+                     "record key set does not match the campaign's");
+  }
+
+  std::size_t slot = 0;
+  for (const auto& [key, value] : run) {
+    KeyAggregate& agg = keys_[slot++];
+    CBUS_EXPECTS_MSG(key == agg.key,
+                     "record key order changed mid-campaign: '" + key +
+                         "' vs '" + agg.key + "'");
+    CBUS_EXPECTS_MSG(value.size() == agg.stats.size(),
+                     "metric '" + key + "' changed width mid-campaign");
+    const auto elements = value.elements();
+    for (std::size_t e = 0; e < elements.size(); ++e) {
+      agg.stats[e].add(elements[e]);
+      agg.samples[e].push_back(elements[e]);
+    }
+  }
+  ++runs_;
+}
+
+const Aggregator::KeyAggregate* Aggregator::find(
+    std::string_view key) const noexcept {
+  for (const auto& agg : keys_) {
+    if (agg.key == key) return &agg;
+  }
+  return nullptr;
+}
+
+const Aggregator::KeyAggregate& Aggregator::at(std::string_view key) const {
+  const KeyAggregate* agg = find(key);
+  CBUS_EXPECTS_MSG(agg != nullptr,
+                   "no such metric key: " + std::string(key));
+  return *agg;
+}
+
+bool Aggregator::has(std::string_view key) const noexcept {
+  return find(key) != nullptr;
+}
+
+std::vector<std::string> Aggregator::keys() const {
+  std::vector<std::string> out;
+  out.reserve(keys_.size());
+  for (const auto& agg : keys_) out.push_back(agg.key);
+  return out;
+}
+
+std::size_t Aggregator::width(std::string_view key) const noexcept {
+  const KeyAggregate* agg = find(key);
+  return agg == nullptr ? 0 : agg->stats.size();
+}
+
+bool Aggregator::is_vector(std::string_view key) const {
+  return at(key).vector_valued;
+}
+
+const stats::OnlineStats& Aggregator::element_stats(
+    std::string_view key, std::size_t element) const {
+  const KeyAggregate& agg = at(key);
+  CBUS_EXPECTS_MSG(element < agg.stats.size(),
+                   "element out of range for metric '" + std::string(key) +
+                       "'");
+  return agg.stats[element];
+}
+
+const std::vector<double>& Aggregator::element_samples(
+    std::string_view key, std::size_t element) const {
+  const KeyAggregate& agg = at(key);
+  CBUS_EXPECTS_MSG(element < agg.samples.size(),
+                   "element out of range for metric '" + std::string(key) +
+                       "'");
+  return agg.samples[element];
+}
+
+namespace {
+
+/// "p95", "p99.9": shortest %g rendering of the percentile.
+[[nodiscard]] std::string percentile_suffix(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "p%g", p);
+  return buf;
+}
+
+}  // namespace
+
+Record Aggregator::summarize(std::span<const double> percentiles) const {
+  for (const double p : percentiles) {
+    CBUS_EXPECTS_MSG(p >= 0.0 && p <= 100.0,
+                     "percentiles must be in [0, 100]");
+  }
+  Record out;
+  for (const auto& agg : keys_) {
+    const std::size_t width = agg.stats.size();
+    const auto emit = [&](const std::string& suffix, auto&& per_element) {
+      if (agg.vector_valued) {
+        std::vector<double> values(width);
+        for (std::size_t e = 0; e < width; ++e) values[e] = per_element(e);
+        out.set(agg.key + '.' + suffix, std::move(values));
+      } else {
+        out.set(agg.key + '.' + suffix, per_element(0));
+      }
+    };
+    emit("mean", [&](std::size_t e) { return agg.stats[e].mean(); });
+    emit("min", [&](std::size_t e) { return agg.stats[e].min(); });
+    emit("max", [&](std::size_t e) { return agg.stats[e].max(); });
+    emit("stddev", [&](std::size_t e) { return agg.stats[e].stddev(); });
+    for (const double p : percentiles) {
+      emit(percentile_suffix(p), [&](std::size_t e) {
+        return stats::quantile(agg.samples[e], p / 100.0);
+      });
+    }
+  }
+  return out;
+}
+
+}  // namespace cbus::metrics

@@ -1,0 +1,73 @@
+// metrics::Aggregator -- folds per-run Records into per-campaign
+// statistics.
+//
+// The first record added defines the key set and the element width of
+// every key; later records must match (a campaign's platform shape is
+// fixed, so a width change is a probe bug, not data). Per key and element
+// the aggregator keeps an OnlineStats digest plus the raw sample series
+// in run order, so sinks can render both summary columns (mean/min/max/
+// stddev/percentiles) and per-run rows without re-running anything.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/record.hpp"
+#include "stats/summary.hpp"
+
+namespace cbus::metrics {
+
+class Aggregator {
+ public:
+  /// Fold one per-run record. Precondition: the key set and per-key
+  /// widths match every previously added record.
+  void add(const Record& run);
+
+  [[nodiscard]] std::uint64_t runs() const noexcept { return runs_; }
+  [[nodiscard]] bool empty() const noexcept { return runs_ == 0; }
+
+  [[nodiscard]] bool has(std::string_view key) const noexcept;
+
+  /// Keys in first-seen (probe) order.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Element count of `key` (1 for scalars); 0 when the key is absent.
+  [[nodiscard]] std::size_t width(std::string_view key) const noexcept;
+
+  /// True when `key` was added as a vector (even a 1-element one).
+  [[nodiscard]] bool is_vector(std::string_view key) const;
+
+  /// Per-element digest; preconditions: has(key), element < width(key).
+  [[nodiscard]] const stats::OnlineStats& element_stats(
+      std::string_view key, std::size_t element = 0) const;
+
+  /// Per-element raw series in run order; same preconditions.
+  [[nodiscard]] const std::vector<double>& element_samples(
+      std::string_view key, std::size_t element = 0) const;
+
+  /// Summary record: for every key K emit `K.mean`, `K.min`, `K.max` and
+  /// `K.stddev` (vector-shaped when K is), plus `K.p<P>` per requested
+  /// percentile. Percentiles are in [0, 100] and render with %g (99.9 ->
+  /// "K.p99.9"). Empty aggregators summarize to an empty record.
+  [[nodiscard]] Record summarize(
+      std::span<const double> percentiles = {}) const;
+
+ private:
+  struct KeyAggregate {
+    std::string key;
+    bool vector_valued = false;
+    std::vector<stats::OnlineStats> stats;     ///< one per element
+    std::vector<std::vector<double>> samples;  ///< [element][run]
+  };
+
+  [[nodiscard]] const KeyAggregate* find(std::string_view key) const noexcept;
+  [[nodiscard]] const KeyAggregate& at(std::string_view key) const;
+
+  std::vector<KeyAggregate> keys_;
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace cbus::metrics

@@ -1,0 +1,119 @@
+#include "metrics/probes.hpp"
+
+#include <array>
+
+#include "stats/fairness.hpp"
+
+namespace cbus::metrics {
+
+void probe_tua(Cycle tua_cycles, const cpu::CoreStats& stats, Record& out) {
+  out.set("tua.cycles", static_cast<double>(tua_cycles));
+  out.set("tua.bus_requests", static_cast<double>(stats.bus_requests));
+  out.set("tua.bus_stall_cycles",
+          static_cast<double>(stats.bus_stall_cycles));
+}
+
+void probe_bus(const bus::BusStatistics& stats, Record& out) {
+  const auto totals = stats.totals();
+  out.set("bus.utilization",
+          stats.total_cycles == 0
+              ? 0.0
+              : static_cast<double>(stats.busy_cycles) /
+                    static_cast<double>(stats.total_cycles));
+
+  const std::size_t n = stats.master.size();
+  std::vector<double> occupancy(n);
+  std::vector<double> grants(n);
+  std::vector<double> requests(n);
+  std::vector<double> mean_wait(n);
+  std::vector<double> max_wait(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    const auto& pm = stats.master[m];
+    const auto master_id = static_cast<MasterId>(m);
+    occupancy[m] = stats.occupancy_share(master_id);
+    grants[m] = stats.grant_share(master_id, totals);
+    requests[m] = static_cast<double>(pm.requests);
+    mean_wait[m] = pm.grants == 0
+                       ? 0.0
+                       : static_cast<double>(pm.wait_cycles) /
+                             static_cast<double>(pm.grants);
+    max_wait[m] = static_cast<double>(pm.max_wait);
+  }
+  out.set("bus.occupancy_share", std::move(occupancy));
+  out.set("bus.grant_share", std::move(grants));
+  out.set("bus.requests", std::move(requests));
+  out.set("bus.mean_wait", std::move(mean_wait));
+  out.set("bus.max_wait", std::move(max_wait));
+}
+
+void probe_fairness(const bus::BusStatistics& stats, Record& out) {
+  // Jain and max-min are scale-invariant, so raw cycle/grant counts give
+  // the same indices as normalised shares without a division.
+  const std::size_t n = stats.master.size();
+  std::vector<double> occupancy(n);
+  std::vector<double> grants(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    occupancy[m] = static_cast<double>(stats.master[m].hold_cycles);
+    grants[m] = static_cast<double>(stats.master[m].grants);
+  }
+  out.set("fair.jain_occupancy", stats::jain_index(occupancy));
+  out.set("fair.jain_grants", stats::jain_index(grants));
+  out.set("fair.maxmin_occupancy", stats::max_min_ratio(occupancy));
+  out.set("fair.maxmin_grants", stats::max_min_ratio(grants));
+}
+
+void probe_credit(const core::CreditFilter* filter, Record& out) {
+  if (filter == nullptr) {
+    out.set("credit.underflows", 0.0);
+    return;
+  }
+  const core::CreditState& state = filter->state();
+  out.set("credit.underflows",
+          static_cast<double>(state.underflow_clamps()));
+  std::vector<double> budgets(state.config().n_masters);
+  for (std::size_t m = 0; m < budgets.size(); ++m) {
+    budgets[m] = state.budget_cycles(static_cast<MasterId>(m));
+  }
+  out.set("credit.budget", std::move(budgets));
+}
+
+std::span<const MetricInfo> metric_catalog() {
+  static const std::array<MetricInfo, 15> kCatalog{{
+      {"tua.cycles", false,
+       "execution time of the task under analysis (cycles)"},
+      {"tua.bus_requests", false, "bus requests issued by the TuA"},
+      {"tua.bus_stall_cycles", false,
+       "TuA cycles blocked on an outstanding bus request"},
+      {"bus.utilization", false, "fraction of cycles a transfer was in flight"},
+      {"bus.occupancy_share", true,
+       "fraction of all cycles each master held the bus"},
+      {"bus.grant_share", true, "fraction of all grants each master won"},
+      {"bus.requests", true, "requests raised per master"},
+      {"bus.mean_wait", true,
+       "mean request-to-grant wait per master (cycles)"},
+      {"bus.max_wait", true,
+       "worst single-request wait per master (cycles)"},
+      {"fair.jain_occupancy", false,
+       "Jain's index over per-master occupancy cycles (CBA equalises this)"},
+      {"fair.jain_grants", false,
+       "Jain's index over per-master grant counts (RR/FIFO equalise this)"},
+      {"fair.maxmin_occupancy", false,
+       "max/min ratio of per-master occupancy cycles"},
+      {"fair.maxmin_grants", false,
+       "max/min ratio of per-master grant counts"},
+      {"credit.underflows", false,
+       "cycles a CBA counter clamped at zero (0 without CBA)"},
+      {"credit.budget", true,
+       "end-of-run CBA budget per master in cycles (CBA setups only)"},
+  }};
+  return kCatalog;
+}
+
+const MetricInfo* find_metric(std::string_view key) noexcept {
+  for (const MetricInfo& info : metric_catalog()) {
+    if (info.key == key) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace cbus::metrics

@@ -1,0 +1,59 @@
+// Probes: extract metric Records from the simulator's raw statistics
+// structs after a run.
+//
+// A probe appends keys to a Record; the union of the standard probes is
+// the canonical per-run record every campaign produces. The catalog below
+// is the single source of truth for the key names -- experiment files
+// select columns by these names (`metrics = fair.jain_occupancy,...`)
+// and `cbus_sim --list metrics` prints them.
+//
+// Key naming scheme: `<subsystem>.<quantity>`, lower_snake_case, with
+// per-master quantities as vector values addressed `key[i]` in column
+// headers and selections.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "bus/bus.hpp"
+#include "core/credit_filter.hpp"
+#include "cpu/core_config.hpp"
+#include "metrics/record.hpp"
+
+namespace cbus::metrics {
+
+/// Task-under-analysis timing and traffic: tua.cycles, tua.bus_requests,
+/// tua.bus_stall_cycles.
+void probe_tua(Cycle tua_cycles, const cpu::CoreStats& stats, Record& out);
+
+/// Bus-level occupancy accounting: bus.utilization plus the per-master
+/// vectors bus.occupancy_share, bus.grant_share, bus.requests,
+/// bus.mean_wait and bus.max_wait. Shares are computed from one
+/// BusStatistics::totals() pass.
+void probe_bus(const bus::BusStatistics& stats, Record& out);
+
+/// Fairness indices over the per-master allocation vectors -- the paper's
+/// central occupancy-vs-request-count comparison: fair.jain_occupancy,
+/// fair.jain_grants, fair.maxmin_occupancy, fair.maxmin_grants.
+void probe_fairness(const bus::BusStatistics& stats, Record& out);
+
+/// CBA credit accounting: credit.underflows (0 when no filter is
+/// installed) and, with a filter, the per-master credit.budget vector of
+/// end-of-run budgets in cycles.
+void probe_credit(const core::CreditFilter* filter, Record& out);
+
+/// One catalog entry per standard probe key.
+struct MetricInfo {
+  std::string_view key;
+  bool per_master = false;  ///< vector value, one element per master
+  /// Emitted by every campaign ("always") or only under a condition.
+  std::string_view description;
+};
+
+/// Every key the standard probes can emit, in probe order.
+[[nodiscard]] std::span<const MetricInfo> metric_catalog();
+
+/// Catalog lookup by base key (no [i] suffix); nullptr when unknown.
+[[nodiscard]] const MetricInfo* find_metric(std::string_view key) noexcept;
+
+}  // namespace cbus::metrics

@@ -1,0 +1,68 @@
+#include "metrics/record.hpp"
+
+namespace cbus::metrics {
+
+void Record::set(std::string_view key, Value value) {
+  CBUS_EXPECTS_MSG(!key.empty(), "metric keys must be non-empty");
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(std::string(key), std::move(value));
+}
+
+const Value* Record::find(std::string_view key) const noexcept {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Record::at(std::string_view key) const {
+  const Value* value = find(key);
+  CBUS_EXPECTS_MSG(value != nullptr,
+                   "no such metric key: " + std::string(key));
+  return *value;
+}
+
+std::vector<std::string> Record::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) out.push_back(k);
+  return out;
+}
+
+KeyRef parse_key_ref(std::string_view text) {
+  const auto open = text.find('[');
+  if (open == std::string_view::npos) {
+    CBUS_EXPECTS_MSG(text.find(']') == std::string_view::npos,
+                     "malformed metric key '" + std::string(text) + "'");
+    CBUS_EXPECTS_MSG(!text.empty(), "empty metric key");
+    return KeyRef{std::string(text), std::nullopt};
+  }
+  CBUS_EXPECTS_MSG(open != 0 && text.back() == ']' &&
+                       text.size() >= open + 3,
+                   "malformed metric key '" + std::string(text) +
+                       "' (want key or key[index])");
+  const std::string_view digits = text.substr(open + 1,
+                                              text.size() - open - 2);
+  std::size_t index = 0;
+  for (const char c : digits) {
+    CBUS_EXPECTS_MSG(c >= '0' && c <= '9',
+                     "bad element index in metric key '" +
+                         std::string(text) + "'");
+    index = index * 10 + static_cast<std::size_t>(c - '0');
+    CBUS_EXPECTS_MSG(index <= 1'000'000,
+                     "element index out of range in metric key '" +
+                         std::string(text) + "'");
+  }
+  return KeyRef{std::string(text.substr(0, open)), index};
+}
+
+std::string element_key(std::string_view base, std::size_t i) {
+  return std::string(base) + '[' + std::to_string(i) + ']';
+}
+
+}  // namespace cbus::metrics

@@ -1,0 +1,122 @@
+// metrics::Record -- the typed metric-record API carried from probe to
+// sink.
+//
+// A Record is an ordered list of (key, value) pairs where values are
+// either a scalar or a per-master vector of doubles. Keys are stable,
+// dot-scoped names (`tua.cycles`, `bus.occupancy_share`,
+// `fair.jain_occupancy`); a vector element is addressed by suffixing an
+// index in brackets (`bus.occupancy_share[2]`). Everything downstream of
+// a run -- campaign aggregation, experiment sinks, CLI listings -- speaks
+// records, so a new quantity is one probe line, never a new struct field
+// plus hand-edited sinks.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace cbus::metrics {
+
+/// A metric value: one double, or one double per bus master.
+class Value {
+ public:
+  enum class Kind : std::uint8_t { kScalar, kVector };
+
+  Value() = default;
+  /*implicit*/ Value(double scalar) : scalar_(scalar) {}
+  /*implicit*/ Value(std::vector<double> elements)
+      : kind_(Kind::kVector), vector_(std::move(elements)) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_vector() const noexcept {
+    return kind_ == Kind::kVector;
+  }
+
+  /// The scalar payload; precondition: kind() == kScalar.
+  [[nodiscard]] double scalar() const {
+    CBUS_EXPECTS(kind_ == Kind::kScalar);
+    return scalar_;
+  }
+
+  /// Uniform element view: scalars look like a 1-element span.
+  [[nodiscard]] std::span<const double> elements() const noexcept {
+    return is_vector() ? std::span<const double>(vector_)
+                       : std::span<const double>(&scalar_, 1);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return elements().size();
+  }
+
+  [[nodiscard]] double operator[](std::size_t i) const {
+    CBUS_EXPECTS(i < size());
+    return elements()[i];
+  }
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  Kind kind_ = Kind::kScalar;
+  double scalar_ = 0.0;
+  std::vector<double> vector_;
+};
+
+/// Ordered string-keyed metric record. Insertion order is preserved (it
+/// defines column order in sinks); setting an existing key replaces its
+/// value in place. Lookup is linear -- records hold tens of keys.
+class Record {
+ public:
+  void set(std::string_view key, Value value);
+  void set(std::string_view key, double scalar) { set(key, Value(scalar)); }
+  void set(std::string_view key, std::vector<double> elements) {
+    set(key, Value(std::move(elements)));
+  }
+
+  [[nodiscard]] bool has(std::string_view key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  /// The value under `key`, or nullptr when absent.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+
+  /// The value under `key`; precondition: has(key).
+  [[nodiscard]] const Value& at(std::string_view key) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  [[nodiscard]] auto begin() const noexcept { return entries_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return entries_.end(); }
+
+  /// Key names in insertion order.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  friend bool operator==(const Record&, const Record&) = default;
+
+ private:
+  std::vector<std::pair<std::string, Value>> entries_;
+};
+
+/// A parsed metric-key reference: the bare key, or one vector element.
+struct KeyRef {
+  std::string base;                   ///< key without any [i] suffix
+  std::optional<std::size_t> element; ///< set for `key[i]` references
+
+  friend bool operator==(const KeyRef&, const KeyRef&) = default;
+};
+
+/// Parse "bus.occupancy_share[2]" -> {"bus.occupancy_share", 2} and
+/// "tua.cycles" -> {"tua.cycles", nullopt}. Throws std::invalid_argument
+/// on malformed brackets or a non-numeric index.
+[[nodiscard]] KeyRef parse_key_ref(std::string_view text);
+
+/// Render one element's column name: ("x", 2) -> "x[2]".
+[[nodiscard]] std::string element_key(std::string_view base, std::size_t i);
+
+}  // namespace cbus::metrics

@@ -27,6 +27,12 @@ const std::vector<std::string_view>& config_keys() {
   return keys;
 }
 
+const std::vector<std::string_view>& setup_names() {
+  // Keep in sync with the `setup` branch of parse_config's dispatch.
+  static const std::vector<std::string_view> names = {"rp", "cba", "hcba"};
+  return names;
+}
+
 std::string config_trim(const std::string& text) {
   const auto begin = text.find_first_not_of(" \t");
   if (begin == std::string::npos) return "";

@@ -55,6 +55,10 @@ namespace cbus::platform {
 /// parser) can recognise platform keys without re-listing them.
 [[nodiscard]] const std::vector<std::string_view>& config_keys();
 
+/// Every value the `setup` key accepts ("rp", "cba", "hcba") -- the
+/// single source for CLI listings (`cbus_sim --list setups`).
+[[nodiscard]] const std::vector<std::string_view>& setup_names();
+
 /// Scan the `key = value` dialect shared by platform config files and
 /// experiment files: strips `#` comments and whitespace, skips blank
 /// lines, splits each remaining line on its first '=' and rejects

@@ -1,6 +1,7 @@
 #include "platform/multicore.hpp"
 
 #include "common/contracts.hpp"
+#include "metrics/probes.hpp"
 
 namespace cbus::platform {
 
@@ -102,6 +103,10 @@ RunResult Multicore::collect(bool finished) const {
   for (const auto& c : cores_) {
     result.core_finish.push_back(c->done() ? c->finish_cycle() : 0);
   }
+  metrics::probe_tua(result.tua_cycles, result.tua_stats, result.record);
+  metrics::probe_bus(result.bus_stats, result.record);
+  metrics::probe_fairness(result.bus_stats, result.record);
+  metrics::probe_credit(filter_.get(), result.record);
   return result;
 }
 

@@ -26,6 +26,7 @@
 #include "cpu/in_order_core.hpp"
 #include "cpu/op_stream.hpp"
 #include "mem/partitioned_l2.hpp"
+#include "metrics/record.hpp"
 #include "platform/platform_config.hpp"
 #include "rng/rand_bank.hpp"
 #include "sim/kernel.hpp"
@@ -33,6 +34,11 @@
 namespace cbus::platform {
 
 /// Everything a campaign wants to know about one finished run.
+///
+/// `record` is the probe-extracted metric record (see
+/// metrics/probes.hpp for the key catalog) -- the form campaigns
+/// aggregate and experiment sinks render. The raw statistics structs
+/// stay alongside for tests and tools that inspect a single run.
 struct RunResult {
   bool tua_finished = false;
   Cycle tua_cycles = 0;  ///< execution time of the task under analysis
@@ -40,6 +46,7 @@ struct RunResult {
   bus::BusStatistics bus_stats;
   std::uint64_t credit_underflows = 0;
   std::vector<Cycle> core_finish;  ///< per real core; 0 if unfinished
+  metrics::Record record;          ///< standard per-run metrics
 };
 
 class Multicore {

@@ -12,71 +12,123 @@ std::uint64_t run_seed(std::uint64_t base_seed, std::uint32_t run_index) {
   return seed;
 }
 
-namespace {
+const stats::OnlineStats& CampaignResult::exec_time() const {
+  static const stats::OnlineStats kEmpty;
+  return aggregate.has("tua.cycles") ? aggregate.element_stats("tua.cycles")
+                                     : kEmpty;
+}
 
-[[nodiscard]] CampaignResult run_campaign(
-    const PlatformConfig& config, cpu::OpStream& tua,
-    const std::vector<cpu::OpStream*>& corunners,
-    const CampaignConfig& campaign) {
-  CBUS_EXPECTS(campaign.runs >= 1);
+const std::vector<double>& CampaignResult::samples() const {
+  static const std::vector<double> kEmpty;
+  return aggregate.has("tua.cycles")
+             ? aggregate.element_samples("tua.cycles")
+             : kEmpty;
+}
+
+const stats::OnlineStats& CampaignResult::bus_utilization() const {
+  static const stats::OnlineStats kEmpty;
+  return aggregate.has("bus.utilization")
+             ? aggregate.element_stats("bus.utilization")
+             : kEmpty;
+}
+
+std::uint64_t CampaignResult::credit_underflows() const {
+  if (!aggregate.has("credit.underflows")) return 0;
+  std::uint64_t total = 0;
+  for (const double x : aggregate.element_samples("credit.underflows")) {
+    total += static_cast<std::uint64_t>(x);
+  }
+  return total;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec) {
+  CBUS_EXPECTS_MSG(spec.tua != nullptr, "CampaignSpec.tua is required");
+  CBUS_EXPECTS(spec.runs >= 1);
+
+  PlatformConfig config = spec.config;
+  switch (spec.protocol) {
+    case CampaignSpec::Protocol::kIsolation:
+      CBUS_EXPECTS_MSG(spec.corunners.empty(),
+                       "isolation runs the TuA alone");
+      config.mode = PlatformMode::kOperation;  // no contender injection
+      break;
+    case CampaignSpec::Protocol::kMaxContention:
+      CBUS_EXPECTS_MSG(
+          config.mode == PlatformMode::kWcetEstimation,
+          "maximum contention is a WCET-estimation-mode protocol");
+      CBUS_EXPECTS_MSG(spec.corunners.empty(),
+                       "maximum contention uses Table-I virtual "
+                       "contenders, not real co-runners");
+      break;
+    case CampaignSpec::Protocol::kCorun:
+      break;  // the configured mode and co-runners apply as-is
+  }
+
   CampaignResult result;
-  result.samples.reserve(campaign.runs);
-
-  rng::SplitMix64 mix(campaign.base_seed);
-  for (std::uint32_t run = 0; run < campaign.runs; ++run) {
+  rng::SplitMix64 mix(spec.base_seed);
+  for (std::uint32_t run = 0; run < spec.runs; ++run) {
     const std::uint64_t seed = mix.next();
     rng::SplitMix64 stream_seeds(seed);
-    tua.reset(stream_seeds.next());
-    for (cpu::OpStream* s : corunners) s->reset(stream_seeds.next());
+    spec.tua->reset(stream_seeds.next());
+    for (cpu::OpStream* s : spec.corunners) s->reset(stream_seeds.next());
 
-    Multicore machine(config, seed, tua, corunners);
-    const RunResult r = machine.run(campaign.max_cycles);
+    Multicore machine(config, seed, *spec.tua, spec.corunners);
+    const RunResult r = machine.run(spec.max_cycles);
 
     if (!r.tua_finished) {
       ++result.unfinished_runs;
       continue;
     }
-    const auto t = static_cast<double>(r.tua_cycles);
-    result.exec_time.add(t);
-    result.samples.push_back(t);
-    result.bus_utilization.add(
-        r.bus_stats.total_cycles == 0
-            ? 0.0
-            : static_cast<double>(r.bus_stats.busy_cycles) /
-                  static_cast<double>(r.bus_stats.total_cycles));
-    result.credit_underflows += r.credit_underflows;
+    result.aggregate.add(r.record);
   }
   return result;
 }
 
-}  // namespace
-
 CampaignResult run_isolation(const PlatformConfig& config, cpu::OpStream& tua,
                              const CampaignConfig& campaign) {
-  PlatformConfig iso = config;
-  iso.mode = PlatformMode::kOperation;  // no contender injection
-  return run_campaign(iso, tua, {}, campaign);
+  CampaignSpec spec;
+  spec.protocol = CampaignSpec::Protocol::kIsolation;
+  spec.config = config;
+  spec.tua = &tua;
+  spec.base_seed = campaign.base_seed;
+  spec.runs = campaign.runs;
+  spec.max_cycles = campaign.max_cycles;
+  return run_campaign(spec);
 }
 
 CampaignResult run_max_contention(const PlatformConfig& config,
                                   cpu::OpStream& tua,
                                   const CampaignConfig& campaign) {
-  CBUS_EXPECTS_MSG(config.mode == PlatformMode::kWcetEstimation,
-                   "maximum contention is a WCET-estimation-mode protocol");
-  return run_campaign(config, tua, {}, campaign);
+  CampaignSpec spec;
+  spec.protocol = CampaignSpec::Protocol::kMaxContention;
+  spec.config = config;
+  spec.tua = &tua;
+  spec.base_seed = campaign.base_seed;
+  spec.runs = campaign.runs;
+  spec.max_cycles = campaign.max_cycles;
+  return run_campaign(spec);
 }
 
 CampaignResult run_with_corunners(const PlatformConfig& config,
                                   cpu::OpStream& tua,
                                   const std::vector<cpu::OpStream*>& corunners,
                                   const CampaignConfig& campaign) {
-  return run_campaign(config, tua, corunners, campaign);
+  CampaignSpec spec;
+  spec.protocol = CampaignSpec::Protocol::kCorun;
+  spec.config = config;
+  spec.tua = &tua;
+  spec.corunners = corunners;
+  spec.base_seed = campaign.base_seed;
+  spec.runs = campaign.runs;
+  spec.max_cycles = campaign.max_cycles;
+  return run_campaign(spec);
 }
 
 double slowdown(const CampaignResult& x, const CampaignResult& baseline) {
-  CBUS_EXPECTS(baseline.exec_time.count() > 0 && x.exec_time.count() > 0);
-  CBUS_EXPECTS(baseline.exec_time.mean() > 0.0);
-  return x.exec_time.mean() / baseline.exec_time.mean();
+  CBUS_EXPECTS(baseline.exec_time().count() > 0 &&
+               x.exec_time().count() > 0);
+  CBUS_EXPECTS(baseline.exec_time().mean() > 0.0);
+  return x.exec_time().mean() / baseline.exec_time().mean();
 }
 
 }  // namespace cbus::platform

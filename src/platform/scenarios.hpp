@@ -3,51 +3,84 @@
 // "for each benchmark we show average execution time results for 1,000
 //  runs of each configuration" (§IV-B) -- a campaign re-runs the same
 // workload many times, each run with a fresh seed (new random cache
-// placements, new arbitration randomness), and aggregates execution times.
+// placements, new arbitration randomness), and folds every run's metric
+// record (metrics/probes.hpp) into one Aggregator.
+//
+// One entry point covers the paper's three protocols:
+//
+//   CampaignSpec spec;
+//   spec.protocol = CampaignSpec::Protocol::kMaxContention;
+//   spec.config   = PlatformConfig::paper_wcet(BusSetup::kCba);
+//   spec.tua      = &stream;
+//   CampaignResult r = run_campaign(spec);
+//   r.exec_time().mean();                       // TuA timing digest
+//   r.aggregate.element_stats("fair.jain_occupancy").mean();
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <span>
 #include <vector>
 
 #include "cpu/op_stream.hpp"
+#include "metrics/aggregator.hpp"
 #include "platform/multicore.hpp"
 #include "platform/platform_config.hpp"
 #include "stats/summary.hpp"
 
 namespace cbus::platform {
 
-struct CampaignConfig {
+/// A fully-described measurement campaign: protocol, platform, workloads
+/// and repetition plan. Streams are non-owning -- the campaign resets
+/// them with per-run seeds, so one spec can be run repeatedly.
+struct CampaignSpec {
+  /// The paper's measurement protocols.
+  enum class Protocol : std::uint8_t {
+    kIsolation,      ///< TuA alone, operation mode (ISO columns)
+    kMaxContention,  ///< Table-I virtual contenders; requires WCET mode
+    kCorun,          ///< real co-running workloads on masters 1..k
+  };
+
+  Protocol protocol = Protocol::kMaxContention;
+  PlatformConfig config;
+
+  cpu::OpStream* tua = nullptr;            ///< required; runs on master 0
+  std::vector<cpu::OpStream*> corunners;   ///< kCorun only
+
   std::uint64_t base_seed = 0xC0FFEE;
   std::uint32_t runs = 100;
   Cycle max_cycles = 50'000'000;
 };
 
+/// Per-campaign result: every finished run's record folded into one
+/// aggregator, with convenience views for the ubiquitous quantities.
 struct CampaignResult {
-  stats::OnlineStats exec_time;       ///< TuA execution time per run
-  std::vector<double> samples;        ///< raw per-run times (MBPTA input)
-  stats::OnlineStats bus_utilization; ///< busy fraction per run
-  std::uint64_t credit_underflows = 0;
+  metrics::Aggregator aggregate;
   std::uint32_t unfinished_runs = 0;
+
+  /// TuA execution-time digest (the `tua.cycles` key; empty stats when no
+  /// run finished).
+  [[nodiscard]] const stats::OnlineStats& exec_time() const;
+
+  /// Raw per-run TuA times in run order (the MBPTA input).
+  [[nodiscard]] const std::vector<double>& samples() const;
+
+  /// Bus busy-fraction digest (the `bus.utilization` key).
+  [[nodiscard]] const stats::OnlineStats& bus_utilization() const;
+
+  /// Total CBA underflow clamps across finished runs.
+  [[nodiscard]] std::uint64_t credit_underflows() const;
+
+  /// Per-key summary statistics (metrics::Aggregator::summarize).
+  [[nodiscard]] metrics::Record summary(
+      std::span<const double> percentiles = {}) const {
+    return aggregate.summarize(percentiles);
+  }
 };
 
-/// Task under analysis alone on the platform (ISO columns of Figure 1).
-[[nodiscard]] CampaignResult run_isolation(const PlatformConfig& config,
-                                           cpu::OpStream& tua,
-                                           const CampaignConfig& campaign);
-
-/// Maximum-contention / WCET-estimation runs (CON columns of Figure 1):
-/// the TuA on core 0 against N-1 Table-I virtual contenders. `config.mode`
-/// must be kWcetEstimation (use PlatformConfig::paper_wcet).
-[[nodiscard]] CampaignResult run_max_contention(
-    const PlatformConfig& config, cpu::OpStream& tua,
-    const CampaignConfig& campaign);
-
-/// Operation-mode contention against real co-running workloads.
-[[nodiscard]] CampaignResult run_with_corunners(
-    const PlatformConfig& config, cpu::OpStream& tua,
-    const std::vector<cpu::OpStream*>& corunners,
-    const CampaignConfig& campaign);
+/// Run the campaign `spec` describes. Preconditions: spec.tua is set,
+/// runs >= 1, corunners only with kCorun, WCET mode with kMaxContention
+/// (kIsolation forces operation mode itself).
+[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec);
 
 /// Per-run seed derivation (public so tests can reproduce single runs).
 [[nodiscard]] std::uint64_t run_seed(std::uint64_t base_seed,
@@ -56,5 +89,30 @@ struct CampaignResult {
 /// Slowdown of `x` relative to a baseline campaign mean.
 [[nodiscard]] double slowdown(const CampaignResult& x,
                               const CampaignResult& baseline);
+
+// --- deprecated wrappers (one PR of grace; use run_campaign) -------------
+
+/// Repetition plan of the pre-CampaignSpec entry points.
+struct CampaignConfig {
+  std::uint64_t base_seed = 0xC0FFEE;
+  std::uint32_t runs = 100;
+  Cycle max_cycles = 50'000'000;
+};
+
+/// DEPRECATED: run_campaign with Protocol::kIsolation.
+[[nodiscard]] CampaignResult run_isolation(const PlatformConfig& config,
+                                           cpu::OpStream& tua,
+                                           const CampaignConfig& campaign);
+
+/// DEPRECATED: run_campaign with Protocol::kMaxContention.
+[[nodiscard]] CampaignResult run_max_contention(
+    const PlatformConfig& config, cpu::OpStream& tua,
+    const CampaignConfig& campaign);
+
+/// DEPRECATED: run_campaign with Protocol::kCorun.
+[[nodiscard]] CampaignResult run_with_corunners(
+    const PlatformConfig& config, cpu::OpStream& tua,
+    const std::vector<cpu::OpStream*>& corunners,
+    const CampaignConfig& campaign);
 
 }  // namespace cbus::platform

@@ -11,15 +11,19 @@
 #include <limits>
 #include <span>
 
+#include "common/contracts.hpp"
+
 namespace cbus::stats {
 
 /// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]; 1 == equal.
-/// Zero-sum allocations return 1 (vacuously fair).
+/// Allocations must be non-negative (throws std::invalid_argument).
+/// Empty and zero-sum allocations return 1 (vacuously fair).
 [[nodiscard]] inline double jain_index(std::span<const double> shares) {
   if (shares.empty()) return 1.0;
   double sum = 0.0;
   double sum_sq = 0.0;
   for (double x : shares) {
+    CBUS_EXPECTS_MSG(x >= 0.0, "fairness shares must be non-negative");
     sum += x;
     sum_sq += x * x;
   }
@@ -27,17 +31,26 @@ namespace cbus::stats {
   return (sum * sum) / (static_cast<double>(shares.size()) * sum_sq);
 }
 
-/// Max-min ratio (max share / min share); infinity if any share is zero
-/// while another is not. 1.0 == perfectly equal.
+/// Max-min ratio (max share / min share); 1.0 == perfectly equal.
+///
+/// Contract (shares must be non-negative; throws std::invalid_argument):
+///  * empty and single-element spans are vacuously fair  -> 1.0
+///  * all-zero spans (nobody got anything)               -> 1.0
+///  * any zero share alongside a nonzero one             -> +infinity
+///    (a starved master is infinitely unfairly treated; callers that
+///    prefer a finite index should use jain_index instead)
 [[nodiscard]] inline double max_min_ratio(std::span<const double> shares) {
   if (shares.empty()) return 1.0;
   double lo = shares[0];
   double hi = shares[0];
   for (double x : shares) {
+    CBUS_EXPECTS_MSG(x >= 0.0, "fairness shares must be non-negative");
     lo = std::min(lo, x);
     hi = std::max(hi, x);
   }
-  if (lo == 0.0) return hi == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  if (lo == 0.0) {
+    return hi == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
   return hi / lo;
 }
 

@@ -200,6 +200,36 @@ TEST(BusProtocol, OccupancyAndGrantShares) {
   EXPECT_DOUBLE_EQ(s.occupancy_share(1), 0.0);
 }
 
+TEST(BusProtocol, TotalsSumPerMasterCounters) {
+  // totals() is the one-pass sum the metrics probes build shares from;
+  // the O(1) grant_share overload must agree with the re-summing one.
+  BusStatistics s;
+  s.master.resize(3);
+  s.master[0] = {.requests = 4,
+                 .grants = 3,
+                 .completions = 3,
+                 .wait_cycles = 9,
+                 .hold_cycles = 15,
+                 .max_wait = 5};
+  s.master[2] = {.requests = 2,
+                 .grants = 1,
+                 .completions = 1,
+                 .wait_cycles = 4,
+                 .hold_cycles = 28,
+                 .max_wait = 4};
+  const auto t = s.totals();
+  EXPECT_EQ(t.requests, 6u);
+  EXPECT_EQ(t.grants, 4u);
+  EXPECT_EQ(t.completions, 4u);
+  EXPECT_EQ(t.wait_cycles, 13u);
+  EXPECT_EQ(t.hold_cycles, 43u);
+  for (MasterId m = 0; m < 3; ++m) {
+    EXPECT_DOUBLE_EQ(s.grant_share(m, t), s.grant_share(m));
+  }
+  EXPECT_DOUBLE_EQ(s.grant_share(0, t), 0.75);
+  EXPECT_DOUBLE_EQ(s.grant_share(1, t), 0.0);
+}
+
 // --- request legality ----------------------------------------------------------
 
 TEST(BusProtocol, DoubleRequestRejected) {

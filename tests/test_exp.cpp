@@ -3,11 +3,14 @@
 // output.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "exp/experiment.hpp"
 #include "exp/runner.hpp"
 #include "exp/sinks.hpp"
+#include "metrics/probes.hpp"
+#include "metrics/record.hpp"
 
 namespace cbus::exp {
 namespace {
@@ -138,6 +141,40 @@ TEST(ExperimentFormat, ParseWorkloadVariants) {
 TEST(ExperimentFormat, MissingFileThrows) {
   EXPECT_THROW((void)load_experiment("/nonexistent/x.exp"),
                std::invalid_argument);
+}
+
+// --- metrics directive ------------------------------------------------------
+
+TEST(MetricsDirective, ParsesListAndAll) {
+  const ExperimentSpec spec = parse(
+      "metrics = fair.jain_occupancy,fair.jain_grants "
+      "bus.occupancy_share[2]\n");
+  EXPECT_EQ(spec.metrics,
+            (std::vector<std::string>{"fair.jain_occupancy",
+                                      "fair.jain_grants",
+                                      "bus.occupancy_share[2]"}));
+
+  const ExperimentSpec all = parse("metrics = all\n");
+  EXPECT_EQ(all.metrics.size(), metrics::metric_catalog().size());
+  EXPECT_EQ(all.metrics.front(), "tua.cycles");
+}
+
+TEST(MetricsDirective, RejectsBadSelections) {
+  expect_parse_error("metrics = fair.bogus\n", "unknown metric",
+                     "--list metrics");
+  expect_parse_error("metrics = tua.cycles[1]\n", "scalar metric");
+  expect_parse_error("metrics = bus.occupancy_share[x]\n",
+                     "bad element index");
+  expect_parse_error("metrics = bus.occupancy_share[2\n", "malformed");
+  // The line number names the offending directive.
+  expect_parse_error("runs = 3\nmetrics = nope\n", "line 2");
+}
+
+TEST(MetricsDirective, ParseMetricSelectionIsReusable) {
+  // The CLI --metrics flag shares this helper.
+  EXPECT_EQ(parse_metric_selection("tua.cycles, bus.utilization"),
+            (std::vector<std::string>{"tua.cycles", "bus.utilization"}));
+  EXPECT_THROW((void)parse_metric_selection(""), std::invalid_argument);
 }
 
 // --- sweep expansion --------------------------------------------------------
@@ -274,7 +311,7 @@ TEST(Runner, CorunAssignsCorunnersAndIdleGaps) {
   const auto result = run_experiment(spec, 1);
   ASSERT_EQ(result.jobs.size(), 1u);
   EXPECT_EQ(result.failed_jobs(), 0u);
-  EXPECT_EQ(result.jobs[0].campaign.exec_time.count(), 2u);
+  EXPECT_EQ(result.jobs[0].campaign.exec_time().count(), 2u);
 }
 
 TEST(Runner, FailedJobIsReportedNotThrown) {
@@ -303,7 +340,10 @@ TEST(Runner, PwcetProducesCurve) {
 
 // --- golden sink output -----------------------------------------------------
 
-/// A hand-built two-job result set with exactly known numbers.
+/// A hand-built two-job result set with exactly known numbers. Job 0's
+/// per-run records carry the TuA time, the bus utilisation and a
+/// per-master occupancy vector plus a fairness scalar, exactly as the
+/// standard probes would emit them.
 [[nodiscard]] std::vector<JobResult> golden_results() {
   std::vector<JobResult> results(2);
   results[0].index = 0;
@@ -312,9 +352,15 @@ TEST(Runner, PwcetProducesCurve) {
   results[0].scenario = "con";
   results[0].seed = 42;
   for (const double x : {100.0, 110.0, 120.0}) {
-    results[0].campaign.exec_time.add(x);
-    results[0].campaign.samples.push_back(x);
-    results[0].campaign.bus_utilization.add(0.5);
+    metrics::Record record;
+    record.set("tua.cycles", x);
+    record.set("bus.utilization", 0.5);
+    record.set("bus.occupancy_share",
+               std::vector<double>{0.25, 0.5, 0.125});
+    // 0.25 / 0.5 / 0.75: exact in binary, so the aggregated mean (0.5)
+    // and stddev (0.25) are exact too and safe to golden-test.
+    record.set("fair.jain_occupancy", (x - 100.0) / 40.0 + 0.25);
+    results[0].campaign.aggregate.add(record);
   }
   results[1].index = 1;
   results[1].axes = {{"setup", "cba"}};
@@ -404,6 +450,165 @@ TEST(Sinks, PwcetColumnsAppearWhenEnabled) {
             "0,matrix,con,rp,42,0,100,118,2,159.4,173.2\n"
             "0,matrix,con,rp,42,1,110,118,2,159.4,173.2\n"
             "0,matrix,con,rp,42,2,120,118,2,159.4,173.2\n");
+}
+
+TEST(Sinks, CsvMetricColumnsGolden) {
+  // A bare per-master key expands to one column per element; scalars get
+  // one column; per-run values land on the matching rows.
+  ExperimentSpec spec = golden_spec();
+  spec.metrics = {"fair.jain_occupancy", "bus.occupancy_share"};
+  std::ostringstream out;
+  make_sink(SinkKind::kCsv)->write(spec, golden_results(), out);
+  EXPECT_EQ(out.str(),
+            "job,kernel,scenario,setup,seed,run,cycles,"
+            "fair.jain_occupancy,bus.occupancy_share[0],"
+            "bus.occupancy_share[1],bus.occupancy_share[2]\n"
+            "0,matrix,con,rp,42,0,100,0.25,0.25,0.5,0.125\n"
+            "0,matrix,con,rp,42,1,110,0.5,0.25,0.5,0.125\n"
+            "0,matrix,con,rp,42,2,120,0.75,0.25,0.5,0.125\n");
+}
+
+TEST(Sinks, CsvMetricElementSelection) {
+  ExperimentSpec spec = golden_spec();
+  spec.metrics = {"bus.occupancy_share[1]"};
+  std::ostringstream out;
+  make_sink(SinkKind::kCsv)->write(spec, golden_results(), out);
+  EXPECT_EQ(out.str(),
+            "job,kernel,scenario,setup,seed,run,cycles,"
+            "bus.occupancy_share[1]\n"
+            "0,matrix,con,rp,42,0,100,0.5\n"
+            "0,matrix,con,rp,42,1,110,0.5\n"
+            "0,matrix,con,rp,42,2,120,0.5\n");
+}
+
+TEST(Sinks, JsonMetricsSection) {
+  ExperimentSpec spec = golden_spec();
+  spec.metrics = {"fair.jain_occupancy", "bus.occupancy_share[2]"};
+  std::ostringstream out;
+  make_sink(SinkKind::kJson)->write(spec, golden_results(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"fair.jain_occupancy\": {\"mean\": 0.5, "
+                      "\"min\": 0.25, \"max\": 0.75, \"stddev\": 0.25}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"bus.occupancy_share[2]\": {\"mean\": 0.125, "
+                      "\"min\": 0.125, \"max\": 0.125, \"stddev\": 0}"),
+            std::string::npos)
+      << text;
+  // The failed job carries no metrics object.
+  EXPECT_EQ(text.find("\"metrics\""), text.rfind("\"metrics\""));
+}
+
+TEST(Sinks, NonFiniteMetricValuesRenderAsJsonNull) {
+  // fair.maxmin_* is +infinity by contract when a master is starved
+  // (e.g. isolation runs with idle masters); JSON has no inf/nan
+  // literals, so those stats must render as null, and the aggregate of
+  // an all-inf series (a NaN mean) must too.
+  ExperimentSpec spec = golden_spec();
+  spec.metrics = {"fair.maxmin_grants"};
+  auto results = golden_results();
+  results[1].error.clear();
+  for (const double x : {50.0, 60.0}) {
+    metrics::Record record;
+    record.set("tua.cycles", x);
+    record.set("fair.maxmin_grants",
+               std::numeric_limits<double>::infinity());
+    results[1].campaign.aggregate.add(record);
+  }
+  std::ostringstream out;
+  make_sink(SinkKind::kJson)->write(spec, results, out);
+  EXPECT_NE(out.str().find("\"fair.maxmin_grants\": {\"mean\": null, "
+                           "\"min\": null, \"max\": null, "
+                           "\"stddev\": null}"),
+            std::string::npos)
+      << out.str();
+  EXPECT_EQ(out.str().find("inf"), std::string::npos) << out.str();
+}
+
+TEST(Sinks, IsolationWithAllMetricsProducesParseableJson) {
+  // End to end: `metrics = all` under isolation hits the maxmin
+  // infinity contract on the three idle masters; every JSON number must
+  // stay finite or null (no bare inf/nan tokens).
+  const ExperimentSpec spec = parse(
+      "scenario = iso\nkernel = canrdr\nruns = 2\nmetrics = all\n");
+  const auto result = run_experiment(spec, 1);
+  ASSERT_EQ(result.failed_jobs(), 0u);
+  std::ostringstream out;
+  make_sink(SinkKind::kJson)->write(spec, result.jobs, out);
+  EXPECT_EQ(out.str().find("inf"), std::string::npos);
+  EXPECT_EQ(out.str().find("nan"), std::string::npos);
+  EXPECT_NE(out.str().find("\"fair.maxmin_grants\": {\"mean\": null"),
+            std::string::npos)
+      << out.str();
+}
+
+// --- fairness metrics end to end --------------------------------------------
+
+TEST(MetricsPipeline, RrVsCbaOccupancyFairnessGap) {
+  // The paper's central claim, reproduced through the whole pipeline:
+  // round-robin equalises request counts, so grant fairness is high while
+  // occupancy fairness collapses (short TuA requests vs long streaming
+  // transfers); CBA equalises occupancy cycles instead.
+  const ExperimentSpec spec = parse(
+      "name = fairgap\n"
+      "scenario = corun\n"
+      "kernel = matrix\n"
+      "core1 = stream\n"
+      "core2 = stream\n"
+      "core3 = stream\n"
+      "arbiter = rr\n"
+      "cores = 4\n"
+      "sweep setup = rp cba\n"
+      "runs = 4\n"
+      "metrics = fair.jain_occupancy,fair.jain_grants,"
+      "bus.occupancy_share\n");
+  const auto result = run_experiment(spec, 2);
+  ASSERT_EQ(result.jobs.size(), 2u);
+  ASSERT_EQ(result.failed_jobs(), 0u);
+
+  const auto jain = [&](std::size_t job, std::string_view key) {
+    return result.jobs[job].campaign.aggregate.element_stats(key).mean();
+  };
+  const double rr_occ = jain(0, "fair.jain_occupancy");
+  const double rr_grants = jain(0, "fair.jain_grants");
+  const double cba_occ = jain(1, "fair.jain_occupancy");
+  // Plain RR: request-count fairness exceeds occupancy fairness (the
+  // short matrix transactions pay in cycles for their equal grants).
+  EXPECT_GT(rr_grants, rr_occ + 0.02);
+  // CBA closes the occupancy gap RR leaves open (~0.93 -> ~0.975 here).
+  EXPECT_GT(cba_occ, rr_occ + 0.03);
+
+  // The selected per-master and fairness keys become CSV columns.
+  std::ostringstream out;
+  make_sink(SinkKind::kCsv)->write(spec, result.jobs, out);
+  const std::string csv = out.str();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "job,kernel,scenario,setup,seed,run,cycles,"
+            "fair.jain_occupancy,fair.jain_grants,bus.occupancy_share[0],"
+            "bus.occupancy_share[1],bus.occupancy_share[2],"
+            "bus.occupancy_share[3]");
+}
+
+TEST(MetricsPipeline, SameOutputsAtOneAndFourThreadsWithMetrics) {
+  const ExperimentSpec spec = parse(
+      "scenario = con\n"
+      "kernel = canrdr\n"
+      "sweep setup = rp cba\n"
+      "runs = 3\n"
+      "metrics = all\n");
+  const auto serial = run_experiment(spec, 1);
+  const auto parallel = run_experiment(spec, 4);
+  EXPECT_EQ(serial.failed_jobs(), 0u);
+  std::ostringstream csv_a, csv_b, json_a, json_b;
+  make_sink(SinkKind::kCsv)->write(spec, serial.jobs, csv_a);
+  make_sink(SinkKind::kCsv)->write(spec, parallel.jobs, csv_b);
+  make_sink(SinkKind::kJson)->write(spec, serial.jobs, json_a);
+  make_sink(SinkKind::kJson)->write(spec, parallel.jobs, json_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  EXPECT_EQ(json_a.str(), json_b.str());
+  // `all` covers every catalog key; per-master ones appear indexed.
+  EXPECT_NE(csv_a.str().find("bus.grant_share[3]"), std::string::npos);
+  EXPECT_NE(csv_a.str().find("fair.maxmin_grants"), std::string::npos);
 }
 
 TEST(Sinks, JsonCarriesPwcetError) {

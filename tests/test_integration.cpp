@@ -21,10 +21,25 @@ namespace cbus {
 namespace {
 
 using platform::BusSetup;
-using platform::CampaignConfig;
+using platform::CampaignSpec;
 using platform::PlatformConfig;
 using platform::SyntheticMaster;
 using platform::SyntheticMasterConfig;
+
+/// Shorthand: run one campaign over the paper platform.
+[[nodiscard]] platform::CampaignResult campaign(
+    CampaignSpec::Protocol protocol, PlatformConfig config,
+    cpu::OpStream& tua, std::uint32_t runs, std::uint64_t seed,
+    std::vector<cpu::OpStream*> corunners = {}) {
+  CampaignSpec spec;
+  spec.protocol = protocol;
+  spec.config = std::move(config);
+  spec.tua = &tua;
+  spec.runs = runs;
+  spec.base_seed = seed;
+  spec.corunners = std::move(corunners);
+  return run_campaign(spec);
+}
 
 /// Raw bus rig for closed-form experiments: synthetic masters, no caches.
 struct RawRig {
@@ -224,16 +239,16 @@ TEST(IllustrativeExample, HcbaShiftsBandwidthToTua) {
 
 TEST(Figure1Orderings, CbaCutsContentionSlowdownForMatrix) {
   auto tua = workloads::make_eembc("matrix");
-  CampaignConfig campaign;
-  campaign.runs = 3;
-  campaign.base_seed = 2017;
 
-  const auto iso =
-      run_isolation(PlatformConfig::paper(BusSetup::kRp), *tua, campaign);
-  const auto rp_con = run_max_contention(
-      PlatformConfig::paper_wcet(BusSetup::kRp), *tua, campaign);
-  const auto cba_con = run_max_contention(
-      PlatformConfig::paper_wcet(BusSetup::kCba), *tua, campaign);
+  const auto iso = campaign(CampaignSpec::Protocol::kIsolation,
+                            PlatformConfig::paper(BusSetup::kRp), *tua, 3,
+                            2017);
+  const auto rp_con = campaign(CampaignSpec::Protocol::kMaxContention,
+                               PlatformConfig::paper_wcet(BusSetup::kRp),
+                               *tua, 3, 2017);
+  const auto cba_con = campaign(CampaignSpec::Protocol::kMaxContention,
+                                PlatformConfig::paper_wcet(BusSetup::kCba),
+                                *tua, 3, 2017);
 
   const double s_rp = platform::slowdown(rp_con, iso);
   const double s_cba = platform::slowdown(cba_con, iso);
@@ -246,25 +261,23 @@ TEST(Figure1Orderings, CbaCutsContentionSlowdownForMatrix) {
 
 TEST(Figure1Orderings, HcbaNoWorseThanCbaForTua) {
   auto tua = workloads::make_eembc("matrix");
-  CampaignConfig campaign;
-  campaign.runs = 3;
-  campaign.base_seed = 2018;
-  const auto cba_con = run_max_contention(
-      PlatformConfig::paper_wcet(BusSetup::kCba), *tua, campaign);
-  const auto hcba_con = run_max_contention(
-      PlatformConfig::paper_wcet(BusSetup::kHcba), *tua, campaign);
-  EXPECT_LE(hcba_con.exec_time.mean(), cba_con.exec_time.mean() * 1.05);
+  const auto cba_con = campaign(CampaignSpec::Protocol::kMaxContention,
+                                PlatformConfig::paper_wcet(BusSetup::kCba),
+                                *tua, 3, 2018);
+  const auto hcba_con = campaign(
+      CampaignSpec::Protocol::kMaxContention,
+      PlatformConfig::paper_wcet(BusSetup::kHcba), *tua, 3, 2018);
+  EXPECT_LE(hcba_con.exec_time().mean(), cba_con.exec_time().mean() * 1.05);
 }
 
 TEST(Figure1Orderings, CbaIsolationOverheadIsSmall) {
   auto tua = workloads::make_eembc("tblook");
-  CampaignConfig campaign;
-  campaign.runs = 3;
-  campaign.base_seed = 2019;
-  const auto rp_iso =
-      run_isolation(PlatformConfig::paper(BusSetup::kRp), *tua, campaign);
-  const auto cba_iso =
-      run_isolation(PlatformConfig::paper(BusSetup::kCba), *tua, campaign);
+  const auto rp_iso = campaign(CampaignSpec::Protocol::kIsolation,
+                               PlatformConfig::paper(BusSetup::kRp), *tua,
+                               3, 2019);
+  const auto cba_iso = campaign(CampaignSpec::Protocol::kIsolation,
+                                PlatformConfig::paper(BusSetup::kCba), *tua,
+                                3, 2019);
   const double overhead = platform::slowdown(cba_iso, rp_iso);
   EXPECT_LT(overhead, 1.25) << "CBA in isolation should cost little";
   EXPECT_GE(overhead, 0.9);
@@ -272,12 +285,23 @@ TEST(Figure1Orderings, CbaIsolationOverheadIsSmall) {
 
 TEST(Figure1Orderings, NoCreditUnderflowOnPaperPlatform) {
   auto tua = workloads::make_eembc("cacheb");
-  CampaignConfig campaign;
-  campaign.runs = 2;
-  const auto r = run_max_contention(PlatformConfig::paper_wcet(BusSetup::kCba),
-                                    *tua, campaign);
-  EXPECT_EQ(r.credit_underflows, 0u)
+  const auto r = campaign(CampaignSpec::Protocol::kMaxContention,
+                          PlatformConfig::paper_wcet(BusSetup::kCba), *tua,
+                          2, 0xC0FFEE);
+  EXPECT_EQ(r.credit_underflows(), 0u)
       << "MaxL = 56 must cover every transaction";
+}
+
+TEST(Figure1Orderings, CbaEqualisesOccupancyUnderMaxContention) {
+  // The record pipeline surfaces the paper's core claim directly: with
+  // CBA engaged, per-master occupancy cycles are near-equal (Jain -> 1)
+  // even though the TuA's requests are short and the contenders' long.
+  auto tua = workloads::make_eembc("cacheb");
+  const auto cba = campaign(CampaignSpec::Protocol::kMaxContention,
+                            PlatformConfig::paper_wcet(BusSetup::kCba),
+                            *tua, 3, 2020);
+  EXPECT_GT(cba.aggregate.element_stats("fair.jain_occupancy").mean(),
+            0.85);
 }
 
 // --- WCET-mode dominance ------------------------------------------------------------
@@ -286,32 +310,28 @@ TEST(WcetMode, BoundsOperationModeContention) {
   // The WCET-estimation protocol must produce contention at least as bad
   // as real streaming co-runners (that is its purpose, §III-B).
   auto tua = workloads::make_eembc("cacheb");
-  CampaignConfig campaign;
-  campaign.runs = 3;
-  campaign.base_seed = 4;
 
   workloads::StreamingStream s1(0), s2(0), s3(0);
-  const auto op_con =
-      run_with_corunners(PlatformConfig::paper(BusSetup::kCba), *tua,
-                         {&s1, &s2, &s3}, campaign);
-  const auto wcet_con = run_max_contention(
-      PlatformConfig::paper_wcet(BusSetup::kCba), *tua, campaign);
-  EXPECT_GE(wcet_con.exec_time.mean(), 0.95 * op_con.exec_time.mean());
+  const auto op_con = campaign(CampaignSpec::Protocol::kCorun,
+                               PlatformConfig::paper(BusSetup::kCba), *tua,
+                               3, 4, {&s1, &s2, &s3});
+  const auto wcet_con = campaign(CampaignSpec::Protocol::kMaxContention,
+                                 PlatformConfig::paper_wcet(BusSetup::kCba),
+                                 *tua, 3, 4);
+  EXPECT_GE(wcet_con.exec_time().mean(), 0.95 * op_con.exec_time().mean());
 }
 
 // --- MBPTA end-to-end ----------------------------------------------------------------
 
 TEST(MbptaPipeline, PwcetBoundsObservedOperation) {
   auto tua = workloads::make_eembc("canrdr");
-  CampaignConfig campaign;
-  campaign.runs = 60;
-  campaign.base_seed = 5;
-  const auto wcet_runs = run_max_contention(
-      PlatformConfig::paper_wcet(BusSetup::kCba), *tua, campaign);
+  const auto wcet_runs = campaign(
+      CampaignSpec::Protocol::kMaxContention,
+      PlatformConfig::paper_wcet(BusSetup::kCba), *tua, 60, 5);
 
   mbpta::MbptaConfig mcfg;
   mcfg.block_size = 5;
-  const auto analysis = mbpta::analyze(wcet_runs.samples, mcfg);
+  const auto analysis = mbpta::analyze(wcet_runs.samples(), mcfg);
 
   // The pWCET curve at 1e-9 must be above the maximum WCET-mode
   // observation itself.
@@ -319,12 +339,10 @@ TEST(MbptaPipeline, PwcetBoundsObservedOperation) {
 
   // ... and above anything seen in operation mode with real contenders.
   workloads::StreamingStream s1(0), s2(0), s3(0);
-  CampaignConfig op_campaign;
-  op_campaign.runs = 10;
-  op_campaign.base_seed = 6;
-  const auto op = run_with_corunners(PlatformConfig::paper(BusSetup::kCba),
-                                     *tua, {&s1, &s2, &s3}, op_campaign);
-  EXPECT_GT(analysis.curve[2].wcet_estimate, op.exec_time.max());
+  const auto op = campaign(CampaignSpec::Protocol::kCorun,
+                           PlatformConfig::paper(BusSetup::kCba), *tua, 10,
+                           6, {&s1, &s2, &s3});
+  EXPECT_GT(analysis.curve[2].wcet_estimate, op.exec_time().max());
 }
 
 }  // namespace

@@ -1,0 +1,239 @@
+// Unit tests for the metrics subsystem: Record/Value semantics, key
+// references, the campaign Aggregator and the standard probes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bus/bus.hpp"
+#include "core/credit_filter.hpp"
+#include "metrics/aggregator.hpp"
+#include "metrics/probes.hpp"
+#include "metrics/record.hpp"
+
+namespace cbus::metrics {
+namespace {
+
+// --- Value / Record ---------------------------------------------------------
+
+TEST(Record, ScalarAndVectorValues) {
+  Record r;
+  r.set("a.scalar", 2.5);
+  r.set("a.vector", std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_TRUE(r.has("a.scalar"));
+  EXPECT_FALSE(r.has("a.missing"));
+  EXPECT_DOUBLE_EQ(r.at("a.scalar").scalar(), 2.5);
+  EXPECT_FALSE(r.at("a.scalar").is_vector());
+  EXPECT_TRUE(r.at("a.vector").is_vector());
+  EXPECT_EQ(r.at("a.vector").size(), 3u);
+  EXPECT_DOUBLE_EQ(r.at("a.vector")[1], 2.0);
+  // Scalars expose a 1-element span for uniform consumption.
+  EXPECT_EQ(r.at("a.scalar").elements().size(), 1u);
+  EXPECT_THROW((void)r.at("a.vector").scalar(), std::invalid_argument);
+  EXPECT_THROW((void)r.at("a.missing"), std::invalid_argument);
+}
+
+TEST(Record, PreservesInsertionOrderAndReplacesInPlace) {
+  Record r;
+  r.set("z", 1.0);
+  r.set("a", 2.0);
+  r.set("m", 3.0);
+  r.set("z", 9.0);  // replace, keep position
+  EXPECT_EQ(r.keys(), (std::vector<std::string>{"z", "a", "m"}));
+  EXPECT_DOUBLE_EQ(r.at("z").scalar(), 9.0);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(Record, RejectsEmptyKey) {
+  Record r;
+  EXPECT_THROW(r.set("", 1.0), std::invalid_argument);
+}
+
+// --- key references ---------------------------------------------------------
+
+TEST(KeyRef, ParsesBareAndElementForms) {
+  EXPECT_EQ(parse_key_ref("tua.cycles"),
+            (KeyRef{"tua.cycles", std::nullopt}));
+  EXPECT_EQ(parse_key_ref("bus.occupancy_share[2]"),
+            (KeyRef{"bus.occupancy_share", 2}));
+  EXPECT_EQ(element_key("bus.occupancy_share", 2), "bus.occupancy_share[2]");
+}
+
+TEST(KeyRef, RejectsMalformedReferences) {
+  EXPECT_THROW((void)parse_key_ref(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_key_ref("x["), std::invalid_argument);
+  EXPECT_THROW((void)parse_key_ref("x[]"), std::invalid_argument);
+  EXPECT_THROW((void)parse_key_ref("x[2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_key_ref("x]2["), std::invalid_argument);
+  EXPECT_THROW((void)parse_key_ref("x[two]"), std::invalid_argument);
+  EXPECT_THROW((void)parse_key_ref("[2]"), std::invalid_argument);
+}
+
+// --- Aggregator -------------------------------------------------------------
+
+[[nodiscard]] Record run_record(double cycles, double util,
+                                std::vector<double> shares) {
+  Record r;
+  r.set("tua.cycles", cycles);
+  r.set("bus.utilization", util);
+  r.set("bus.occupancy_share", std::move(shares));
+  return r;
+}
+
+TEST(Aggregator, FoldsScalarsAndVectors) {
+  Aggregator agg;
+  agg.add(run_record(100.0, 0.5, {0.25, 0.75}));
+  agg.add(run_record(120.0, 0.7, {0.35, 0.65}));
+  EXPECT_EQ(agg.runs(), 2u);
+  EXPECT_EQ(agg.keys(),
+            (std::vector<std::string>{"tua.cycles", "bus.utilization",
+                                      "bus.occupancy_share"}));
+  EXPECT_EQ(agg.width("tua.cycles"), 1u);
+  EXPECT_EQ(agg.width("bus.occupancy_share"), 2u);
+  EXPECT_EQ(agg.width("nope"), 0u);
+  EXPECT_DOUBLE_EQ(agg.element_stats("tua.cycles").mean(), 110.0);
+  EXPECT_DOUBLE_EQ(agg.element_stats("bus.occupancy_share", 1).mean(), 0.7);
+  EXPECT_EQ(agg.element_samples("tua.cycles"),
+            (std::vector<double>{100.0, 120.0}));
+  EXPECT_EQ(agg.element_samples("bus.occupancy_share", 0),
+            (std::vector<double>{0.25, 0.35}));
+  EXPECT_FALSE(agg.is_vector("tua.cycles"));
+  EXPECT_TRUE(agg.is_vector("bus.occupancy_share"));
+}
+
+TEST(Aggregator, RejectsShapeChanges) {
+  Aggregator agg;
+  agg.add(run_record(100.0, 0.5, {0.25, 0.75}));
+  // Width change on a vector key.
+  EXPECT_THROW(agg.add(run_record(1.0, 0.5, {0.1, 0.2, 0.7})),
+               std::invalid_argument);
+  // Missing key.
+  Record partial;
+  partial.set("tua.cycles", 1.0);
+  EXPECT_THROW(agg.add(partial), std::invalid_argument);
+  // Same size but different key order/name.
+  Record renamed;
+  renamed.set("tua.cycles", 1.0);
+  renamed.set("bus.wrong", 0.5);
+  renamed.set("bus.occupancy_share", std::vector<double>{0.5, 0.5});
+  EXPECT_THROW(agg.add(renamed), std::invalid_argument);
+}
+
+TEST(Aggregator, SummarizeEmitsStatsAndPercentiles) {
+  Aggregator agg;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) {
+    Record r;
+    r.set("k", x);
+    r.set("v", std::vector<double>{x, 2.0 * x});
+    agg.add(r);
+  }
+  const double percentiles[] = {50.0, 100.0};
+  const Record summary = agg.summarize(percentiles);
+  EXPECT_DOUBLE_EQ(summary.at("k.mean").scalar(), 2.5);
+  EXPECT_DOUBLE_EQ(summary.at("k.min").scalar(), 1.0);
+  EXPECT_DOUBLE_EQ(summary.at("k.max").scalar(), 4.0);
+  EXPECT_NEAR(summary.at("k.stddev").scalar(), std::sqrt(5.0 / 3.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(summary.at("k.p50").scalar(), 2.5);
+  EXPECT_DOUBLE_EQ(summary.at("k.p100").scalar(), 4.0);
+  // Vector keys summarize element-wise, keeping their shape.
+  EXPECT_TRUE(summary.at("v.mean").is_vector());
+  EXPECT_DOUBLE_EQ(summary.at("v.mean")[1], 5.0);
+  EXPECT_DOUBLE_EQ(summary.at("v.p50")[0], 2.5);
+
+  EXPECT_THROW((void)agg.summarize(std::vector<double>{101.0}),
+               std::invalid_argument);
+}
+
+TEST(Aggregator, EmptySummarizesToEmptyRecord) {
+  const Aggregator agg;
+  EXPECT_TRUE(agg.empty());
+  EXPECT_TRUE(agg.summarize().empty());
+  EXPECT_THROW((void)agg.element_stats("tua.cycles"),
+               std::invalid_argument);
+}
+
+// --- probes -----------------------------------------------------------------
+
+[[nodiscard]] bus::BusStatistics two_master_stats() {
+  bus::BusStatistics stats;
+  stats.master.resize(2);
+  stats.master[0] = {.requests = 10,
+                     .grants = 10,
+                     .completions = 10,
+                     .wait_cycles = 40,
+                     .hold_cycles = 50,
+                     .max_wait = 12};
+  stats.master[1] = {.requests = 6,
+                     .grants = 5,
+                     .completions = 5,
+                     .wait_cycles = 10,
+                     .hold_cycles = 150,
+                     .max_wait = 7};
+  stats.busy_cycles = 200;
+  stats.idle_cycles = 50;
+  stats.total_cycles = 250;
+  return stats;
+}
+
+TEST(Probes, BusProbeMatchesHandComputedShares) {
+  const auto stats = two_master_stats();
+  Record r;
+  probe_bus(stats, r);
+  EXPECT_DOUBLE_EQ(r.at("bus.utilization").scalar(), 200.0 / 250.0);
+  EXPECT_DOUBLE_EQ(r.at("bus.occupancy_share")[0], 50.0 / 250.0);
+  EXPECT_DOUBLE_EQ(r.at("bus.occupancy_share")[1], 150.0 / 250.0);
+  EXPECT_DOUBLE_EQ(r.at("bus.grant_share")[0], 10.0 / 15.0);
+  EXPECT_DOUBLE_EQ(r.at("bus.grant_share")[1], 5.0 / 15.0);
+  EXPECT_DOUBLE_EQ(r.at("bus.requests")[1], 6.0);
+  EXPECT_DOUBLE_EQ(r.at("bus.mean_wait")[0], 4.0);
+  EXPECT_DOUBLE_EQ(r.at("bus.max_wait")[1], 7.0);
+}
+
+TEST(Probes, FairnessProbeMatchesFairnessFunctions) {
+  const auto stats = two_master_stats();
+  Record r;
+  probe_fairness(stats, r);
+  // Jain over occupancy {50, 150}: 200^2 / (2 * (2500 + 22500)) = 0.8.
+  EXPECT_DOUBLE_EQ(r.at("fair.jain_occupancy").scalar(), 0.8);
+  // Jain over grants {10, 5}: 225 / (2 * 125) = 0.9.
+  EXPECT_DOUBLE_EQ(r.at("fair.jain_grants").scalar(), 0.9);
+  EXPECT_DOUBLE_EQ(r.at("fair.maxmin_occupancy").scalar(), 3.0);
+  EXPECT_DOUBLE_EQ(r.at("fair.maxmin_grants").scalar(), 2.0);
+}
+
+TEST(Probes, CreditProbeWithAndWithoutFilter) {
+  Record none;
+  probe_credit(nullptr, none);
+  EXPECT_DOUBLE_EQ(none.at("credit.underflows").scalar(), 0.0);
+  EXPECT_FALSE(none.has("credit.budget"));
+
+  core::CreditFilter filter(core::CbaConfig::homogeneous(4, 56));
+  Record with;
+  probe_credit(&filter, with);
+  EXPECT_DOUBLE_EQ(with.at("credit.underflows").scalar(), 0.0);
+  EXPECT_EQ(with.at("credit.budget").size(), 4u);
+}
+
+TEST(Probes, CatalogCoversProbeKeysWithPerMasterFlags) {
+  const auto stats = two_master_stats();
+  core::CreditFilter filter(core::CbaConfig::homogeneous(2, 56));
+  Record r;
+  probe_tua(1234, cpu::CoreStats{}, r);
+  probe_bus(stats, r);
+  probe_fairness(stats, r);
+  probe_credit(&filter, r);
+  // Every emitted key is in the catalog with the right shape...
+  for (const auto& [key, value] : r) {
+    const MetricInfo* info = find_metric(key);
+    ASSERT_NE(info, nullptr) << key;
+    EXPECT_EQ(info->per_master, value.is_vector()) << key;
+    EXPECT_FALSE(info->description.empty()) << key;
+  }
+  // ... and with a CBA filter installed the probes cover the whole
+  // catalog, so `metrics = all` and --list metrics stay truthful.
+  EXPECT_EQ(r.size(), metric_catalog().size());
+  EXPECT_EQ(find_metric("no.such.key"), nullptr);
+}
+
+}  // namespace
+}  // namespace cbus::metrics

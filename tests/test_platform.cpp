@@ -172,61 +172,137 @@ TEST(SyntheticMaster, IsolatedPeriodIsGapPlusArbPlusHold) {
   EXPECT_EQ(smc.gap, 4u);
 }
 
+/// A CampaignSpec over the given platform (helper for the tests below).
+[[nodiscard]] CampaignSpec make_spec(CampaignSpec::Protocol protocol,
+                                     PlatformConfig config,
+                                     cpu::OpStream& tua, std::uint32_t runs,
+                                     std::uint64_t seed) {
+  CampaignSpec spec;
+  spec.protocol = protocol;
+  spec.config = std::move(config);
+  spec.tua = &tua;
+  spec.runs = runs;
+  spec.base_seed = seed;
+  return spec;
+}
+
 TEST(ScenarioRunners, IsolationCampaignAggregates) {
   auto tua = workloads::make_eembc("canrdr");
-  CampaignConfig campaign;
-  campaign.runs = 5;
-  campaign.base_seed = 11;
-  const CampaignResult r =
-      run_isolation(PlatformConfig::paper(BusSetup::kRp), *tua, campaign);
-  EXPECT_EQ(r.exec_time.count(), 5u);
-  EXPECT_EQ(r.samples.size(), 5u);
+  const CampaignResult r = run_campaign(
+      make_spec(CampaignSpec::Protocol::kIsolation,
+                PlatformConfig::paper(BusSetup::kRp), *tua, 5, 11));
+  EXPECT_EQ(r.exec_time().count(), 5u);
+  EXPECT_EQ(r.samples().size(), 5u);
   EXPECT_EQ(r.unfinished_runs, 0u);
-  EXPECT_GT(r.exec_time.mean(), 0.0);
+  EXPECT_GT(r.exec_time().mean(), 0.0);
+  EXPECT_EQ(r.aggregate.runs(), 5u);
+}
+
+TEST(ScenarioRunners, CampaignFoldsRunRecords) {
+  // Every standard probe key reaches the aggregate, per-master keys at
+  // the platform width, and derived views agree with the records.
+  auto tua = workloads::make_eembc("canrdr");
+  const CampaignResult r = run_campaign(
+      make_spec(CampaignSpec::Protocol::kMaxContention,
+                PlatformConfig::paper_wcet(BusSetup::kCba), *tua, 3, 11));
+  EXPECT_EQ(r.aggregate.width("bus.occupancy_share"), 4u);
+  EXPECT_EQ(r.aggregate.width("bus.grant_share"), 4u);
+  EXPECT_EQ(r.aggregate.width("credit.budget"), 4u);
+  EXPECT_TRUE(r.aggregate.has("fair.jain_occupancy"));
+  EXPECT_TRUE(r.aggregate.has("fair.maxmin_grants"));
+  const auto& jain = r.aggregate.element_stats("fair.jain_occupancy");
+  EXPECT_GT(jain.mean(), 0.0);
+  EXPECT_LE(jain.max(), 1.0);
+  // Occupancy shares sum below 1 (arbitration cycles are nobody's).
+  double share_sum = 0.0;
+  for (std::size_t m = 0; m < 4; ++m) {
+    share_sum += r.aggregate.element_stats("bus.occupancy_share", m).mean();
+  }
+  EXPECT_GT(share_sum, 0.5);
+  EXPECT_LE(share_sum, 1.0 + 1e-12);
 }
 
 TEST(ScenarioRunners, CampaignIsReproducible) {
   auto tua = workloads::make_eembc("tblook");
-  CampaignConfig campaign;
-  campaign.runs = 3;
-  campaign.base_seed = 42;
-  const auto a =
-      run_isolation(PlatformConfig::paper(BusSetup::kCba), *tua, campaign);
-  const auto b =
-      run_isolation(PlatformConfig::paper(BusSetup::kCba), *tua, campaign);
-  ASSERT_EQ(a.samples.size(), b.samples.size());
-  for (std::size_t i = 0; i < a.samples.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a.samples[i], b.samples[i]);
+  const auto spec =
+      make_spec(CampaignSpec::Protocol::kIsolation,
+                PlatformConfig::paper(BusSetup::kCba), *tua, 3, 42);
+  const auto a = run_campaign(spec);
+  const auto b = run_campaign(spec);
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples()[i], b.samples()[i]);
   }
 }
 
 TEST(ScenarioRunners, MaxContentionRequiresWcetMode) {
   auto tua = workloads::make_eembc("canrdr");
+  EXPECT_THROW(
+      (void)run_campaign(make_spec(CampaignSpec::Protocol::kMaxContention,
+                                   PlatformConfig::paper(BusSetup::kCba),
+                                   *tua, 1, 1)),
+      std::invalid_argument);
+}
+
+TEST(ScenarioRunners, SpecRequiresTuaAndRejectsStrayCorunners) {
+  auto tua = workloads::make_eembc("canrdr");
+  CampaignSpec no_tua;
+  no_tua.config = PlatformConfig::paper(BusSetup::kRp);
+  EXPECT_THROW((void)run_campaign(no_tua), std::invalid_argument);
+
+  workloads::StreamingStream s(0);
+  auto iso = make_spec(CampaignSpec::Protocol::kIsolation,
+                       PlatformConfig::paper(BusSetup::kRp), *tua, 1, 1);
+  iso.corunners = {&s};
+  EXPECT_THROW((void)run_campaign(iso), std::invalid_argument);
+}
+
+TEST(ScenarioRunners, DeprecatedWrappersMatchRunCampaign) {
+  // The one-PR compatibility wrappers must be bit-identical to the
+  // CampaignSpec path they delegate to.
+  auto tua = workloads::make_eembc("cacheb");
   CampaignConfig campaign;
-  campaign.runs = 1;
-  EXPECT_THROW((void)run_max_contention(PlatformConfig::paper(BusSetup::kCba),
-                                        *tua, campaign),
-               std::invalid_argument);
+  campaign.runs = 3;
+  campaign.base_seed = 99;
+  const auto wrapped = run_isolation(PlatformConfig::paper(BusSetup::kCba),
+                                     *tua, campaign);
+  const auto direct = run_campaign(
+      make_spec(CampaignSpec::Protocol::kIsolation,
+                PlatformConfig::paper(BusSetup::kCba), *tua, 3, 99));
+  ASSERT_EQ(wrapped.samples().size(), direct.samples().size());
+  for (std::size_t i = 0; i < wrapped.samples().size(); ++i) {
+    EXPECT_DOUBLE_EQ(wrapped.samples()[i], direct.samples()[i]);
+  }
+
+  workloads::StreamingStream s1(0), s2(0);
+  const auto corun_wrapped =
+      run_with_corunners(PlatformConfig::paper(BusSetup::kCba), *tua,
+                         {&s1, &s2}, campaign);
+  auto corun_spec =
+      make_spec(CampaignSpec::Protocol::kCorun,
+                PlatformConfig::paper(BusSetup::kCba), *tua, 3, 99);
+  corun_spec.corunners = {&s1, &s2};
+  const auto corun_direct = run_campaign(corun_spec);
+  EXPECT_EQ(corun_wrapped.exec_time().mean(),
+            corun_direct.exec_time().mean());
 }
 
 TEST(ScenarioRunners, ContentionSlowsTheTuaDown) {
   auto tua = workloads::make_eembc("cacheb");
-  CampaignConfig campaign;
-  campaign.runs = 3;
-  campaign.base_seed = 77;
-  const auto iso =
-      run_isolation(PlatformConfig::paper(BusSetup::kRp), *tua, campaign);
-  const auto con = run_max_contention(PlatformConfig::paper_wcet(BusSetup::kRp),
-                                      *tua, campaign);
+  const auto iso = run_campaign(
+      make_spec(CampaignSpec::Protocol::kIsolation,
+                PlatformConfig::paper(BusSetup::kRp), *tua, 3, 77));
+  const auto con = run_campaign(
+      make_spec(CampaignSpec::Protocol::kMaxContention,
+                PlatformConfig::paper_wcet(BusSetup::kRp), *tua, 3, 77));
   EXPECT_GT(slowdown(con, iso), 1.2);
 }
 
 TEST(ScenarioRunners, SlowdownOfSelfIsOne) {
   auto tua = workloads::make_eembc("canrdr");
-  CampaignConfig campaign;
-  campaign.runs = 2;
-  const auto iso =
-      run_isolation(PlatformConfig::paper(BusSetup::kRp), *tua, campaign);
+  const auto iso = run_campaign(
+      make_spec(CampaignSpec::Protocol::kIsolation,
+                PlatformConfig::paper(BusSetup::kRp), *tua, 2, 0xC0FFEE));
   EXPECT_DOUBLE_EQ(slowdown(iso, iso), 1.0);
 }
 
@@ -248,15 +324,14 @@ TEST(SplitPlatform, SplitNoSlowerThanNonSplitInIsolation) {
   // times are matched by construction: the two protocols should land
   // within a few percent of each other.
   auto tua = workloads::make_eembc("tblook");
-  CampaignConfig campaign;
-  campaign.runs = 3;
-  campaign.base_seed = 21;
   PlatformConfig nonsplit = PlatformConfig::paper(BusSetup::kRp);
   PlatformConfig split = nonsplit;
   split.bus_protocol = BusProtocol::kSplit;
-  const auto a = run_isolation(nonsplit, *tua, campaign);
-  const auto b = run_isolation(split, *tua, campaign);
-  EXPECT_NEAR(b.exec_time.mean() / a.exec_time.mean(), 1.0, 0.05);
+  const auto a = run_campaign(make_spec(CampaignSpec::Protocol::kIsolation,
+                                        nonsplit, *tua, 3, 21));
+  const auto b = run_campaign(make_spec(CampaignSpec::Protocol::kIsolation,
+                                        split, *tua, 3, 21));
+  EXPECT_NEAR(b.exec_time().mean() / a.exec_time().mean(), 1.0, 0.05);
 }
 
 TEST(SplitPlatform, WcetModeWorks) {
@@ -288,16 +363,15 @@ TEST(DramPlatform, RunsAndSpeedsUpStreaming) {
   // matrix streams sequentially: open rows make many misses cheaper than
   // the flat 28-cycle latency, so execution gets faster, never slower.
   auto tua = workloads::make_eembc("matrix");
-  CampaignConfig campaign;
-  campaign.runs = 3;
-  campaign.base_seed = 31;
   PlatformConfig flat = PlatformConfig::paper(BusSetup::kRp);
   PlatformConfig banked = flat;
   banked.dram = mem::DramConfig{};
-  const auto a = run_isolation(flat, *tua, campaign);
-  const auto b = run_isolation(banked, *tua, campaign);
-  EXPECT_LT(b.exec_time.mean(), a.exec_time.mean());
-  EXPECT_GT(b.exec_time.mean(), 0.5 * a.exec_time.mean());
+  const auto a = run_campaign(make_spec(CampaignSpec::Protocol::kIsolation,
+                                        flat, *tua, 3, 31));
+  const auto b = run_campaign(make_spec(CampaignSpec::Protocol::kIsolation,
+                                        banked, *tua, 3, 31));
+  EXPECT_LT(b.exec_time().mean(), a.exec_time().mean());
+  EXPECT_GT(b.exec_time().mean(), 0.5 * a.exec_time().mean());
 }
 
 TEST(DramPlatform, NoCreditUnderflowWithCba) {
@@ -305,10 +379,9 @@ TEST(DramPlatform, NoCreditUnderflowWithCba) {
   auto tua = workloads::make_eembc("matrix");
   PlatformConfig cfg = PlatformConfig::paper_wcet(BusSetup::kCba);
   cfg.dram = mem::DramConfig{};
-  CampaignConfig campaign;
-  campaign.runs = 2;
-  const auto r = run_max_contention(cfg, *tua, campaign);
-  EXPECT_EQ(r.credit_underflows, 0u);
+  const auto r = run_campaign(make_spec(
+      CampaignSpec::Protocol::kMaxContention, cfg, *tua, 2, 0xC0FFEE));
+  EXPECT_EQ(r.credit_underflows(), 0u);
 }
 
 TEST(DramPlatform, ValidationRejectsBadBankConfig) {

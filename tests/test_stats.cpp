@@ -202,6 +202,24 @@ TEST(Fairness, JainEmptyAndZeros) {
   EXPECT_DOUBLE_EQ(jain_index(zeros), 1.0);
 }
 
+TEST(Fairness, JainGoldenValues) {
+  // n masters, one holding everything -> 1/n; k of n equal -> k/n.
+  const std::vector<double> hog3{7.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(hog3), 1.0 / 3.0);
+  const std::vector<double> two_of_four{3.0, 3.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(two_of_four), 0.5);
+  // Scale invariance: indices depend on proportions only.
+  const std::vector<double> scaled{10.0, 90.0};
+  const std::vector<double> shares{0.1, 0.9};
+  EXPECT_DOUBLE_EQ(jain_index(scaled), jain_index(shares));
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{42.0}), 1.0);
+}
+
+TEST(Fairness, JainRejectsNegativeShares) {
+  const std::vector<double> bad{0.5, -0.1};
+  EXPECT_THROW((void)jain_index(bad), std::invalid_argument);
+}
+
 TEST(Fairness, MaxMinRatio) {
   const std::vector<double> shares{0.1, 0.4};
   EXPECT_DOUBLE_EQ(max_min_ratio(shares), 4.0);
@@ -209,9 +227,31 @@ TEST(Fairness, MaxMinRatio) {
   EXPECT_DOUBLE_EQ(max_min_ratio(equal), 1.0);
 }
 
-TEST(Fairness, MaxMinRatioWithZeroShare) {
-  const std::vector<double> shares{0.0, 0.4};
-  EXPECT_TRUE(std::isinf(max_min_ratio(shares)));
+TEST(Fairness, MaxMinRatioDegenerateSpansAreVacuouslyFair) {
+  // Empty, single-element and all-zero spans: nobody is being treated
+  // unfairly relative to anybody else.
+  EXPECT_DOUBLE_EQ(max_min_ratio({}), 1.0);
+  EXPECT_DOUBLE_EQ(max_min_ratio(std::vector<double>{5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(max_min_ratio(std::vector<double>{0.0}), 1.0);
+  const std::vector<double> zeros{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(max_min_ratio(zeros), 1.0);
+}
+
+TEST(Fairness, MaxMinRatioInfinityContract) {
+  // A starved master alongside a served one is infinitely unfair --
+  // regardless of where the zero sits or how many zeros there are.
+  const std::vector<double> starved{0.0, 0.4};
+  EXPECT_TRUE(std::isinf(max_min_ratio(starved)));
+  const std::vector<double> tail_zero{0.4, 0.2, 0.0};
+  EXPECT_TRUE(std::isinf(max_min_ratio(tail_zero)));
+  EXPECT_GT(max_min_ratio(tail_zero), 0.0);  // +infinity, not -infinity
+}
+
+TEST(Fairness, MaxMinRatioRejectsNegativeShares) {
+  const std::vector<double> bad{-1.0, 2.0};
+  EXPECT_THROW((void)max_min_ratio(bad), std::invalid_argument);
+  const std::vector<double> single_bad{-1.0};
+  EXPECT_THROW((void)max_min_ratio(single_bad), std::invalid_argument);
 }
 
 }  // namespace

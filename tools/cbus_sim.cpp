@@ -8,18 +8,22 @@
 //
 // Usage:
 //   cbus_sim --experiment FILE [--threads N] [--runs N] [--seed S]
-//            [--pwcet] [--csv]
+//            [--pwcet] [--csv] [--metrics LIST]
 //   cbus_sim [--kernel NAME] [--setup rp|cba|hcba]
 //            [--scenario iso|con|stream] [--arbiter KIND]
 //            [--runs N] [--seed S] [--cores N] [--pwcet] [--csv]
+//            [--metrics LIST]
+//   cbus_sim --list kernels|setups|arbiters|scenarios|metrics
 //
 // Examples:
 //   cbus_sim --experiment examples/experiments/paper_con.exp --threads 4
 //   cbus_sim --kernel matrix --setup cba --scenario con --runs 100 --pwcet
 //   cbus_sim --kernel tblook --setup rp --scenario iso --csv
+//   cbus_sim --list metrics
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -27,6 +31,7 @@
 
 #include "bus/arbiter_factory.hpp"
 #include "exp/experiment.hpp"
+#include "metrics/probes.hpp"
 #include "platform/config_file.hpp"
 #include "exp/runner.hpp"
 #include "exp/sinks.hpp"
@@ -47,6 +52,7 @@ struct Options {
   std::optional<std::uint64_t> seed;
   std::optional<std::uint32_t> cores;
   std::optional<std::uint32_t> threads;
+  std::optional<std::string> metrics;
   bool pwcet = false;
   bool csv = false;
 };
@@ -71,8 +77,49 @@ struct Options {
       "  --seed S          campaign seed                    [0xC0FFEE]\n"
       "  --cores N         core count (CBA rescaled)        [4]\n"
       "  --pwcet           run the MBPTA analysis on the samples\n"
-      "  --csv             per-run CSV on stdout\n";
+      "  --csv             per-run CSV on stdout\n"
+      "  --metrics LIST    metric keys for the CSV/JSON outputs\n"
+      "                    (comma-separated, or `all`); the experiment\n"
+      "                    `metrics` directive spelled as a flag\n"
+      "  --list WHAT       print known values and exit:\n"
+      "                    kernels | setups | arbiters | scenarios |\n"
+      "                    metrics\n";
   std::exit(code);
+}
+
+/// `--list WHAT`: the discoverable companion to every exit-2 "unknown
+/// value" error. One value per line so shell loops can consume it.
+[[noreturn]] void list_values(const std::string& what) {
+  if (what == "kernels") {
+    for (const auto kernel : cbus::workloads::all_kernels()) {
+      std::cout << kernel << "\n";
+    }
+  } else if (what == "setups") {
+    for (const auto name : cbus::platform::setup_names()) {
+      std::cout << name << "\n";
+    }
+  } else if (what == "arbiters") {
+    for (const auto kind : cbus::bus::all_arbiter_kinds()) {
+      std::cout << cbus::bus::short_name(kind) << "\n";
+    }
+  } else if (what == "scenarios") {
+    for (const auto scenario : cbus::exp::all_scenarios()) {
+      std::cout << cbus::exp::to_string(scenario) << "\n";
+    }
+  } else if (what == "metrics") {
+    for (const auto& info : cbus::metrics::metric_catalog()) {
+      std::ostringstream key;
+      key << info.key;
+      if (info.per_master) key << "[i]";
+      std::cout << std::left << std::setw(26) << key.str() << ' '
+                << info.description << "\n";
+    }
+  } else {
+    std::cerr << "cbus_sim: unknown --list topic '" << what
+              << "' (kernels|setups|arbiters|scenarios|metrics)\n";
+    std::exit(2);
+  }
+  std::exit(0);
 }
 
 /// One-line fatal error on stderr; scripted sweeps fail loudly instead of
@@ -111,6 +158,10 @@ Options parse(int argc, char** argv) {
         opt.cores = platform::parse_config_u32(value(), arg, 0);
       } else if (arg == "--threads") {
         opt.threads = platform::parse_config_u32(value(), arg, 0);
+      } else if (arg == "--metrics") {
+        opt.metrics = value();
+      } else if (arg == "--list") {
+        list_values(value());
       } else if (arg == "--pwcet") {
         opt.pwcet = true;
       } else if (arg == "--csv") {
@@ -130,26 +181,35 @@ Options parse(int argc, char** argv) {
     const auto known = workloads::all_kernels();
     if (std::find(known.begin(), known.end(), *opt.kernel) == known.end()) {
       die("unknown kernel '" + *opt.kernel +
-          "' (known: " + exp::known_kernel_list() + ")");
+          "' (see: cbus_sim --list kernels)");
     }
   }
   if (opt.setup.has_value() && *opt.setup != "rp" && *opt.setup != "cba" &&
       *opt.setup != "hcba") {
-    die("unknown setup '" + *opt.setup + "' (rp|cba|hcba)");
+    die("unknown setup '" + *opt.setup + "' (see: cbus_sim --list setups)");
   }
   if (opt.arbiter.has_value()) {
     try {
       (void)bus::parse_arbiter_kind(*opt.arbiter);
     } catch (const std::exception&) {
       die("unknown arbiter '" + *opt.arbiter +
-          "' (rr|fifo|priority|lottery|rp|tdma|drr)");
+          "' (see: cbus_sim --list arbiters)");
     }
   }
   if (opt.scenario.has_value()) {
     try {
       (void)exp::parse_scenario(*opt.scenario);
     } catch (const std::exception&) {
-      die("unknown scenario '" + *opt.scenario + "' (iso|con|stream|corun)");
+      die("unknown scenario '" + *opt.scenario +
+          "' (see: cbus_sim --list scenarios)");
+    }
+  }
+  if (opt.metrics.has_value()) {
+    try {
+      (void)exp::parse_metric_selection(*opt.metrics);
+    } catch (const std::exception&) {
+      die("bad --metrics selection '" + *opt.metrics +
+          "' (see: cbus_sim --list metrics)");
     }
   }
   if (opt.runs.has_value() && *opt.runs == 0) die("--runs must be positive");
@@ -191,6 +251,9 @@ exp::ExperimentSpec build_spec(const Options& opt) {
   if (opt.runs.has_value()) spec.runs = *opt.runs;
   if (opt.seed.has_value()) spec.seed = *opt.seed;
   if (opt.threads.has_value()) spec.threads = *opt.threads;
+  if (opt.metrics.has_value()) {
+    spec.metrics = exp::parse_metric_selection(*opt.metrics);
+  }
   if (opt.pwcet) spec.pwcet = true;
   if (opt.csv) spec.csv_path = "-";
   return spec;
