@@ -25,8 +25,10 @@
 #include "bus/bus.hpp"
 #include "core/contention_bounds.hpp"
 #include "core/credit_filter.hpp"
+#include "platform/scenarios.hpp"
 #include "platform/synthetic_master.hpp"
 #include "sim/kernel.hpp"
+#include "workloads/eembc_like.hpp"
 
 namespace {
 
@@ -116,6 +118,48 @@ void BM_ScalingRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScalingRun)->Arg(2)->Arg(4)->Arg(8);
+
+// --- campaign throughput: lockstep batching vs one machine at a time ----
+//
+// The multi-seed campaign is THE hot loop of the paper's evaluation
+// (1,000 runs per configuration); this measures what the batched
+// sim::BatchKernel path buys over the serial replay, and what threading
+// across batches adds on top. Args are {batch, threads}; {1, 1} is the
+// serial reference point.
+
+constexpr std::uint32_t kCampaignRuns = 24;
+
+[[nodiscard]] platform::CampaignSpec campaign_spec(std::uint32_t batch,
+                                                   std::uint32_t threads) {
+  platform::CampaignSpec spec;
+  spec.protocol = platform::CampaignSpec::Protocol::kMaxContention;
+  spec.config = platform::PlatformConfig::paper_wcet(platform::BusSetup::kCba);
+  spec.tua_factory = []() { return workloads::make_eembc("canrdr"); };
+  spec.runs = kCampaignRuns;
+  spec.base_seed = 0xC0FFEE;
+  spec.batch = batch;
+  spec.threads = threads;
+  return spec;
+}
+
+void BM_CampaignBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::uint32_t>(state.range(0));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  const platform::CampaignSpec spec = campaign_spec(batch, threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(platform::run_campaign(spec));
+  }
+  state.SetItemsProcessed(state.iterations() * kCampaignRuns);
+}
+// UseRealTime: the campaign spawns its own workers, so wall clock is the
+// honest throughput measure (thread-CPU time would only see the caller).
+BENCHMARK(BM_CampaignBatch)
+    ->Args({1, 1})
+    ->Args({8, 1})
+    ->Args({24, 1})
+    ->Args({8, 4})
+    ->Args({8, 8})
+    ->UseRealTime();
 
 }  // namespace
 

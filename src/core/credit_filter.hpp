@@ -15,6 +15,11 @@ class CreditFilter final : public bus::EligibilityFilter {
  public:
   explicit CreditFilter(CbaConfig config) : state_(std::move(config)) {}
 
+  /// SoA-view constructor for batched campaigns: the counters live in an
+  /// external CreditSoA lane (see CreditState).
+  CreditFilter(CbaConfig config, std::span<SaturatingCounter> storage)
+      : state_(std::move(config), storage) {}
+
   [[nodiscard]] std::uint32_t eligible(std::uint32_t pending,
                                        Cycle /*now*/) override {
     return state_.eligible_mask(pending);

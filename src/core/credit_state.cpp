@@ -6,10 +6,35 @@ namespace cbus::core {
 
 CreditState::CreditState(CbaConfig config) : config_(std::move(config)) {
   config_.validate();
-  counters_.reserve(config_.n_masters);
+  owned_.resize(config_.n_masters);
+  counters_ = owned_;
   for (MasterId m = 0; m < config_.n_masters; ++m) {
-    counters_.emplace_back(config_.saturation[m], config_.initial[m]);
+    counters_[m] = SaturatingCounter(config_.saturation[m], config_.initial[m]);
   }
+}
+
+CreditState::CreditState(CbaConfig config,
+                         std::span<SaturatingCounter> storage)
+    : config_(std::move(config)) {
+  config_.validate();
+  CBUS_EXPECTS_MSG(storage.size() >= config_.n_masters,
+                   "credit storage smaller than n_masters");
+  counters_ = storage.first(config_.n_masters);
+  for (MasterId m = 0; m < config_.n_masters; ++m) {
+    counters_[m] = SaturatingCounter(config_.saturation[m], config_.initial[m]);
+  }
+}
+
+CreditSoA::CreditSoA(std::size_t lanes, const CbaConfig& config)
+    : lanes_(lanes), masters_(config.n_masters) {
+  CBUS_EXPECTS(lanes >= 1);
+  storage_.resize(lanes_ * masters_);
+}
+
+std::span<SaturatingCounter> CreditSoA::lane(std::size_t l) {
+  CBUS_EXPECTS(l < lanes_);
+  return std::span<SaturatingCounter>(storage_)
+      .subspan(l * masters_, masters_);
 }
 
 void CreditState::tick(MasterId holder) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/saturating_counter.hpp"
@@ -22,6 +23,18 @@ namespace cbus::core {
 class CreditState {
  public:
   explicit CreditState(CbaConfig config);
+
+  /// Counters live in caller-provided `storage` (>= n_masters entries)
+  /// instead of an own allocation -- the struct-of-arrays view used by
+  /// batched campaigns, where one CreditSoA arena keeps every replica's
+  /// counters contiguous. `storage` must outlive this object; behaviour
+  /// is identical to the owning constructor.
+  CreditState(CbaConfig config, std::span<SaturatingCounter> storage);
+
+  CreditState(const CreditState&) = delete;
+  CreditState& operator=(const CreditState&) = delete;
+  CreditState(CreditState&&) = default;
+  CreditState& operator=(CreditState&&) = default;
 
   /// One clock edge: recovery for everyone, occupancy charge for `holder`
   /// (pass kNoMaster when the bus is idle or arbitrating).
@@ -59,8 +72,32 @@ class CreditState {
 
  private:
   CbaConfig config_;
-  std::vector<SaturatingCounter> counters_;
+  /// Backing store when self-owned (empty in the SoA-view case). A vector
+  /// move keeps its heap buffer, so `counters_` survives moves either way.
+  std::vector<SaturatingCounter> owned_;
+  /// The live counters: `owned_` or an external CreditSoA lane.
+  std::span<SaturatingCounter> counters_;
   std::uint64_t underflow_clamps_ = 0;
+};
+
+/// Contiguous credit-counter storage for a batch of replicas: lane l's
+/// n_masters counters occupy [l * n_masters, (l+1) * n_masters), so the
+/// whole batch's credit state fits a handful of cache lines and the
+/// lockstep bus ticks walk it sequentially. Hand `lane(l)` to the
+/// replica's CreditState/CreditFilter; the arena must outlive them.
+class CreditSoA {
+ public:
+  CreditSoA(std::size_t lanes, const CbaConfig& config);
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+
+  /// Lane `l`'s counter slice (sized n_masters).
+  [[nodiscard]] std::span<SaturatingCounter> lane(std::size_t l);
+
+ private:
+  std::size_t lanes_;
+  std::uint32_t masters_;
+  std::vector<SaturatingCounter> storage_;
 };
 
 }  // namespace cbus::core

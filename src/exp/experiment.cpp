@@ -240,6 +240,9 @@ ExperimentSpec parse_experiment(std::istream& in) {
       spec.max_cycles = platform::parse_config_uint(value, key, line_no);
       CBUS_EXPECTS_MSG(spec.max_cycles >= 1,
                        where + "max_cycles must be positive");
+    } else if (key == "batch") {
+      spec.batch = platform::parse_config_u32(value, key, line_no);
+      CBUS_EXPECTS_MSG(spec.batch >= 1, where + "batch must be positive");
     } else if (key == "pwcet") {
       spec.pwcet = parse_switch(value, key, line_no);
     } else if (key == "metrics") {

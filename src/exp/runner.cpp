@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <thread>
 
@@ -75,22 +76,104 @@ namespace {
   return nullptr;  // unreachable
 }
 
-/// Build the co-runner streams for a corun job: masters 1..k in order,
-/// with unassigned cores below the highest assigned index idling.
-[[nodiscard]] std::vector<std::unique_ptr<cpu::OpStream>> make_corunners(
+/// Co-runner workload specs for a corun job: masters 1..k in order, with
+/// unassigned cores below the highest assigned index idling.
+[[nodiscard]] std::vector<WorkloadSpec> corunner_workloads(
     const ExperimentSpec& spec, std::uint32_t n_cores) {
-  std::vector<std::unique_ptr<cpu::OpStream>> streams;
+  std::vector<WorkloadSpec> workloads;
   std::uint32_t highest = 0;
   for (const auto& [index, workload] : spec.corunners) {
     if (index < n_cores) highest = std::max(highest, index);
   }
   for (std::uint32_t core = 1; core <= highest; ++core) {
     const auto it = spec.corunners.find(core);
-    streams.push_back(it == spec.corunners.end()
-                          ? make_stream(WorkloadSpec{})  // idle filler
-                          : make_stream(it->second));
+    workloads.push_back(it == spec.corunners.end()
+                            ? WorkloadSpec{}  // idle filler
+                            : it->second);
   }
-  return streams;
+  return workloads;
+}
+
+/// The job's campaign in stream-factory form: every run builds its own
+/// streams, so any worker thread can execute any contiguous slice of the
+/// campaign as one lockstep batch (platform::run_campaign_slice).
+[[nodiscard]] platform::CampaignSpec make_campaign(const ExperimentSpec& spec,
+                                                   const Job& job) {
+  platform::CampaignSpec campaign;
+  campaign.config = job.config;
+  campaign.base_seed = job.seed;
+  campaign.runs = spec.runs;
+  campaign.max_cycles = spec.max_cycles;
+  campaign.batch = std::max(1u, spec.batch);
+  const std::string kernel = job.kernel;
+  campaign.tua_factory = [kernel]() { return workloads::make_eembc(kernel); };
+
+  switch (job.scenario) {
+    case Scenario::kIsolation:
+      campaign.protocol = platform::CampaignSpec::Protocol::kIsolation;
+      break;
+    case Scenario::kMaxContention:
+      campaign.protocol = platform::CampaignSpec::Protocol::kMaxContention;
+      break;
+    case Scenario::kStream:
+      // The legacy cbus_sim scenario: saturating streaming readers on
+      // every other core, capped at three.
+      campaign.protocol = platform::CampaignSpec::Protocol::kCorun;
+      for (std::uint32_t i = 0;
+           i < std::min<std::uint32_t>(3, job.config.n_cores - 1); ++i) {
+        campaign.corunner_factories.emplace_back([]() {
+          return std::make_unique<workloads::StreamingStream>(0);
+        });
+      }
+      break;
+    case Scenario::kCorun:
+      campaign.protocol = platform::CampaignSpec::Protocol::kCorun;
+      for (const WorkloadSpec& workload :
+           corunner_workloads(spec, job.config.n_cores)) {
+        campaign.corunner_factories.emplace_back(
+            [workload]() { return make_stream(workload); });
+      }
+      break;
+  }
+  return campaign;
+}
+
+/// A JobResult shell carrying the job's identity (everything but the
+/// campaign payload), shared by run_job and run_experiment.
+[[nodiscard]] JobResult job_shell(const Job& job) {
+  JobResult out;
+  out.index = job.index;
+  out.axes = job.axes;
+  out.kernel = job.kernel;
+  out.scenario = std::string(to_string(job.scenario));
+  out.seed = job.seed;
+  return out;
+}
+
+/// Run the optional per-job MBPTA analysis over the folded campaign.
+void attach_mbpta(const ExperimentSpec& spec, JobResult& out) {
+  if (!spec.pwcet) return;
+  mbpta::MbptaConfig mcfg;
+  mcfg.block_size = std::max<std::size_t>(2, spec.runs / 30);
+  try {
+    out.mbpta = mbpta::analyze(out.campaign.samples(), mcfg);
+  } catch (const std::exception& e) {
+    out.mbpta_error = e.what();
+  }
+}
+
+/// Fold a job's per-run outcomes (in run order) and attach the optional
+/// MBPTA analysis -- the tail of the original run_job.
+void finalize_job(const ExperimentSpec& spec,
+                  std::span<platform::RunOutcome> outcomes, JobResult& out) {
+  for (platform::RunOutcome& outcome : outcomes) {
+    if (!outcome.finished) {
+      ++out.campaign.unfinished_runs;
+      continue;
+    }
+    out.campaign.aggregate.add(outcome.record);
+  }
+  attach_mbpta(spec, out);
 }
 
 }  // namespace
@@ -174,60 +257,13 @@ std::vector<Job> expand(const ExperimentSpec& spec) {
 }
 
 JobResult run_job(const ExperimentSpec& spec, const Job& job) {
-  JobResult out;
-  out.index = job.index;
-  out.axes = job.axes;
-  out.kernel = job.kernel;
-  out.scenario = std::string(to_string(job.scenario));
-  out.seed = job.seed;
+  JobResult out = job_shell(job);
   try {
-    auto tua = workloads::make_eembc(job.kernel);
-    platform::CampaignSpec campaign;
-    campaign.config = job.config;
-    campaign.tua = tua.get();
-    campaign.base_seed = job.seed;
-    campaign.runs = spec.runs;
-    campaign.max_cycles = spec.max_cycles;
-
-    // Owned co-runner streams (kStream/kCorun); campaign.corunners holds
-    // non-owning views into this vector.
-    std::vector<std::unique_ptr<cpu::OpStream>> owned;
-    switch (job.scenario) {
-      case Scenario::kIsolation:
-        campaign.protocol = platform::CampaignSpec::Protocol::kIsolation;
-        break;
-      case Scenario::kMaxContention:
-        campaign.protocol =
-            platform::CampaignSpec::Protocol::kMaxContention;
-        break;
-      case Scenario::kStream:
-        // The legacy cbus_sim scenario: saturating streaming readers on
-        // every other core, capped at three.
-        campaign.protocol = platform::CampaignSpec::Protocol::kCorun;
-        for (std::uint32_t i = 0;
-             i < std::min<std::uint32_t>(3, job.config.n_cores - 1); ++i) {
-          owned.push_back(std::make_unique<workloads::StreamingStream>(0));
-        }
-        break;
-      case Scenario::kCorun:
-        campaign.protocol = platform::CampaignSpec::Protocol::kCorun;
-        owned = make_corunners(spec, job.config.n_cores);
-        break;
-    }
-    campaign.corunners.reserve(owned.size());
-    for (const auto& s : owned) campaign.corunners.push_back(s.get());
-
-    out.campaign = platform::run_campaign(campaign);
-
-    if (spec.pwcet) {
-      mbpta::MbptaConfig mcfg;
-      mcfg.block_size = std::max<std::size_t>(2, spec.runs / 30);
-      try {
-        out.mbpta = mbpta::analyze(out.campaign.samples(), mcfg);
-      } catch (const std::exception& e) {
-        out.mbpta_error = e.what();
-      }
-    }
+    // run_campaign's factory form does the slice partitioning and
+    // run-order folding itself (single-threaded here; run_experiment
+    // schedules the slices of all jobs on its own pool instead).
+    out.campaign = platform::run_campaign(make_campaign(spec, job));
+    attach_mbpta(spec, out);
   } catch (const std::exception& e) {
     out.error = e.what();
   }
@@ -237,6 +273,38 @@ JobResult run_job(const ExperimentSpec& spec, const Job& job) {
 ExperimentResult run_experiment(const ExperimentSpec& spec,
                                 std::uint32_t threads_override) {
   const std::vector<Job> jobs = expand(spec);
+  const std::uint32_t batch = std::max(1u, spec.batch);
+
+  // Per-job campaign in factory form plus its per-run outcome slots.
+  // Building the campaign cannot fail (streams are made lazily inside
+  // slices), so failures surface per slice below.
+  struct Plan {
+    platform::CampaignSpec campaign;
+    std::vector<platform::RunOutcome> outcomes;
+  };
+  std::vector<Plan> plans(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    plans[j].campaign = make_campaign(spec, jobs[j]);
+    plans[j].outcomes.resize(spec.runs);
+  }
+
+  // ONE slice list across every sweep job: batches span jobs, so the
+  // worker pool stays busy even when the experiment has fewer jobs than
+  // threads (e.g. one job with thousands of runs). Every slice writes
+  // into its job's pre-sized outcome slots and results are folded in
+  // run order, so output is identical for any thread count and batch.
+  struct Slice {
+    std::size_t job;
+    std::uint32_t first;
+    std::uint32_t count;
+  };
+  std::vector<Slice> slices;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (std::uint32_t first = 0; first < spec.runs; first += batch) {
+      slices.push_back(Slice{j, first, std::min(batch, spec.runs - first)});
+    }
+  }
+  std::vector<std::string> slice_errors(slices.size());
 
   std::uint32_t threads =
       threads_override != 0 ? threads_override : spec.threads;
@@ -244,17 +312,22 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   threads = static_cast<std::uint32_t>(
-      std::min<std::size_t>(threads, jobs.size()));
-
-  ExperimentResult result;
-  result.jobs.resize(jobs.size());
+      std::min<std::size_t>(threads, slices.size()));
 
   std::atomic<std::size_t> next{0};
   const auto worker = [&]() {
     while (true) {
       const std::size_t i = next.fetch_add(1);
-      if (i >= jobs.size()) return;
-      result.jobs[i] = run_job(spec, jobs[i]);
+      if (i >= slices.size()) return;
+      const Slice& slice = slices[i];
+      try {
+        platform::run_campaign_slice(
+            plans[slice.job].campaign, slice.first,
+            std::span<platform::RunOutcome>(plans[slice.job].outcomes)
+                .subspan(slice.first, slice.count));
+      } catch (const std::exception& e) {
+        slice_errors[i] = e.what();
+      }
     }
   };
 
@@ -265,6 +338,23 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
     pool.reserve(threads);
     for (std::uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
+  }
+
+  ExperimentResult result;
+  result.jobs.resize(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    JobResult& out = result.jobs[j];
+    out = job_shell(jobs[j]);
+    // A failed slice fails the whole job (as an exception aborted the
+    // whole campaign before); the lowest-numbered slice's error wins so
+    // the report is thread-count-independent.
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+      if (slices[i].job == j && !slice_errors[i].empty()) {
+        out.error = slice_errors[i];
+        break;
+      }
+    }
+    if (out.error.empty()) finalize_job(spec, plans[j].outcomes, out);
   }
   return result;
 }

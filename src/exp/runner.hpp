@@ -1,11 +1,15 @@
 // Experiment execution: sweep expansion into a job list, then a thread
-// pool that runs one campaign per job.
+// pool over lockstep slices of every job's campaign (`batch` runs per
+// slice, platform::run_campaign_slice) -- slices from all sweep jobs
+// share the one pool, so threads stay busy even for a single huge job.
 //
 // Determinism contract: expansion happens single-threaded and derives one
-// seed per job from the experiment master seed through an rng::RandBank,
-// and every job writes into its own pre-allocated result slot -- so the
-// result vector is bit-identical no matter how many worker threads run
-// the jobs or in which order they finish.
+// seed per job from the experiment master seed through an rng::RandBank;
+// every slice derives its runs' seeds from its job seed by run index and
+// writes into pre-allocated per-run outcome slots, which are folded in
+// run order afterwards -- so the result vector is bit-identical no
+// matter how many worker threads run the slices, in which order they
+// finish, or what `batch` is.
 #pragma once
 
 #include <cstddef>

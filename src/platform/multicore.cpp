@@ -7,7 +7,8 @@ namespace cbus::platform {
 
 Multicore::Multicore(const PlatformConfig& config, std::uint64_t seed,
                      cpu::OpStream& tua,
-                     const std::vector<cpu::OpStream*>& contenders)
+                     const std::vector<cpu::OpStream*>& contenders,
+                     std::span<SaturatingCounter> credit_lane)
     : config_(config), bank_(seed) {
   config_.validate();
   CBUS_EXPECTS_MSG(contenders.size() + 1 <= config_.n_cores,
@@ -28,7 +29,10 @@ Multicore::Multicore(const PlatformConfig& config, std::uint64_t seed,
   }
 
   if (config_.cba.has_value()) {
-    filter_ = std::make_unique<core::CreditFilter>(*config_.cba);
+    filter_ = credit_lane.empty()
+                  ? std::make_unique<core::CreditFilter>(*config_.cba)
+                  : std::make_unique<core::CreditFilter>(*config_.cba,
+                                                         credit_lane);
     if (bus_) bus_->set_filter(filter_.get());
     if (split_bus_) split_bus_->set_filter(filter_.get());
     if (config_.mode == PlatformMode::kWcetEstimation &&
@@ -73,9 +77,9 @@ Multicore::Multicore(const PlatformConfig& config, std::uint64_t seed,
 }
 
 RunResult Multicore::run(Cycle max_cycles) {
-  const bool finished = kernel_.run_until(
-      [this]() { return cores_.front()->done(); }, max_cycles);
-  return collect(finished);
+  const bool finished =
+      kernel_.run_until([this]() { return tua_done(); }, max_cycles);
+  return collect(finished, kernel_.now());
 }
 
 RunResult Multicore::run_all(Cycle max_cycles) {
@@ -87,14 +91,20 @@ RunResult Multicore::run_all(Cycle max_cycles) {
         return true;
       },
       max_cycles);
-  return collect(finished);
+  return collect(finished, kernel_.now());
 }
 
-RunResult Multicore::collect(bool finished) const {
+void Multicore::attach(sim::BatchKernel& batch, std::size_t lane) {
+  for (sim::Component* component : kernel_.components()) {
+    batch.add(lane, *component);
+  }
+}
+
+RunResult Multicore::collect(bool finished, Cycle executed) const {
   RunResult result;
   result.tua_finished = finished && cores_.front()->done();
   result.tua_cycles = cores_.front()->done() ? cores_.front()->finish_cycle()
-                                             : kernel_.now();
+                                             : executed;
   result.tua_stats = cores_.front()->stats();
   result.bus_stats = bus_ ? bus_->statistics() : split_bus_->statistics();
   result.credit_underflows =

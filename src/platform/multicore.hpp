@@ -16,6 +16,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "bus/arbiter.hpp"
@@ -29,6 +30,7 @@
 #include "metrics/record.hpp"
 #include "platform/platform_config.hpp"
 #include "rng/rand_bank.hpp"
+#include "sim/batch_kernel.hpp"
 #include "sim/kernel.hpp"
 
 namespace cbus::platform {
@@ -58,9 +60,15 @@ class Multicore {
   ///
   /// Streams are NOT reset here -- campaigns reset them with per-run seeds
   /// before constructing the Multicore.
+  ///
+  /// `credit_lane` (optional, CBA setups only) places the credit counters
+  /// in external storage -- a core::CreditSoA lane -- instead of an own
+  /// allocation, so a batch of replicas keeps its credit state contiguous.
+  /// Must outlive the machine; behaviour is storage-independent.
   Multicore(const PlatformConfig& config, std::uint64_t seed,
             cpu::OpStream& tua,
-            const std::vector<cpu::OpStream*>& contenders = {});
+            const std::vector<cpu::OpStream*>& contenders = {},
+            std::span<SaturatingCounter> credit_lane = {});
 
   Multicore(const Multicore&) = delete;
   Multicore& operator=(const Multicore&) = delete;
@@ -70,6 +78,23 @@ class Multicore {
 
   /// Run until every real core finishes (or `max_cycles`).
   RunResult run_all(Cycle max_cycles = 50'000'000);
+
+  // --- batched execution (sim::BatchKernel) ------------------------------
+  /// Register every component as lane `lane` of `batch`, in the exact
+  /// tick order run() uses. The machine is then advanced externally.
+  void attach(sim::BatchKernel& batch, std::size_t lane);
+
+  /// run()'s stop predicate: the TuA (master 0) has finished.
+  [[nodiscard]] bool tua_done() const noexcept {
+    return cores_.front()->done();
+  }
+
+  /// Assemble the RunResult after external (batched) stepping. `fired` is
+  /// the lane's run_until flag; `executed_cycles` the batch clock, used as
+  /// the TuA time of unfinished runs (exactly run()'s kernel.now()).
+  [[nodiscard]] RunResult harvest(bool fired, Cycle executed_cycles) const {
+    return collect(fired, executed_cycles);
+  }
 
   // --- introspection (tests, benches) -----------------------------------
   /// The non-split bus (null when the split protocol is configured).
@@ -96,7 +121,7 @@ class Multicore {
   }
 
  private:
-  [[nodiscard]] RunResult collect(bool finished) const;
+  [[nodiscard]] RunResult collect(bool finished, Cycle executed) const;
 
   PlatformConfig config_;
   rng::RandBank bank_;

@@ -1,9 +1,51 @@
 #include "platform/scenarios.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
 #include "common/contracts.hpp"
+#include "core/credit_state.hpp"
 #include "rng/splitmix64.hpp"
+#include "sim/batch_kernel.hpp"
 
 namespace cbus::platform {
+
+namespace {
+
+/// Validate the spec's protocol contracts and return the effective
+/// platform config (kIsolation forces operation mode). Shared by the
+/// shared-stream and batched paths so both enforce identical rules.
+[[nodiscard]] PlatformConfig resolve_campaign_config(
+    const CampaignSpec& spec) {
+  CBUS_EXPECTS(spec.runs >= 1);
+  const bool corun = spec.protocol == CampaignSpec::Protocol::kCorun;
+  CBUS_EXPECTS_MSG(corun || spec.corunners.empty(),
+                   spec.protocol == CampaignSpec::Protocol::kIsolation
+                       ? "isolation runs the TuA alone"
+                       : "maximum contention uses Table-I virtual "
+                         "contenders, not real co-runners");
+  CBUS_EXPECTS_MSG(corun || spec.corunner_factories.empty(),
+                   "co-runner factories apply to the corun protocol only");
+
+  PlatformConfig config = spec.config;
+  switch (spec.protocol) {
+    case CampaignSpec::Protocol::kIsolation:
+      config.mode = PlatformMode::kOperation;  // no contender injection
+      break;
+    case CampaignSpec::Protocol::kMaxContention:
+      CBUS_EXPECTS_MSG(
+          config.mode == PlatformMode::kWcetEstimation,
+          "maximum contention is a WCET-estimation-mode protocol");
+      break;
+    case CampaignSpec::Protocol::kCorun:
+      break;  // the configured mode and co-runners apply as-is
+  }
+  return config;
+}
+
+}  // namespace
 
 std::uint64_t run_seed(std::uint64_t base_seed, std::uint32_t run_index) {
   rng::SplitMix64 mix(base_seed);
@@ -41,87 +83,161 @@ std::uint64_t CampaignResult::credit_underflows() const {
   return total;
 }
 
-CampaignResult run_campaign(const CampaignSpec& spec) {
-  CBUS_EXPECTS_MSG(spec.tua != nullptr, "CampaignSpec.tua is required");
-  CBUS_EXPECTS(spec.runs >= 1);
+void run_campaign_slice(const CampaignSpec& spec, std::uint32_t first_run,
+                        std::span<RunOutcome> outcomes) {
+  const PlatformConfig config = resolve_campaign_config(spec);
+  CBUS_EXPECTS_MSG(spec.tua_factory != nullptr,
+                   "run_campaign_slice needs the stream-factory form");
+  CBUS_EXPECTS(first_run + outcomes.size() <= spec.runs);
+  if (outcomes.empty()) return;
+  const std::size_t lanes = outcomes.size();
 
-  PlatformConfig config = spec.config;
-  switch (spec.protocol) {
-    case CampaignSpec::Protocol::kIsolation:
-      CBUS_EXPECTS_MSG(spec.corunners.empty(),
-                       "isolation runs the TuA alone");
-      config.mode = PlatformMode::kOperation;  // no contender injection
-      break;
-    case CampaignSpec::Protocol::kMaxContention:
-      CBUS_EXPECTS_MSG(
-          config.mode == PlatformMode::kWcetEstimation,
-          "maximum contention is a WCET-estimation-mode protocol");
-      CBUS_EXPECTS_MSG(spec.corunners.empty(),
-                       "maximum contention uses Table-I virtual "
-                       "contenders, not real co-runners");
-      break;
-    case CampaignSpec::Protocol::kCorun:
-      break;  // the configured mode and co-runners apply as-is
+  // Per-run seeds: the run_seed(base_seed, i) sequence, i.e. exactly the
+  // draws the serial loop takes -- skip to this slice's window.
+  rng::SplitMix64 mix(spec.base_seed);
+  for (std::uint32_t i = 0; i < first_run; ++i) (void)mix.next();
+
+  // One contiguous credit arena for the whole batch (SoA across lanes).
+  std::unique_ptr<core::CreditSoA> credit;
+  if (config.cba.has_value()) {
+    credit = std::make_unique<core::CreditSoA>(lanes, *config.cba);
+  }
+
+  struct Lane {
+    std::unique_ptr<cpu::OpStream> tua;
+    std::vector<std::unique_ptr<cpu::OpStream>> corunners;
+    std::unique_ptr<Multicore> machine;
+  };
+  std::vector<Lane> replicas(lanes);
+  sim::BatchKernel batch(lanes, sim::BatchKernel::kCampaignStripe);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    Lane& r = replicas[lane];
+    // Same per-run derivation as the shared-stream path: machine seed,
+    // then one stream seed for the TuA and one per co-runner.
+    const std::uint64_t seed = mix.next();
+    rng::SplitMix64 stream_seeds(seed);
+    r.tua = spec.tua_factory();
+    CBUS_EXPECTS_MSG(r.tua != nullptr, "tua_factory returned null");
+    r.tua->reset(stream_seeds.next());
+    std::vector<cpu::OpStream*> corunner_ptrs;
+    corunner_ptrs.reserve(spec.corunner_factories.size());
+    for (const CampaignSpec::StreamFactory& make : spec.corunner_factories) {
+      r.corunners.push_back(make());
+      CBUS_EXPECTS_MSG(r.corunners.back() != nullptr,
+                       "corunner factory returned null");
+      r.corunners.back()->reset(stream_seeds.next());
+      corunner_ptrs.push_back(r.corunners.back().get());
+    }
+    r.machine = std::make_unique<Multicore>(
+        config, seed, *r.tua, corunner_ptrs,
+        credit ? credit->lane(lane)
+               : std::span<SaturatingCounter>{});
+    r.machine->attach(batch, lane);
+  }
+
+  const std::vector<bool> fired = batch.run_until(
+      [&](std::size_t lane) { return replicas[lane].machine->tua_done(); },
+      spec.max_cycles);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    RunResult r = replicas[lane].machine->harvest(fired[lane], batch.now());
+    outcomes[lane].finished = r.tua_finished;
+    outcomes[lane].record = std::move(r.record);
+  }
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec) {
+  CBUS_EXPECTS_MSG(
+      (spec.tua != nullptr) != (spec.tua_factory != nullptr),
+      "set exactly one of CampaignSpec.tua and CampaignSpec.tua_factory");
+
+  if (spec.tua_factory == nullptr) {
+    // Shared-stream form: strictly one run at a time (the streams are
+    // shared state), the original replay loop.
+    CBUS_EXPECTS_MSG(spec.batch <= 1 && spec.threads <= 1,
+                     "batched/threaded campaigns need the stream-factory "
+                     "form (CampaignSpec.tua_factory)");
+    const PlatformConfig config = resolve_campaign_config(spec);
+    CampaignResult result;
+    rng::SplitMix64 mix(spec.base_seed);
+    for (std::uint32_t run = 0; run < spec.runs; ++run) {
+      const std::uint64_t seed = mix.next();
+      rng::SplitMix64 stream_seeds(seed);
+      spec.tua->reset(stream_seeds.next());
+      for (cpu::OpStream* s : spec.corunners) s->reset(stream_seeds.next());
+
+      Multicore machine(config, seed, *spec.tua, spec.corunners);
+      const RunResult r = machine.run(spec.max_cycles);
+
+      if (!r.tua_finished) {
+        ++result.unfinished_runs;
+        continue;
+      }
+      result.aggregate.add(r.record);
+    }
+    return result;
+  }
+
+  // Factory form: partition the runs into contiguous lockstep slices,
+  // execute them (optionally across threads), then fold the outcomes in
+  // run order -- so the aggregate is independent of batch and threads.
+  CBUS_EXPECTS_MSG(spec.corunners.empty(),
+                   "give corunner_factories (not shared corunners) with "
+                   "tua_factory");
+  (void)resolve_campaign_config(spec);  // validate before spawning workers
+  const std::uint32_t batch = std::max<std::uint32_t>(1, spec.batch);
+  std::vector<RunOutcome> outcomes(spec.runs);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> slices;
+  for (std::uint32_t first = 0; first < spec.runs; first += batch) {
+    slices.emplace_back(first, std::min(batch, spec.runs - first));
+  }
+
+  std::uint32_t threads = spec.threads != 0
+                              ? spec.threads
+                              : std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<std::uint32_t>(
+      std::min<std::size_t>(threads, slices.size()));
+
+  const auto run_slice = [&](std::size_t s) {
+    const auto [first, count] = slices[s];
+    run_campaign_slice(spec, first,
+                       std::span<RunOutcome>(outcomes).subspan(first, count));
+  };
+  if (threads <= 1) {
+    for (std::size_t s = 0; s < slices.size(); ++s) run_slice(s);
+  } else {
+    // Workers capture per-slice exceptions; the lowest-indexed one is
+    // rethrown after the join, so failures are thread-count-independent.
+    std::vector<std::exception_ptr> errors(slices.size());
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&]() {
+      while (true) {
+        const std::size_t s = next.fetch_add(1);
+        if (s >= slices.size()) return;
+        try {
+          run_slice(s);
+        } catch (...) {
+          errors[s] = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
   }
 
   CampaignResult result;
-  rng::SplitMix64 mix(spec.base_seed);
-  for (std::uint32_t run = 0; run < spec.runs; ++run) {
-    const std::uint64_t seed = mix.next();
-    rng::SplitMix64 stream_seeds(seed);
-    spec.tua->reset(stream_seeds.next());
-    for (cpu::OpStream* s : spec.corunners) s->reset(stream_seeds.next());
-
-    Multicore machine(config, seed, *spec.tua, spec.corunners);
-    const RunResult r = machine.run(spec.max_cycles);
-
-    if (!r.tua_finished) {
+  for (RunOutcome& outcome : outcomes) {
+    if (!outcome.finished) {
       ++result.unfinished_runs;
       continue;
     }
-    result.aggregate.add(r.record);
+    result.aggregate.add(outcome.record);
   }
   return result;
-}
-
-CampaignResult run_isolation(const PlatformConfig& config, cpu::OpStream& tua,
-                             const CampaignConfig& campaign) {
-  CampaignSpec spec;
-  spec.protocol = CampaignSpec::Protocol::kIsolation;
-  spec.config = config;
-  spec.tua = &tua;
-  spec.base_seed = campaign.base_seed;
-  spec.runs = campaign.runs;
-  spec.max_cycles = campaign.max_cycles;
-  return run_campaign(spec);
-}
-
-CampaignResult run_max_contention(const PlatformConfig& config,
-                                  cpu::OpStream& tua,
-                                  const CampaignConfig& campaign) {
-  CampaignSpec spec;
-  spec.protocol = CampaignSpec::Protocol::kMaxContention;
-  spec.config = config;
-  spec.tua = &tua;
-  spec.base_seed = campaign.base_seed;
-  spec.runs = campaign.runs;
-  spec.max_cycles = campaign.max_cycles;
-  return run_campaign(spec);
-}
-
-CampaignResult run_with_corunners(const PlatformConfig& config,
-                                  cpu::OpStream& tua,
-                                  const std::vector<cpu::OpStream*>& corunners,
-                                  const CampaignConfig& campaign) {
-  CampaignSpec spec;
-  spec.protocol = CampaignSpec::Protocol::kCorun;
-  spec.config = config;
-  spec.tua = &tua;
-  spec.corunners = corunners;
-  spec.base_seed = campaign.base_seed;
-  spec.runs = campaign.runs;
-  spec.max_cycles = campaign.max_cycles;
-  return run_campaign(spec);
 }
 
 double slowdown(const CampaignResult& x, const CampaignResult& baseline) {

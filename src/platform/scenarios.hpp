@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -30,8 +32,20 @@
 namespace cbus::platform {
 
 /// A fully-described measurement campaign: protocol, platform, workloads
-/// and repetition plan. Streams are non-owning -- the campaign resets
-/// them with per-run seeds, so one spec can be run repeatedly.
+/// and repetition plan.
+///
+/// Workloads come in one of two forms:
+///  * shared streams (`tua`/`corunners`, non-owning): the campaign resets
+///    them with per-run seeds and replays runs strictly one at a time;
+///  * stream factories (`tua_factory`/`corunner_factories`): every run
+///    gets its own stream instances, which unlocks the batched lockstep
+///    path (`batch` replicas advance together under one
+///    sim::BatchKernel) and threading across batches (`threads`).
+/// A factory must build streams equivalent to the shared one -- same
+/// constructor arguments -- and OpStream::reset must fully restart a
+/// stream; under those contracts both forms and every (batch, threads)
+/// combination produce bit-identical per-run records from the same
+/// base_seed.
 struct CampaignSpec {
   /// The paper's measurement protocols.
   enum class Protocol : std::uint8_t {
@@ -40,15 +54,35 @@ struct CampaignSpec {
     kCorun,          ///< real co-running workloads on masters 1..k
   };
 
+  /// Builds one fresh workload stream per call (batched path).
+  using StreamFactory = std::function<std::unique_ptr<cpu::OpStream>()>;
+
   Protocol protocol = Protocol::kMaxContention;
   PlatformConfig config;
 
-  cpu::OpStream* tua = nullptr;            ///< required; runs on master 0
+  cpu::OpStream* tua = nullptr;            ///< shared-stream form
   std::vector<cpu::OpStream*> corunners;   ///< kCorun only
+
+  StreamFactory tua_factory;               ///< factory form (batched path)
+  std::vector<StreamFactory> corunner_factories;  ///< kCorun only
 
   std::uint64_t base_seed = 0xC0FFEE;
   std::uint32_t runs = 100;
   Cycle max_cycles = 50'000'000;
+
+  /// Replicas advanced in lockstep per batch (factory form only; 1 =
+  /// one machine at a time, still via fresh per-run streams).
+  std::uint32_t batch = 1;
+  /// Worker threads across batches (factory form only; 0 = hardware).
+  std::uint32_t threads = 1;
+};
+
+/// One run's outcome in slice order; `record` is meaningful only for
+/// finished runs (unfinished ones are dropped from the aggregate, as in
+/// the serial path).
+struct RunOutcome {
+  bool finished = false;
+  metrics::Record record;
 };
 
 /// Per-campaign result: every finished run's record folded into one
@@ -77,10 +111,20 @@ struct CampaignResult {
   }
 };
 
-/// Run the campaign `spec` describes. Preconditions: spec.tua is set,
+/// Run the campaign `spec` describes. Preconditions: exactly one of
+/// spec.tua / spec.tua_factory is set (batch > 1 needs the factory form),
 /// runs >= 1, corunners only with kCorun, WCET mode with kMaxContention
 /// (kIsolation forces operation mode itself).
 [[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec);
+
+/// Run the contiguous slice of runs [first_run, first_run +
+/// outcomes.size()) as ONE lockstep batch, writing each run's outcome in
+/// order. Factory form only. This is run_campaign's unit of work,
+/// exposed so exp::run_experiment can schedule slices from many sweep
+/// jobs onto one thread pool; folding outcomes in run order yields the
+/// serial aggregate bit-identically.
+void run_campaign_slice(const CampaignSpec& spec, std::uint32_t first_run,
+                        std::span<RunOutcome> outcomes);
 
 /// Per-run seed derivation (public so tests can reproduce single runs).
 [[nodiscard]] std::uint64_t run_seed(std::uint64_t base_seed,
@@ -89,30 +133,5 @@ struct CampaignResult {
 /// Slowdown of `x` relative to a baseline campaign mean.
 [[nodiscard]] double slowdown(const CampaignResult& x,
                               const CampaignResult& baseline);
-
-// --- deprecated wrappers (one PR of grace; use run_campaign) -------------
-
-/// Repetition plan of the pre-CampaignSpec entry points.
-struct CampaignConfig {
-  std::uint64_t base_seed = 0xC0FFEE;
-  std::uint32_t runs = 100;
-  Cycle max_cycles = 50'000'000;
-};
-
-/// DEPRECATED: run_campaign with Protocol::kIsolation.
-[[nodiscard]] CampaignResult run_isolation(const PlatformConfig& config,
-                                           cpu::OpStream& tua,
-                                           const CampaignConfig& campaign);
-
-/// DEPRECATED: run_campaign with Protocol::kMaxContention.
-[[nodiscard]] CampaignResult run_max_contention(
-    const PlatformConfig& config, cpu::OpStream& tua,
-    const CampaignConfig& campaign);
-
-/// DEPRECATED: run_campaign with Protocol::kCorun.
-[[nodiscard]] CampaignResult run_with_corunners(
-    const PlatformConfig& config, cpu::OpStream& tua,
-    const std::vector<cpu::OpStream*>& corunners,
-    const CampaignConfig& campaign);
 
 }  // namespace cbus::platform

@@ -1,0 +1,68 @@
+#include "sim/batch_kernel.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace cbus::sim {
+
+BatchKernel::BatchKernel(std::size_t lanes, Cycle stripe)
+    : lane_components_(lanes), stripe_(stripe) {
+  CBUS_EXPECTS(lanes >= 1);
+  CBUS_EXPECTS(stripe >= 1);
+}
+
+void BatchKernel::add(std::size_t lane, Component& component) {
+  CBUS_EXPECTS(lane < lane_components_.size());
+  lane_components_[lane].push_back(&component);
+}
+
+std::size_t BatchKernel::lane_component_count(std::size_t lane) const {
+  CBUS_EXPECTS(lane < lane_components_.size());
+  return lane_components_[lane].size();
+}
+
+std::vector<bool> BatchKernel::run_until(
+    const std::function<bool(std::size_t lane)>& done, Cycle max_cycles) {
+  CBUS_EXPECTS(done != nullptr);
+  const std::size_t slots = lane_components_.front().size();
+  for (const auto& lane : lane_components_) {
+    CBUS_EXPECTS_MSG(lane.size() == slots,
+                     "lanes are replicas: equal component counts required");
+  }
+
+  std::vector<bool> fired(lanes(), false);
+  std::vector<std::size_t> live(lanes());
+  for (std::size_t l = 0; l < lanes(); ++l) live[l] = l;
+
+  while (!live.empty() && clock_.now() < max_cycles) {
+    const Cycle base = clock_.now();
+    const Cycle stripe = std::min(stripe_, max_cycles - base);
+    // Each live lane runs the whole stripe before the next lane starts:
+    // its data stays cache-hot across the stripe, while lanes still
+    // advance through the same cycle window together. erase_if keeps lane
+    // order, so the iteration is deterministic (not that lanes could tell
+    // -- they share no state).
+    std::erase_if(live, [&](std::size_t l) {
+      const std::vector<Component*>& components = lane_components_[l];
+      for (Cycle c = 0; c < stripe; ++c) {
+        const Cycle now = base + c;
+        for (Component* component : components) component->tick(now);
+        // The run_until contract: polled once after every executed cycle.
+        if (done(l)) {
+          fired[l] = true;
+          return true;
+        }
+      }
+      return false;
+    });
+    // The clock tracks cycles every still-live lane completed; once all
+    // lanes have fired it stops (advancing would claim cycles no lane
+    // executed).
+    if (live.empty()) break;
+    for (Cycle c = 0; c < stripe; ++c) clock_.advance();
+  }
+  return fired;
+}
+
+}  // namespace cbus::sim

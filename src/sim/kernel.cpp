@@ -14,11 +14,14 @@ void Kernel::run(Cycle cycles) {
 
 bool Kernel::run_until(const std::function<bool()>& done, Cycle max_cycles) {
   CBUS_EXPECTS(done != nullptr);
+  // Contract: `done` is evaluated exactly once after every executed cycle
+  // and never before the first one, so a side-effecting predicate counts
+  // executed cycles. BatchKernel::run_until matches this per lane.
   for (Cycle i = 0; i < max_cycles; ++i) {
-    if (done()) return true;
     step();
+    if (done()) return true;
   }
-  return done();
+  return false;
 }
 
 }  // namespace cbus::sim

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -29,8 +30,12 @@ class Kernel {
   /// Run exactly `cycles` cycles.
   void run(Cycle cycles);
 
-  /// Run until `done()` returns true (checked after every cycle) or until
-  /// `max_cycles` elapse. Returns true iff `done()` fired.
+  /// Run until `done()` returns true or `max_cycles` elapse. Returns true
+  /// iff `done()` fired. `done` is evaluated exactly once after every
+  /// executed cycle -- never before the first one, never twice for the
+  /// same cycle -- so side-effecting predicates observe one call per
+  /// cycle. A predicate that is already true therefore still executes one
+  /// cycle before it is seen. BatchKernel honours the same contract.
   bool run_until(const std::function<bool()>& done, Cycle max_cycles);
 
   /// Execute a single cycle.
@@ -38,6 +43,12 @@ class Kernel {
 
   [[nodiscard]] std::size_t component_count() const noexcept {
     return components_.size();
+  }
+
+  /// Registered components in tick order (the batched campaign path
+  /// re-registers them into a BatchKernel lane).
+  [[nodiscard]] std::span<Component* const> components() const noexcept {
+    return components_;
   }
 
  private:

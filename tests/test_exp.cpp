@@ -100,9 +100,16 @@ TEST(ExperimentFormat, RejectsUnknownKeyWithLineNumber) {
   expect_parse_error("runs = 3\nbogus = 1\n", "line 2", "bogus");
 }
 
+TEST(ExperimentFormat, ParsesBatchKey) {
+  EXPECT_EQ(parse("").batch, 1u);  // default: one machine at a time
+  EXPECT_EQ(parse("batch = 16\n").batch, 16u);
+}
+
 TEST(ExperimentFormat, RejectsBadValues) {
   expect_parse_error("runs = zero\n", "bad number", "runs");
   expect_parse_error("runs = 0\n", "runs must be positive");
+  expect_parse_error("batch = 0\n", "batch must be positive");
+  expect_parse_error("batch = x\n", "bad number", "batch");
   expect_parse_error("runs = -3\n", "bad number");
   expect_parse_error("runs = 3x\n", "trailing characters");
   expect_parse_error("seed = 99999999999999999999999\n", "out of range");
@@ -299,6 +306,88 @@ TEST(Runner, SameCsvAtOneAndFourThreads) {
   EXPECT_NE(a.find("canrdr"), std::string::npos);
 }
 
+TEST(Runner, BatchedExecutionIsByteIdenticalToSerial) {
+  // The tentpole determinism contract: the same experiment must produce
+  // byte-identical CSV and JSON for every (batch, threads) combination,
+  // including `metrics = all` (every probe key, per-master vectors and
+  // the maxmin infinity contract included).
+  const std::string text =
+      "scenario = con\n"
+      "kernel = canrdr\n"
+      "sweep setup = rp cba\n"
+      "cores = 2\n"
+      "runs = 5\n"
+      "metrics = all\n";
+  const ExperimentSpec serial_spec = parse(text);
+  const auto serial = run_experiment(serial_spec, /*threads=*/1);
+  EXPECT_EQ(serial.failed_jobs(), 0u);
+  std::ostringstream serial_csv, serial_json;
+  make_sink(SinkKind::kCsv)->write(serial_spec, serial.jobs, serial_csv);
+  make_sink(SinkKind::kJson)->write(serial_spec, serial.jobs, serial_json);
+
+  for (const std::uint32_t batch : {2u, 8u}) {
+    for (const std::uint32_t threads : {1u, 4u}) {
+      ExperimentSpec spec = parse(text);
+      spec.batch = batch;
+      const auto batched = run_experiment(spec, threads);
+      std::ostringstream csv, json;
+      make_sink(SinkKind::kCsv)->write(spec, batched.jobs, csv);
+      make_sink(SinkKind::kJson)->write(spec, batched.jobs, json);
+      EXPECT_EQ(csv.str(), serial_csv.str())
+          << "batch=" << batch << " threads=" << threads;
+      EXPECT_EQ(json.str(), serial_json.str())
+          << "batch=" << batch << " threads=" << threads;
+    }
+  }
+}
+
+TEST(Runner, BatchedCorunMatchesSerial) {
+  // Co-runner factories (streams and idle fillers) through the batched
+  // path: a batch of 4 replicas must reproduce the one-at-a-time CSV.
+  const std::string text =
+      "scenario = corun\n"
+      "kernel = canrdr\n"
+      "core1 = stream:2\n"
+      "core3 = stream\n"
+      "setup = cba\n"
+      "runs = 3\n"
+      "metrics = bus.occupancy_share,credit.underflows\n";
+  const ExperimentSpec spec = parse(text);
+  const auto serial = run_experiment(spec, 1);
+  ExperimentSpec batched_spec = parse(text);
+  batched_spec.batch = 4;
+  const auto batched = run_experiment(batched_spec, 2);
+  ASSERT_EQ(serial.failed_jobs(), 0u);
+  EXPECT_EQ(csv_of(spec, serial), csv_of(batched_spec, batched));
+}
+
+TEST(Runner, BatchSlicesShareThePoolAcrossJobs) {
+  // One job, many runs: slices of the single job must occupy all
+  // workers (the pre-batch runner clamped threads to the job count,
+  // which made this spec single-threaded); output stays identical.
+  ExperimentSpec spec = parse(
+      "scenario = iso\nkernel = canrdr\ncores = 2\nruns = 8\n");
+  spec.batch = 2;
+  const auto wide = run_experiment(spec, 4);
+  const auto narrow = run_experiment(spec, 1);
+  ASSERT_EQ(wide.failed_jobs(), 0u);
+  EXPECT_EQ(csv_of(spec, wide), csv_of(spec, narrow));
+  EXPECT_EQ(wide.jobs[0].campaign.exec_time().count(), 8u);
+}
+
+TEST(Runner, FailedJobStaysAJobFailureUnderBatching) {
+  // A per-slice failure must surface as the job's error (not a throw),
+  // identically for any batch/thread count.
+  ExperimentSpec spec = parse("scenario = con\nruns = 4\n");
+  spec.batch = 2;
+  std::vector<Job> jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 1u);
+  jobs[0].config.mode = PlatformMode::kOperation;
+  const JobResult r = run_job(spec, jobs[0]);
+  EXPECT_TRUE(r.failed());
+  EXPECT_NE(r.error.find("WCET"), std::string::npos);
+}
+
 TEST(Runner, CorunAssignsCorunnersAndIdleGaps) {
   // core2 unassigned between core1 and core3: it must idle, not shift
   // core3's workload down a master.
@@ -466,6 +555,86 @@ TEST(Sinks, CsvMetricColumnsGolden) {
             "0,matrix,con,rp,42,0,100,0.25,0.25,0.5,0.125\n"
             "0,matrix,con,rp,42,1,110,0.5,0.25,0.5,0.125\n"
             "0,matrix,con,rp,42,2,120,0.75,0.25,0.5,0.125\n");
+}
+
+TEST(Sinks, CsvPadsNarrowJobsWithEmptyCells) {
+  // Heterogeneous sweeps (a `cores` axis) give jobs different per-master
+  // widths. Bare per-master keys expand to the WIDEST job's width; the
+  // narrower job must render explicitly empty cells for the elements it
+  // never had -- never stale or garbage values -- and an explicit
+  // out-of-range element reference must pad every row of that job.
+  ExperimentSpec spec = golden_spec();
+  spec.metrics = {"bus.occupancy_share", "bus.occupancy_share[3]"};
+  std::vector<JobResult> results(2);
+  results[0].index = 0;
+  results[0].axes = {{"setup", "rp"}};
+  results[0].kernel = "matrix";
+  results[0].scenario = "con";
+  results[0].seed = 42;
+  for (const double x : {100.0, 110.0}) {
+    metrics::Record record;
+    record.set("tua.cycles", x);
+    record.set("bus.occupancy_share", std::vector<double>{0.5, 0.25});
+    results[0].campaign.aggregate.add(record);
+  }
+  results[1].index = 1;
+  results[1].axes = {{"setup", "cba"}};
+  results[1].kernel = "matrix";
+  results[1].scenario = "con";
+  results[1].seed = 43;
+  {
+    metrics::Record record;
+    record.set("tua.cycles", 200.0);
+    record.set("bus.occupancy_share",
+               std::vector<double>{0.125, 0.25, 0.0625, 0.5});
+    results[1].campaign.aggregate.add(record);
+  }
+  std::ostringstream out;
+  make_sink(SinkKind::kCsv)->write(spec, results, out);
+  EXPECT_EQ(out.str(),
+            "job,kernel,scenario,setup,seed,run,cycles,"
+            "bus.occupancy_share[0],bus.occupancy_share[1],"
+            "bus.occupancy_share[2],bus.occupancy_share[3],"
+            "bus.occupancy_share[3]\n"
+            "0,matrix,con,rp,42,0,100,0.5,0.25,,,\n"
+            "0,matrix,con,rp,42,1,110,0.5,0.25,,,\n"
+            "1,matrix,con,cba,43,0,200,0.125,0.25,0.0625,0.5,0.5\n");
+}
+
+TEST(Sinks, CsvPadsHeterogeneousCoresSweepEndToEnd) {
+  // The same contract through a real `cores` sweep: every row has the
+  // header's column count, and the narrow job's high-master cells are
+  // empty while the wide job's are not.
+  ExperimentSpec spec = parse(
+      "scenario = con\n"
+      "kernel = canrdr\n"
+      "sweep cores = 2 4\n"
+      "runs = 2\n"
+      "metrics = bus.occupancy_share\n");
+  spec.batch = 2;
+  const auto result = run_experiment(spec, 1);
+  ASSERT_EQ(result.failed_jobs(), 0u);
+  const std::string csv = csv_of(spec, result);
+  std::istringstream lines(csv);
+  std::string line;
+  std::getline(lines, line);
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  const auto width = commas(line);
+  EXPECT_NE(line.find("bus.occupancy_share[3]"), std::string::npos);
+  std::size_t narrow_rows = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(commas(line), width) << line;
+    if (line.rfind("0,", 0) == 0) {
+      // cores=2 job: elements [2] and [3] never existed -> empty cells.
+      EXPECT_EQ(line.substr(line.size() - 2), ",,") << line;
+      ++narrow_rows;
+    } else {
+      EXPECT_NE(line.substr(line.size() - 2), ",,") << line;
+    }
+  }
+  EXPECT_EQ(narrow_rows, 2u);
 }
 
 TEST(Sinks, CsvMetricElementSelection) {

@@ -2,6 +2,7 @@
 // SyntheticMaster timing, campaign determinism and the scenario runners.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <map>
 #include <sstream>
 
@@ -257,34 +258,126 @@ TEST(ScenarioRunners, SpecRequiresTuaAndRejectsStrayCorunners) {
   EXPECT_THROW((void)run_campaign(iso), std::invalid_argument);
 }
 
-TEST(ScenarioRunners, DeprecatedWrappersMatchRunCampaign) {
-  // The one-PR compatibility wrappers must be bit-identical to the
-  // CampaignSpec path they delegate to.
-  auto tua = workloads::make_eembc("cacheb");
-  CampaignConfig campaign;
-  campaign.runs = 3;
-  campaign.base_seed = 99;
-  const auto wrapped = run_isolation(PlatformConfig::paper(BusSetup::kCba),
-                                     *tua, campaign);
-  const auto direct = run_campaign(
-      make_spec(CampaignSpec::Protocol::kIsolation,
-                PlatformConfig::paper(BusSetup::kCba), *tua, 3, 99));
-  ASSERT_EQ(wrapped.samples().size(), direct.samples().size());
-  for (std::size_t i = 0; i < wrapped.samples().size(); ++i) {
-    EXPECT_DOUBLE_EQ(wrapped.samples()[i], direct.samples()[i]);
+/// Bitwise equality over every key/element/run of two campaign
+/// aggregates. Record::operator== cannot serve here: isolation runs make
+/// fair.maxmin_* infinite by contract and NaN/inf break naive equality,
+/// while bit patterns compare exactly.
+void expect_same_aggregate(const metrics::Aggregator& a,
+                           const metrics::Aggregator& b) {
+  ASSERT_EQ(a.keys(), b.keys());
+  for (const std::string& key : a.keys()) {
+    ASSERT_EQ(a.width(key), b.width(key)) << key;
+    for (std::size_t e = 0; e < a.width(key); ++e) {
+      const auto& sa = a.element_samples(key, e);
+      const auto& sb = b.element_samples(key, e);
+      ASSERT_EQ(sa.size(), sb.size()) << key;
+      for (std::size_t i = 0; i < sa.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(sa[i]),
+                  std::bit_cast<std::uint64_t>(sb[i]))
+            << key << '[' << e << "] run " << i;
+      }
+    }
   }
+}
 
-  workloads::StreamingStream s1(0), s2(0);
-  const auto corun_wrapped =
-      run_with_corunners(PlatformConfig::paper(BusSetup::kCba), *tua,
-                         {&s1, &s2}, campaign);
+/// A factory-form spec mirroring make_spec, for the batched path.
+[[nodiscard]] CampaignSpec make_factory_spec(CampaignSpec::Protocol protocol,
+                                             PlatformConfig config,
+                                             std::string kernel,
+                                             std::uint32_t runs,
+                                             std::uint64_t seed) {
+  CampaignSpec spec;
+  spec.protocol = protocol;
+  spec.config = std::move(config);
+  spec.tua_factory = [kernel = std::move(kernel)]() {
+    return workloads::make_eembc(kernel);
+  };
+  spec.runs = runs;
+  spec.base_seed = seed;
+  return spec;
+}
+
+TEST(ScenarioRunners, FactoryFormMatchesSharedStreamForm) {
+  // The batched (stream-factory) path must reproduce the shared-stream
+  // replay loop bit-identically, for every batch and thread count.
+  auto tua = workloads::make_eembc("cacheb");
+  const auto shared = run_campaign(
+      make_spec(CampaignSpec::Protocol::kIsolation,
+                PlatformConfig::paper(BusSetup::kCba), *tua, 5, 99));
+  for (const std::uint32_t batch : {1u, 3u, 8u}) {
+    for (const std::uint32_t threads : {1u, 4u}) {
+      auto spec = make_factory_spec(CampaignSpec::Protocol::kIsolation,
+                                    PlatformConfig::paper(BusSetup::kCba),
+                                    "cacheb", 5, 99);
+      spec.batch = batch;
+      spec.threads = threads;
+      const auto batched = run_campaign(spec);
+      ASSERT_EQ(batched.samples().size(), shared.samples().size());
+      for (std::size_t i = 0; i < shared.samples().size(); ++i) {
+        EXPECT_EQ(batched.samples()[i], shared.samples()[i])
+            << "batch=" << batch << " threads=" << threads << " run " << i;
+      }
+      expect_same_aggregate(batched.aggregate, shared.aggregate);
+    }
+  }
+}
+
+TEST(ScenarioRunners, BatchedCorunMatchesSharedStreamForm) {
+  // Co-runner factories against shared co-runner streams, WCET-mode CBA
+  // with real contenders exercising the SoA credit arena.
+  auto tua = workloads::make_eembc("cacheb");
+  workloads::StreamingStream s1(0), s2(4);
   auto corun_spec =
       make_spec(CampaignSpec::Protocol::kCorun,
-                PlatformConfig::paper(BusSetup::kCba), *tua, 3, 99);
+                PlatformConfig::paper(BusSetup::kCba), *tua, 4, 99);
   corun_spec.corunners = {&s1, &s2};
-  const auto corun_direct = run_campaign(corun_spec);
-  EXPECT_EQ(corun_wrapped.exec_time().mean(),
-            corun_direct.exec_time().mean());
+  const auto shared = run_campaign(corun_spec);
+
+  auto batched_spec = make_factory_spec(CampaignSpec::Protocol::kCorun,
+                                        PlatformConfig::paper(BusSetup::kCba),
+                                        "cacheb", 4, 99);
+  batched_spec.corunner_factories = {
+      []() { return std::make_unique<workloads::StreamingStream>(0); },
+      []() { return std::make_unique<workloads::StreamingStream>(4); }};
+  batched_spec.batch = 4;
+  const auto batched = run_campaign(batched_spec);
+  ASSERT_EQ(batched.samples().size(), shared.samples().size());
+  for (std::size_t i = 0; i < shared.samples().size(); ++i) {
+    EXPECT_EQ(batched.samples()[i], shared.samples()[i]) << "run " << i;
+  }
+  expect_same_aggregate(batched.aggregate, shared.aggregate);
+}
+
+TEST(ScenarioRunners, RunCampaignSliceWindowsAgree) {
+  // Slices are run_campaign's unit of work; a slice starting at run k
+  // must reproduce runs k.. of the full campaign (seeds by run index).
+  auto spec = make_factory_spec(CampaignSpec::Protocol::kIsolation,
+                                PlatformConfig::paper(BusSetup::kRp),
+                                "canrdr", 6, 1234);
+  const auto full = run_campaign(spec);
+  std::vector<RunOutcome> window(3);
+  run_campaign_slice(spec, 2, window);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    ASSERT_TRUE(window[i].finished);
+    EXPECT_EQ(window[i].record.at("tua.cycles").scalar(),
+              full.samples()[2 + i]);
+  }
+}
+
+TEST(ScenarioRunners, FactoryFormContractErrors) {
+  // Exactly one workload form, and batching requires the factory form.
+  auto tua = workloads::make_eembc("canrdr");
+  auto both = make_factory_spec(CampaignSpec::Protocol::kIsolation,
+                                PlatformConfig::paper(BusSetup::kRp),
+                                "canrdr", 1, 1);
+  both.tua = tua.get();
+  EXPECT_THROW((void)run_campaign(both), std::invalid_argument);
+
+  auto shared_batched =
+      make_spec(CampaignSpec::Protocol::kIsolation,
+                PlatformConfig::paper(BusSetup::kRp), *tua, 2, 1);
+  shared_batched.batch = 4;
+  EXPECT_THROW((void)run_campaign(shared_batched), std::invalid_argument);
 }
 
 TEST(ScenarioRunners, ContentionSlowsTheTuaDown) {

@@ -1,9 +1,10 @@
 // Unit tests for the cycle-driven kernel: tick ordering, run_until
-// semantics, clock progression.
+// semantics, clock progression, and the lockstep BatchKernel.
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "sim/batch_kernel.hpp"
 #include "sim/clock.hpp"
 #include "sim/component.hpp"
 #include "sim/kernel.hpp"
@@ -93,13 +94,52 @@ TEST(Kernel, RunUntilHonoursBudget) {
   EXPECT_EQ(kernel.now(), 50u);
 }
 
-TEST(Kernel, RunUntilImmediatelyTrueRunsNothing) {
+TEST(Kernel, RunUntilChecksOncePerExecutedCycle) {
+  // The contract: `done` is evaluated exactly once after every executed
+  // cycle -- never before the first, never twice for the same cycle -- so
+  // a side-effecting predicate counts cycles. A pre-satisfied predicate
+  // is therefore only seen after one cycle has run.
   Kernel kernel;
   Probe a("a", nullptr);
   kernel.add(a);
-  const bool fired = kernel.run_until([]() { return true; }, 50);
+  std::uint64_t calls = 0;
+  const bool fired = kernel.run_until(
+      [&]() {
+        ++calls;
+        return true;
+      },
+      50);
   EXPECT_TRUE(fired);
-  EXPECT_EQ(a.ticks_, 0u);
+  EXPECT_EQ(a.ticks_, 1u);
+  EXPECT_EQ(calls, 1u);
+
+  // Exhaustion: 50 cycles -> exactly 50 evaluations, not 51.
+  Kernel k2;
+  Probe b("b", nullptr);
+  k2.add(b);
+  calls = 0;
+  const bool fired2 = k2.run_until(
+      [&]() {
+        ++calls;
+        return false;
+      },
+      50);
+  EXPECT_FALSE(fired2);
+  EXPECT_EQ(calls, 50u);
+  EXPECT_EQ(b.ticks_, 50u);
+}
+
+TEST(Kernel, RunUntilZeroBudgetNeverPollsThePredicate) {
+  Kernel kernel;
+  std::uint64_t calls = 0;
+  const bool fired = kernel.run_until(
+      [&]() {
+        ++calls;
+        return true;
+      },
+      0);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(calls, 0u);
 }
 
 TEST(Kernel, RunUntilRejectsNullPredicate) {
@@ -124,6 +164,135 @@ TEST(Kernel, ComponentCount) {
   kernel.add(a);
   kernel.add(b);
   EXPECT_EQ(kernel.component_count(), 2u);
+  EXPECT_EQ(kernel.components().size(), 2u);
+  EXPECT_EQ(kernel.components()[0], &a);
+  EXPECT_EQ(kernel.components()[1], &b);
+}
+
+// --- BatchKernel ------------------------------------------------------------
+
+TEST(BatchKernel, LanesRetireIndependentlyAtTheirOwnCycle) {
+  // Three lanes with stop cycles 3, 7 and 12: each lane's probe must tick
+  // exactly until its own predicate fires, while the batch keeps running
+  // for the slower lanes.
+  BatchKernel batch(3);
+  Probe a("a", nullptr), b("b", nullptr), c("c", nullptr);
+  batch.add(0, a);
+  batch.add(1, b);
+  batch.add(2, c);
+  const std::vector<std::uint64_t> stop{3, 7, 12};
+  const Probe* probes[] = {&a, &b, &c};
+  const auto fired = batch.run_until(
+      [&](std::size_t lane) { return probes[lane]->ticks_ >= stop[lane]; },
+      100);
+  EXPECT_EQ(fired, (std::vector<bool>{true, true, true}));
+  EXPECT_EQ(a.ticks_, 3u);
+  EXPECT_EQ(b.ticks_, 7u);
+  EXPECT_EQ(c.ticks_, 12u);
+  // The clock tracks still-live lanes and freezes at the final window's
+  // base once the last lane (12 executed cycles at stripe 1) fires.
+  EXPECT_EQ(batch.now(), 11u);
+}
+
+TEST(BatchKernel, MatchesSerialKernelPerLane) {
+  // A lane's components must observe exactly the tick sequence a serial
+  // Kernel delivers: same `now` values, same count, same order.
+  std::vector<std::string> serial_log;
+  Kernel serial;
+  Probe sa("core", &serial_log), sb("bus", &serial_log);
+  serial.add(sa);
+  serial.add(sb);
+  const bool serial_fired =
+      serial.run_until([&]() { return sa.ticks_ >= 5; }, 100);
+
+  std::vector<std::string> lane_log;
+  BatchKernel batch(2);
+  Probe la("core", &lane_log), lb("bus", &lane_log);
+  Probe other("other", nullptr);
+  Probe other_bus("other_bus", nullptr);
+  batch.add(0, la);
+  batch.add(0, lb);
+  batch.add(1, other);
+  batch.add(1, other_bus);
+  const auto fired = batch.run_until(
+      [&](std::size_t lane) {
+        return lane == 0 ? la.ticks_ >= 5 : other.ticks_ >= 9;
+      },
+      100);
+  EXPECT_TRUE(serial_fired);
+  EXPECT_EQ(fired, (std::vector<bool>{true, true}));
+  EXPECT_EQ(lane_log, serial_log);
+  EXPECT_EQ(la.last_now_, sa.last_now_);
+  EXPECT_EQ(lb.ticks_, sb.ticks_);
+}
+
+TEST(BatchKernel, HonoursBudgetPerLane) {
+  BatchKernel batch(2);
+  Probe a("a", nullptr), b("b", nullptr);
+  batch.add(0, a);
+  batch.add(1, b);
+  const auto fired = batch.run_until(
+      [&](std::size_t lane) { return lane == 0 && a.ticks_ >= 2; }, 10);
+  EXPECT_EQ(fired, (std::vector<bool>{true, false}));
+  EXPECT_EQ(a.ticks_, 2u);
+  EXPECT_EQ(b.ticks_, 10u);  // ran to the budget, never fired
+  EXPECT_EQ(batch.now(), 10u);
+}
+
+TEST(BatchKernel, StripesPreservePerLaneBehaviour) {
+  // The stripe is a locality knob only: per-lane tick counts, retirement
+  // cycles and budget handling must be identical at any stripe length,
+  // including stripes that do not divide max_cycles.
+  for (const Cycle stripe : {Cycle{1}, Cycle{4}, Cycle{7}, Cycle{512}}) {
+    BatchKernel batch(3, stripe);
+    Probe a("a", nullptr), b("b", nullptr), c("c", nullptr);
+    batch.add(0, a);
+    batch.add(1, b);
+    batch.add(2, c);
+    const Probe* probes[] = {&a, &b, &c};
+    const std::vector<std::uint64_t> stop{3, 9, 100};  // lane 2 never fires
+    const auto fired = batch.run_until(
+        [&](std::size_t lane) { return probes[lane]->ticks_ >= stop[lane]; },
+        10);
+    EXPECT_EQ(fired, (std::vector<bool>{true, true, false})) << stripe;
+    EXPECT_EQ(a.ticks_, 3u) << stripe;
+    EXPECT_EQ(b.ticks_, 9u) << stripe;
+    EXPECT_EQ(c.ticks_, 10u) << stripe;  // ran to the budget
+    EXPECT_EQ(batch.now(), 10u) << stripe;
+    EXPECT_EQ(a.last_now_, 2u) << stripe;
+    EXPECT_EQ(c.last_now_, 9u) << stripe;
+  }
+}
+
+TEST(BatchKernel, ClockStopsWhenEveryLaneHasFired) {
+  // With a coarse stripe the batch must not keep advancing its clock
+  // past the window in which the last lane retired.
+  BatchKernel batch(2, /*stripe=*/512);
+  Probe a("a", nullptr), b("b", nullptr);
+  batch.add(0, a);
+  batch.add(1, b);
+  const Probe* probes[] = {&a, &b};
+  const auto fired = batch.run_until(
+      [&](std::size_t lane) { return probes[lane]->ticks_ >= 5 + lane; },
+      1'000'000);
+  EXPECT_EQ(fired, (std::vector<bool>{true, true}));
+  EXPECT_EQ(a.ticks_, 5u);
+  EXPECT_EQ(b.ticks_, 6u);
+  EXPECT_EQ(batch.now(), 0u);  // all lanes fired inside the first stripe
+}
+
+TEST(BatchKernel, RejectsBadShapes) {
+  EXPECT_THROW(BatchKernel(0), std::invalid_argument);
+  EXPECT_THROW(BatchKernel(1, /*stripe=*/0), std::invalid_argument);
+  BatchKernel batch(2);
+  Probe a("a", nullptr), b("b", nullptr), extra("x", nullptr);
+  batch.add(0, a);
+  batch.add(1, b);
+  batch.add(1, extra);  // lanes are no longer replicas of one shape
+  EXPECT_THROW(
+      (void)batch.run_until([](std::size_t) { return true; }, 1),
+      std::invalid_argument);
+  EXPECT_THROW((void)batch.run_until(nullptr, 1), std::invalid_argument);
 }
 
 }  // namespace

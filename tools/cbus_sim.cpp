@@ -7,7 +7,7 @@
 // invocation is exactly a one-job experiment.
 //
 // Usage:
-//   cbus_sim --experiment FILE [--threads N] [--runs N] [--seed S]
+//   cbus_sim --experiment FILE [--threads N] [--batch N] [--seed S]
 //            [--pwcet] [--csv] [--metrics LIST]
 //   cbus_sim [--kernel NAME] [--setup rp|cba|hcba]
 //            [--scenario iso|con|stream] [--arbiter KIND]
@@ -52,6 +52,7 @@ struct Options {
   std::optional<std::uint64_t> seed;
   std::optional<std::uint32_t> cores;
   std::optional<std::uint32_t> threads;
+  std::optional<std::uint32_t> batch;
   std::optional<std::string> metrics;
   bool pwcet = false;
   bool csv = false;
@@ -63,7 +64,9 @@ struct Options {
       "  --experiment FILE experiment file: sweeps, per-core workloads,\n"
       "                    CSV/JSON outputs (see docs/EXPERIMENTS.md);\n"
       "                    other flags act as overrides\n"
-      "  --threads N       worker threads for experiment jobs [hardware]\n"
+      "  --threads N       worker threads for experiment work slices [hardware]\n"
+      "  --batch N         lockstep replicas per work slice; output is\n"
+      "                    byte-identical for any value            [1]\n"
       "  --config FILE     platform config file layered under the other\n"
       "                    flags (see src/platform/config_file.hpp)\n"
       "  --kernel NAME     EEMBC-like kernel (cacheb canrdr matrix tblook\n"
@@ -158,6 +161,9 @@ Options parse(int argc, char** argv) {
         opt.cores = platform::parse_config_u32(value(), arg, 0);
       } else if (arg == "--threads") {
         opt.threads = platform::parse_config_u32(value(), arg, 0);
+      } else if (arg == "--batch") {
+        opt.batch = platform::parse_config_u32(value(), arg, 0);
+        if (*opt.batch == 0) die("--batch must be positive");
       } else if (arg == "--metrics") {
         opt.metrics = value();
       } else if (arg == "--list") {
@@ -251,6 +257,7 @@ exp::ExperimentSpec build_spec(const Options& opt) {
   if (opt.runs.has_value()) spec.runs = *opt.runs;
   if (opt.seed.has_value()) spec.seed = *opt.seed;
   if (opt.threads.has_value()) spec.threads = *opt.threads;
+  if (opt.batch.has_value()) spec.batch = *opt.batch;
   if (opt.metrics.has_value()) {
     spec.metrics = exp::parse_metric_selection(*opt.metrics);
   }
