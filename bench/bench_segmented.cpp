@@ -1,0 +1,130 @@
+// Segmented-interconnect study: the paper's short-vs-long unfairness
+// question widened from one shared bus to a chain of bus segments joined
+// by store-and-forward bridges (ROADMAP "multi-segment/NoC-style
+// interconnects").
+//
+// The printed table reruns the ISO/CON protocol (H-CBA setup) on 1, 2
+// and 4 segments and contrasts the random-permutations inner policy with
+// the new deficit-age policy:
+//  * the CON slowdown shows what per-segment credit filtering preserves
+//    of the paper's bound when contention splits across segments;
+//  * seg.remote_fraction shows how much traffic pays bridge hops;
+//  * Jain-over-occupancy shows whether per-segment H-CBA still shapes
+//    the TuA's 50% share.
+//
+// The registered benchmarks are the CI bench-gate entries
+// (tools/bench_compare.py vs bench/baselines.json):
+//   BM_SegmentedCampaign/{1,2,4} -- an 8-run CON campaign per topology;
+//   BM_DeficitAgeCampaign       -- the same campaign under deficit-age.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "platform/platform_config.hpp"
+#include "platform/scenarios.hpp"
+#include "workloads/eembc_like.hpp"
+
+namespace {
+
+using namespace cbus;
+
+constexpr std::uint32_t kRuns = 8;
+
+[[nodiscard]] platform::PlatformConfig make_config(std::uint32_t segments,
+                                                   bus::ArbiterKind arbiter,
+                                                   bool wcet) {
+  platform::PlatformConfig cfg =
+      wcet ? platform::PlatformConfig::paper_wcet(platform::BusSetup::kHcba)
+           : platform::PlatformConfig::paper(platform::BusSetup::kHcba);
+  cfg.arbiter = arbiter;
+  cfg.topology.segments = segments;
+  return cfg;
+}
+
+[[nodiscard]] platform::CampaignSpec campaign_spec(std::uint32_t segments,
+                                                   bus::ArbiterKind arbiter,
+                                                   bool isolation,
+                                                   std::uint32_t runs) {
+  platform::CampaignSpec spec;
+  spec.protocol = isolation
+                      ? platform::CampaignSpec::Protocol::kIsolation
+                      : platform::CampaignSpec::Protocol::kMaxContention;
+  spec.config = make_config(segments, arbiter, /*wcet=*/!isolation);
+  spec.tua_factory = []() { return workloads::make_eembc("canrdr"); };
+  spec.runs = runs;
+  spec.base_seed = 0xC0FFEE;
+  spec.batch = 8;
+  return spec;
+}
+
+void print_topology_table() {
+  bench::banner(
+      "Multi-segment interconnect -- ISO/CON across topologies (H-CBA)",
+      "canrdr TuA on segment 0; Table-I contenders on the remaining\n"
+      "cores' home segments; per-segment credit filtering; slowdown is\n"
+      "CON mean / ISO mean per topology.");
+
+  const std::uint32_t runs = bench::campaign_runs(kRuns);
+  bench::Table table({"segments", "policy", "ISO mean", "CON mean",
+                      "slowdown", "jain(occ)", "remote frac"});
+  for (const std::uint32_t segments : {1u, 2u, 4u}) {
+    for (const bus::ArbiterKind arbiter :
+         {bus::ArbiterKind::kRandomPermutation,
+          bus::ArbiterKind::kDeficitAge}) {
+      const auto iso = platform::run_campaign(
+          campaign_spec(segments, arbiter, /*isolation=*/true, runs));
+      const auto con = platform::run_campaign(
+          campaign_spec(segments, arbiter, /*isolation=*/false, runs));
+      const double jain =
+          con.aggregate.element_stats("fair.jain_occupancy").mean();
+      const double remote =
+          con.aggregate.has("seg.remote_fraction")
+              ? con.aggregate.element_stats("seg.remote_fraction").mean()
+              : 0.0;
+      table.add_row({std::to_string(segments),
+                     std::string(bus::to_string(arbiter)),
+                     bench::fmt(iso.exec_time().mean(), 0),
+                     bench::fmt(con.exec_time().mean(), 0),
+                     bench::fmt(platform::slowdown(con, iso)) + "x",
+                     bench::fmt(jain, 3), bench::fmt(remote, 3)});
+    }
+  }
+  table.print();
+  std::cout
+      << "\nSplitting the bus localises contention: remote traffic pays\n"
+         "bridge hops, but each segment's credit filter keeps the\n"
+         "occupancy shares of its local masters bounded, so the CON\n"
+         "slowdown stays in the same band across topologies instead of\n"
+         "growing with the contention-point count.\n";
+}
+
+void BM_SegmentedCampaign(benchmark::State& state) {
+  const auto segments = static_cast<std::uint32_t>(state.range(0));
+  const platform::CampaignSpec spec = campaign_spec(
+      segments, bus::ArbiterKind::kRandomPermutation, false, kRuns);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(platform::run_campaign(spec));
+  }
+  state.SetItemsProcessed(state.iterations() * kRuns);
+}
+BENCHMARK(BM_SegmentedCampaign)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_DeficitAgeCampaign(benchmark::State& state) {
+  const platform::CampaignSpec spec =
+      campaign_spec(1, bus::ArbiterKind::kDeficitAge, false, kRuns);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(platform::run_campaign(spec));
+  }
+  state.SetItemsProcessed(state.iterations() * kRuns);
+}
+BENCHMARK(BM_DeficitAgeCampaign);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  print_topology_table();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

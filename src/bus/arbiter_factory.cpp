@@ -1,5 +1,6 @@
 #include "bus/arbiter_factory.hpp"
 
+#include "bus/deficit_age.hpp"
 #include "bus/deficit_round_robin.hpp"
 #include "bus/fifo.hpp"
 #include "bus/lottery.hpp"
@@ -20,6 +21,7 @@ std::string_view to_string(ArbiterKind kind) noexcept {
     case ArbiterKind::kRandomPermutation: return "random-permutations";
     case ArbiterKind::kTdma: return "tdma";
     case ArbiterKind::kDeficitRoundRobin: return "deficit-round-robin";
+    case ArbiterKind::kDeficitAge: return "deficit-age";
   }
   return "?";
 }
@@ -33,6 +35,7 @@ std::string_view short_name(ArbiterKind kind) noexcept {
     case ArbiterKind::kRandomPermutation: return "rp";
     case ArbiterKind::kTdma: return "tdma";
     case ArbiterKind::kDeficitRoundRobin: return "drr";
+    case ArbiterKind::kDeficitAge: return "da";
   }
   return "?";
 }
@@ -42,9 +45,18 @@ std::span<const ArbiterKind> all_arbiter_kinds() noexcept {
       ArbiterKind::kRoundRobin,       ArbiterKind::kFifo,
       ArbiterKind::kFixedPriority,    ArbiterKind::kLottery,
       ArbiterKind::kRandomPermutation, ArbiterKind::kTdma,
-      ArbiterKind::kDeficitRoundRobin,
+      ArbiterKind::kDeficitRoundRobin, ArbiterKind::kDeficitAge,
   };
   return kAll;
+}
+
+std::string known_arbiter_list() {
+  std::string list;
+  for (const ArbiterKind kind : all_arbiter_kinds()) {
+    if (!list.empty()) list += ' ';
+    list += short_name(kind);
+  }
+  return list;
 }
 
 ArbiterKind parse_arbiter_kind(std::string_view text) {
@@ -61,7 +73,11 @@ ArbiterKind parse_arbiter_kind(std::string_view text) {
   if (text == "drr" || text == "deficit-round-robin") {
     return ArbiterKind::kDeficitRoundRobin;
   }
-  CBUS_EXPECTS_MSG(false, "unknown arbiter kind: " + std::string(text));
+  if (text == "da" || text == "deficit-age") return ArbiterKind::kDeficitAge;
+  // Name the whole registry, not just the bad value, so a typo is
+  // self-correcting without a `--list arbiters` round trip.
+  CBUS_EXPECTS_MSG(false, "unknown arbiter kind: " + std::string(text) +
+                              " (known: " + known_arbiter_list() + ")");
   return ArbiterKind::kRoundRobin;  // unreachable
 }
 
@@ -86,6 +102,8 @@ std::unique_ptr<Arbiter> make_arbiter(ArbiterKind kind,
     case ArbiterKind::kDeficitRoundRobin:
       return std::make_unique<DeficitRoundRobinArbiter>(n_masters,
                                                         tdma_slot);
+    case ArbiterKind::kDeficitAge:
+      return std::make_unique<DeficitAgeArbiter>(n_masters, tdma_slot);
   }
   CBUS_ASSERT(false);
   return nullptr;

@@ -4,6 +4,7 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <string_view>
 
 #include "bus/arbiter.hpp"
@@ -20,12 +21,19 @@ enum class ArbiterKind : std::uint8_t {
   kRandomPermutation,  ///< the paper's inner policy
   kTdma,
   kDeficitRoundRobin,  ///< prior-art cycle-fair baseline (post-paid DRR)
+  kDeficitAge,         ///< deficit counter weighted by request age
 };
 
 [[nodiscard]] std::string_view to_string(ArbiterKind kind) noexcept;
 
-/// Parse "rr", "fifo", "priority", "lottery", "rp", "tdma" (throws on junk).
+/// Parse "rr", "fifo", "priority", "lottery", "rp", "tdma", "drr", "da"
+/// (long forms accepted too). Throws std::invalid_argument on junk; the
+/// message lists every registered name, matching `--list arbiters`.
 [[nodiscard]] ArbiterKind parse_arbiter_kind(std::string_view text);
+
+/// Space-joined short names of every registered arbiter, for error
+/// messages and usage text (the `--list arbiters` set on one line).
+[[nodiscard]] std::string known_arbiter_list();
 
 /// The short name parse_arbiter_kind accepts for each kind ("rr", "rp",
 /// "drr", ...) -- the single source for CLI listings and usage text.

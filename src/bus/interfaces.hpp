@@ -93,6 +93,14 @@ class EligibilityFilter {
   /// Called when a master wins arbitration.
   virtual void on_grant(MasterId master, Cycle now) = 0;
 
+  /// Burst charge for occupancy this filter's bus never saw: the
+  /// segmented interconnect reports the cycles a LOCAL master's
+  /// transaction occupied FOREIGN segments, so its home budget pays for
+  /// the whole path. Default no-op (the single bus has no foreign
+  /// occupancy).
+  virtual void on_remote_occupancy(MasterId /*master*/,
+                                   Cycle /*occupancy*/) {}
+
   virtual void reset() = 0;
 };
 

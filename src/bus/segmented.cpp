@@ -1,0 +1,329 @@
+#include "bus/segmented.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace cbus::bus {
+
+void SegmentedConfig::validate() const {
+  CBUS_EXPECTS_MSG(n_masters >= 1 && n_masters <= kMaxMasters,
+                   "segmented interconnect: bad master count");
+  CBUS_EXPECTS_MSG(n_segments >= 1, "segmented interconnect needs >= 1 segment");
+  CBUS_EXPECTS_MSG(bridge_hold >= 1, "bridge_hold must be positive");
+  CBUS_EXPECTS_MSG(stripe_log2 <= 31, "seg_stripe exceeds the address width");
+  // Every segment's local master set (home cores + up to two bridge
+  // ingress ports) must fit the arbiter mask types.
+  std::vector<std::uint32_t> cores_per_segment(n_segments, 0);
+  for (MasterId m = 0; m < n_masters; ++m) {
+    ++cores_per_segment[home_segment(m)];
+  }
+  for (std::uint32_t s = 0; s < n_segments; ++s) {
+    const std::uint32_t bridges =
+        (s > 0 ? 1u : 0u) + (s + 1 < n_segments ? 1u : 0u);
+    CBUS_EXPECTS_MSG(cores_per_segment[s] + bridges <= kMaxMasters,
+                     "segment " + std::to_string(s) +
+                         " has too many local masters");
+  }
+}
+
+SegmentedInterconnect::SegmentedInterconnect(
+    const SegmentedConfig& config, BusSlave& slave,
+    const ArbiterFactory& make_segment_arbiter)
+    : sim::Component("segmented-interconnect"),
+      config_(config),
+      slave_(slave),
+      filters_(config.n_segments, nullptr),
+      home_(config.n_masters),
+      slot_(config.n_masters),
+      callbacks_(config.n_masters, nullptr),
+      flight_(config.n_masters) {
+  config_.validate();
+  CBUS_EXPECTS_MSG(make_segment_arbiter != nullptr,
+                   "segmented interconnect needs an arbiter factory");
+
+  segments_.resize(config_.n_segments);
+  for (MasterId m = 0; m < config_.n_masters; ++m) {
+    home_[m] = config_.home_segment(m);
+    Segment& seg = segments_[home_[m]];
+    slot_[m] = static_cast<std::uint32_t>(seg.cores.size());
+    seg.cores.push_back(m);
+  }
+
+  for (std::uint32_t s = 0; s < config_.n_segments; ++s) {
+    Segment& seg = segments_[s];
+    std::uint32_t n_local = static_cast<std::uint32_t>(seg.cores.size());
+    if (s > 0) seg.left_port = n_local++;
+    if (s + 1 < config_.n_segments) seg.right_port = n_local++;
+
+    seg.arbiter = make_segment_arbiter(n_local, s);
+    CBUS_EXPECTS_MSG(seg.arbiter != nullptr,
+                     "segment arbiter factory returned null");
+    CBUS_EXPECTS(seg.arbiter->n_masters() == n_local);
+
+    seg.slave = std::make_unique<SegmentSlave>();
+    seg.slave->owner = this;
+    seg.slave->segment = s;
+    seg.bus = std::make_unique<NonSplitBus>(
+        BusConfig{n_local, config_.overlapped_arbitration}, *seg.arbiter,
+        *seg.slave);
+
+    seg.relays.reserve(n_local);
+    for (std::uint32_t local = 0; local < n_local; ++local) {
+      auto relay = std::make_unique<PortRelay>();
+      relay->owner = this;
+      relay->segment = s;
+      relay->local = local;
+      seg.bus->connect_master(local, *relay);
+      seg.relays.push_back(std::move(relay));
+    }
+    seg.port_owner.assign(n_local, kNoMaster);
+  }
+
+  // One bridge per direction per adjacency, in fixed (s, direction)
+  // order: the delivery order below is part of the determinism contract.
+  for (std::uint32_t s = 0; s + 1 < config_.n_segments; ++s) {
+    bridges_.push_back(Bridge{s, s + 1, {}});
+    bridges_.push_back(Bridge{s + 1, s, {}});
+  }
+
+  global_.master.resize(config_.n_masters);
+}
+
+SegmentedInterconnect::~SegmentedInterconnect() = default;
+
+void SegmentedInterconnect::connect_master(MasterId master,
+                                           BusMaster& callbacks) {
+  CBUS_EXPECTS(master < config_.n_masters);
+  callbacks_[master] = &callbacks;
+}
+
+void SegmentedInterconnect::request(const BusRequest& request, Cycle now) {
+  const MasterId m = request.master;
+  CBUS_EXPECTS(m < config_.n_masters);
+  CBUS_EXPECTS_MSG(!flight_[m].active,
+                   "master already has a transaction in the interconnect");
+
+  InFlight& entry = flight_[m];
+  entry.active = true;
+  entry.original = request;
+  entry.original.issued_at = now;
+  // Forced-hold requests (virtual contenders, trace replay) model
+  // synthetic contention on the home segment and never route.
+  entry.target = request.forced_hold > 0 ? home_[m]
+                                         : config_.route(request.addr);
+  entry.hops = 0;
+
+  ++global_.master[m].requests;
+  raise_hop(home_[m], slot_[m], m, request.forced_hold, now);
+}
+
+bool SegmentedInterconnect::has_pending(MasterId master) const {
+  CBUS_EXPECTS(master < config_.n_masters);
+  return flight_[master].active &&
+         segments_[home_[master]].bus->has_pending(slot_[master]);
+}
+
+bool SegmentedInterconnect::can_request(MasterId master) const {
+  CBUS_EXPECTS(master < config_.n_masters);
+  return !flight_[master].active;
+}
+
+void SegmentedInterconnect::tick(Cycle now) {
+  // Bridge deliveries first: a request re-raised at cycle t is visible to
+  // its segment's arbiter at t, exactly like a core raising in its own
+  // tick (cores tick before the interconnect).
+  deliver_bridges(now);
+  for (Segment& seg : segments_) seg.bus->tick(now);
+}
+
+void SegmentedInterconnect::set_filter(std::uint32_t segment,
+                                       EligibilityFilter* filter) {
+  CBUS_EXPECTS(segment < config_.n_segments);
+  segments_[segment].bus->set_filter(filter);
+  filters_[segment] = filter;
+}
+
+std::uint32_t SegmentedInterconnect::n_local_masters(
+    std::uint32_t segment) const {
+  CBUS_EXPECTS(segment < config_.n_segments);
+  return segments_[segment].bus->n_masters();
+}
+
+std::span<const MasterId> SegmentedInterconnect::segment_cores(
+    std::uint32_t segment) const {
+  CBUS_EXPECTS(segment < config_.n_segments);
+  return segments_[segment].cores;
+}
+
+std::uint32_t SegmentedInterconnect::home_segment(MasterId master) const {
+  CBUS_EXPECTS(master < config_.n_masters);
+  return home_[master];
+}
+
+std::uint32_t SegmentedInterconnect::local_slot(MasterId master) const {
+  CBUS_EXPECTS(master < config_.n_masters);
+  return slot_[master];
+}
+
+BusStatistics SegmentedInterconnect::statistics() const {
+  BusStatistics out = global_;
+  for (const Segment& seg : segments_) {
+    const BusStatistics& s = seg.bus->statistics();
+    out.busy_cycles += s.busy_cycles;
+    out.idle_cycles += s.idle_cycles;
+    out.total_cycles += s.total_cycles;
+  }
+  return out;
+}
+
+const BusStatistics& SegmentedInterconnect::segment_statistics(
+    std::uint32_t segment) const {
+  CBUS_EXPECTS(segment < config_.n_segments);
+  return segments_[segment].bus->statistics();
+}
+
+const Arbiter& SegmentedInterconnect::segment_arbiter(
+    std::uint32_t segment) const {
+  CBUS_EXPECTS(segment < config_.n_segments);
+  return *segments_[segment].arbiter;
+}
+
+void SegmentedInterconnect::raise_hop(std::uint32_t segment,
+                                      std::uint32_t local, MasterId master,
+                                      Cycle forced_hold, Cycle now) {
+  Segment& seg = segments_[segment];
+  CBUS_ASSERT(seg.port_owner[local] == kNoMaster);
+  seg.port_owner[local] = master;
+
+  BusRequest hop;
+  hop.master = local;
+  hop.addr = flight_[master].original.addr;
+  hop.kind = flight_[master].original.kind;
+  hop.tag = master;  // the global identity, for debugging/tracing
+  hop.forced_hold = forced_hold;
+  seg.bus->request(hop, now);
+}
+
+void SegmentedInterconnect::deliver_bridges(Cycle now) {
+  for (Bridge& bridge : bridges_) {
+    if (bridge.queue.empty()) continue;
+    const BridgeEntry& head = bridge.queue.front();
+    if (head.ready > now) continue;
+    Segment& dest = segments_[bridge.to];
+    const std::uint32_t port =
+        bridge.to > bridge.from ? dest.left_port : dest.right_port;
+    CBUS_ASSERT(port != kNoMaster);
+    // The ingress port presents one request at a time; the rest of the
+    // queue waits (store-and-forward backpressure). port_owner is the
+    // authoritative busy flag: the bus's can_request() is briefly true
+    // in the latched-grant window (granted, transfer not yet begun),
+    // but the port's hop only retires at transfer completion.
+    if (dest.port_owner[port] != kNoMaster) continue;
+    CBUS_ASSERT(dest.bus->can_request(port));
+    bridge_stats_.queue_cycles += now - head.enqueued;
+    raise_hop(bridge.to, port, head.master, /*forced_hold=*/0, now);
+    bridge.queue.pop_front();
+  }
+}
+
+MasterId SegmentedInterconnect::owner_of(std::uint32_t segment,
+                                         MasterId local) const {
+  const MasterId master = segments_[segment].port_owner[local];
+  CBUS_ASSERT(master != kNoMaster);
+  return master;
+}
+
+Cycle SegmentedInterconnect::hop_begin(std::uint32_t segment,
+                                       const BusRequest& local_request,
+                                       Cycle now) {
+  const MasterId master = owner_of(segment, local_request.master);
+  const InFlight& entry = flight_[master];
+  if (segment == entry.target) {
+    // Target segment: the real slave decides, seeing the ORIGINAL
+    // request (per-master slave partitions key off the global id).
+    return slave_.begin_transaction(entry.original, now);
+  }
+  return config_.bridge_hold;  // forward beat into the bridge
+}
+
+void SegmentedInterconnect::hop_slave_complete(
+    std::uint32_t segment, const BusRequest& local_request, Cycle now) {
+  const MasterId master = owner_of(segment, local_request.master);
+  const InFlight& entry = flight_[master];
+  if (segment == entry.target) {
+    slave_.complete_transaction(entry.original, now);
+  }
+}
+
+void SegmentedInterconnect::hop_granted(std::uint32_t segment,
+                                        MasterId local,
+                                        const BusRequest& local_request,
+                                        Cycle now, Cycle hold) {
+  const MasterId master = owner_of(segment, local);
+  flight_[master].hop_hold = hold;
+  auto& pm = global_.master[master];
+  pm.hold_cycles += hold;
+
+  // The origin hop (the master's own port on its home segment) carries
+  // the request-to-grant wait and the grant count; transit hops only add
+  // occupancy.
+  if (segment == home_[master] && local == slot_[master]) {
+    ++pm.grants;
+    const Cycle wait = now - local_request.issued_at;
+    pm.wait_cycles += wait;
+    pm.max_wait = std::max(pm.max_wait, wait);
+    if (callbacks_[master] != nullptr) {
+      callbacks_[master]->on_grant(flight_[master].original, now, hold);
+    }
+  }
+}
+
+void SegmentedInterconnect::hop_completed(std::uint32_t segment,
+                                          MasterId local,
+                                          const BusRequest& /*local_request*/,
+                                          Cycle now) {
+  const MasterId master = owner_of(segment, local);
+  segments_[segment].port_owner[local] = kNoMaster;
+  InFlight& entry = flight_[master];
+
+  // A hop served on a FOREIGN segment was charged to nobody there (the
+  // bridge-ingress slot is credit-exempt); the origin's home filter pays
+  // for it now, so a budget bounds its master's occupancy of the whole
+  // interconnect, not just the home segment.
+  const std::uint32_t home = home_[master];
+  if (segment != home && filters_[home] != nullptr) {
+    filters_[home]->on_remote_occupancy(slot_[master], entry.hop_hold);
+  }
+
+  if (segment == entry.target) {
+    ++global_.master[master].completions;
+    if (entry.hops > 0) {
+      ++bridge_stats_.remote_transactions;
+    } else {
+      ++bridge_stats_.local_transactions;
+    }
+    const BusRequest original = entry.original;
+    entry.active = false;  // cleared first: the master may re-raise
+    if (callbacks_[master] != nullptr) {
+      callbacks_[master]->on_complete(original, now);
+    }
+    return;
+  }
+
+  // Transit hop done: store-and-forward towards the target.
+  const std::uint32_t next =
+      entry.target > segment ? segment + 1 : segment - 1;
+  ++entry.hops;
+  ++bridge_stats_.hops;
+  for (Bridge& bridge : bridges_) {
+    if (bridge.from == segment && bridge.to == next) {
+      bridge.queue.push_back(
+          BridgeEntry{master, now + config_.bridge_latency, now});
+      return;
+    }
+  }
+  CBUS_ASSERT(false);  // adjacency always has a bridge
+}
+
+}  // namespace cbus::bus

@@ -1,0 +1,266 @@
+// SegmentedInterconnect: N shared-bus segments joined by store-and-forward
+// bridges -- the multi-contention-point generalisation of the paper's
+// single bus (ROADMAP "multi-segment/NoC-style interconnects").
+//
+// Topology is a linear chain of `n_segments` NonSplitBus instances. Every
+// global master (core) is attached to a *home segment*; adjacent segments
+// are connected by one bridge per direction. The address space is
+// interleaved across segments in `2^stripe_log2`-byte ranges, and a
+// request targets the segment owning its address range:
+//
+//   core m (home h) --> segment h --> [bridge]* --> segment t --> slave
+//
+//  * On its home segment the request competes under that segment's OWN
+//    arbiter instance (any registered policy) and OWN eligibility filter
+//    (per-segment CBA credit accounting) -- the single-bus protocol
+//    contract (1-cycle arbitration, overlapped re-arbitration, at most
+//    one outstanding request per master) holds per segment, unchanged.
+//  * If the target is local (`t == h`), the slave decides the hold time
+//    exactly as on the single bus.
+//  * Otherwise the transfer occupies the local segment for `bridge_hold`
+//    cycles (the forward beat into the bridge), sits `bridge_latency`
+//    cycles in the store-and-forward buffer, then re-arbitrates on the
+//    next segment as that segment's bridge-ingress master -- hop by hop
+//    until the target segment, where the slave is consulted. The
+//    response path is folded into the hold times (the originating master
+//    is notified when the target-segment transfer completes).
+//  * Forced-hold requests (WCET-mode virtual contenders, trace replay)
+//    never route: they model synthetic contention on the master's home
+//    segment, mirroring the paper's Table-I setup per segment.
+//
+// Bridges buffer store-and-forward requests in an unbounded FIFO (the
+// model studies bandwidth shares, not buffer sizing); each ingress port
+// presents at most one request to its segment at a time, so a bridge is
+// one more master in the segment's arbitration -- which is exactly how
+// the per-segment fairness question generalises the paper's.
+//
+// All state is per-instance and advanced only inside tick(), so a
+// replica is lane-safe under sim::BatchKernel and batched campaigns stay
+// bit-identical to serial.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bus/arbiter.hpp"
+#include "bus/bus.hpp"
+#include "bus/interfaces.hpp"
+#include "bus/request.hpp"
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+#include "sim/component.hpp"
+
+namespace cbus::bus {
+
+struct SegmentedConfig {
+  std::uint32_t n_masters = 4;   ///< global bus masters (cores)
+  std::uint32_t n_segments = 2;  ///< chain length (1 = degenerate single)
+  bool overlapped_arbitration = true;
+
+  /// Cycles a forwarded request occupies the segment it leaves (the
+  /// forward beat into the bridge; an L2-hit-sized transfer by default).
+  Cycle bridge_hold = 5;
+  /// Store-and-forward buffering delay per hop, in cycles.
+  Cycle bridge_latency = 2;
+  /// Address interleave: route(addr) = (addr >> stripe_log2) % n_segments.
+  std::uint32_t stripe_log2 = 12;
+
+  /// Home segment of master m: block distribution, so masters 0..k-1
+  /// fill segment 0 first (the TuA's segment), then the next.
+  [[nodiscard]] std::uint32_t home_segment(MasterId m) const noexcept {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(m) * n_segments) / n_masters);
+  }
+
+  /// Segment owning the address range of `addr`.
+  [[nodiscard]] std::uint32_t route(Addr addr) const noexcept {
+    return (addr >> stripe_log2) % n_segments;
+  }
+
+  /// Throws std::invalid_argument on inconsistent parameters.
+  void validate() const;
+};
+
+/// Aggregate bridge-traffic accounting, global across all bridges.
+struct BridgeStats {
+  std::uint64_t hops = 0;            ///< store-and-forward traversals
+  Cycle queue_cycles = 0;            ///< total enqueue-to-re-raise time
+  std::uint64_t remote_transactions = 0;  ///< completions that crossed >=1 bridge
+  std::uint64_t local_transactions = 0;   ///< completions served at home
+};
+
+class SegmentedInterconnect final : public sim::Component, public BusPort {
+ public:
+  /// Builds the arbiter instance of one segment (`n_local` local
+  /// masters). Called once per segment, in segment order, so randomized
+  /// policies draw deterministic per-segment seeds.
+  using ArbiterFactory = std::function<std::unique_ptr<Arbiter>(
+      std::uint32_t n_local, std::uint32_t segment)>;
+
+  /// `slave` serves target-segment transactions (with the ORIGINAL
+  /// global request, so per-master slave partitioning keeps working).
+  SegmentedInterconnect(const SegmentedConfig& config, BusSlave& slave,
+                        const ArbiterFactory& make_segment_arbiter);
+  ~SegmentedInterconnect() override;
+
+  // --- BusPort (the global, protocol-facing view) ------------------------
+  void connect_master(MasterId master, BusMaster& callbacks) override;
+  void request(const BusRequest& request, Cycle now) override;
+  /// True while the master's request is raised at home and not granted.
+  [[nodiscard]] bool has_pending(MasterId master) const override;
+  /// True iff the master has no transaction anywhere in the interconnect.
+  [[nodiscard]] bool can_request(MasterId master) const override;
+
+  void tick(Cycle now) override;
+
+  /// Install segment `segment`'s eligibility filter (nullptr detaches).
+  /// Local slot numbering (the filter's master ids): home cores in
+  /// ascending global id, then the from-left, then the from-right bridge
+  /// ingress port. Besides gating its own segment's arbitration, a
+  /// filter receives on_remote_occupancy(local_core, cycles) whenever a
+  /// home core's transaction finishes a hop on a FOREIGN segment, so
+  /// per-segment credit accounting charges each core for its
+  /// transaction's entire path.
+  void set_filter(std::uint32_t segment, EligibilityFilter* filter);
+
+  // --- topology introspection -------------------------------------------
+  [[nodiscard]] std::uint32_t n_segments() const noexcept {
+    return config_.n_segments;
+  }
+  [[nodiscard]] std::uint32_t n_masters() const noexcept {
+    return config_.n_masters;
+  }
+  /// Local masters of a segment: home cores + bridge ingress ports.
+  [[nodiscard]] std::uint32_t n_local_masters(std::uint32_t segment) const;
+  /// Home cores of a segment, ascending global id; a core's local slot is
+  /// its index in this span.
+  [[nodiscard]] std::span<const MasterId> segment_cores(
+      std::uint32_t segment) const;
+  [[nodiscard]] std::uint32_t home_segment(MasterId master) const;
+  /// Local slot of a core on its home segment.
+  [[nodiscard]] std::uint32_t local_slot(MasterId master) const;
+
+  // --- statistics --------------------------------------------------------
+  /// Global per-master view in BusStatistics shape: requests/grants/waits
+  /// count home-segment arbitration, hold_cycles sums every segment-cycle
+  /// occupied on the transaction's path, and busy/idle/total aggregate
+  /// over all segments (total_cycles = n_segments x ticked cycles, so
+  /// occupancy shares stay fractions of delivered interconnect capacity).
+  [[nodiscard]] BusStatistics statistics() const;
+  [[nodiscard]] const BusStatistics& segment_statistics(
+      std::uint32_t segment) const;
+  [[nodiscard]] const BridgeStats& bridge_stats() const noexcept {
+    return bridge_stats_;
+  }
+  [[nodiscard]] const SegmentedConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const Arbiter& segment_arbiter(std::uint32_t segment) const;
+
+ private:
+  // Per-(segment, local-slot) relay: routes NonSplitBus master callbacks
+  // back into the interconnect with the port identity attached.
+  struct PortRelay final : BusMaster {
+    SegmentedInterconnect* owner = nullptr;
+    std::uint32_t segment = 0;
+    MasterId local = 0;
+    void on_grant(const BusRequest& request, Cycle now, Cycle hold) override {
+      owner->hop_granted(segment, local, request, now, hold);
+    }
+    void on_complete(const BusRequest& request, Cycle now) override {
+      owner->hop_completed(segment, local, request, now);
+    }
+  };
+
+  // Per-segment slave adapter: target-segment transactions go to the real
+  // slave (translated back to the original request), transit hops cost
+  // the bridge forward beat.
+  struct SegmentSlave final : BusSlave {
+    SegmentedInterconnect* owner = nullptr;
+    std::uint32_t segment = 0;
+    Cycle begin_transaction(const BusRequest& request, Cycle now) override {
+      return owner->hop_begin(segment, request, now);
+    }
+    void complete_transaction(const BusRequest& request, Cycle now) override {
+      owner->hop_slave_complete(segment, request, now);
+    }
+  };
+
+  struct Segment {
+    std::vector<MasterId> cores;  ///< ascending global ids; slot = index
+    std::uint32_t left_port = kNoMaster;   ///< ingress from segment-1
+    std::uint32_t right_port = kNoMaster;  ///< ingress from segment+1
+    std::unique_ptr<Arbiter> arbiter;
+    std::unique_ptr<SegmentSlave> slave;
+    std::unique_ptr<NonSplitBus> bus;
+    std::vector<std::unique_ptr<PortRelay>> relays;  ///< one per local slot
+    /// Global master whose hop occupies each local slot (kNoMaster: free).
+    std::vector<MasterId> port_owner;
+  };
+
+  struct BridgeEntry {
+    MasterId master = kNoMaster;
+    Cycle ready = 0;     ///< earliest re-raise cycle (store-and-forward)
+    Cycle enqueued = 0;  ///< for queue-time accounting
+  };
+
+  struct Bridge {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    std::deque<BridgeEntry> queue;
+  };
+
+  /// One outstanding transaction per global master.
+  struct InFlight {
+    bool active = false;
+    BusRequest original;        ///< issued_at stamped at the global raise
+    std::uint32_t target = 0;   ///< segment owning the address range
+    std::uint32_t hops = 0;     ///< bridges crossed so far
+    Cycle hop_hold = 0;         ///< hold of the hop currently in transfer
+  };
+
+  /// Raise master `master`'s hop on `segment` at local slot `local`.
+  void raise_hop(std::uint32_t segment, std::uint32_t local, MasterId master,
+                 Cycle forced_hold, Cycle now);
+  /// Deliver ready bridge entries whose ingress port is free.
+  void deliver_bridges(Cycle now);
+
+  // NonSplitBus callback targets (see PortRelay / SegmentSlave).
+  Cycle hop_begin(std::uint32_t segment, const BusRequest& local_request,
+                  Cycle now);
+  void hop_slave_complete(std::uint32_t segment,
+                          const BusRequest& local_request, Cycle now);
+  void hop_granted(std::uint32_t segment, MasterId local,
+                   const BusRequest& local_request, Cycle now, Cycle hold);
+  void hop_completed(std::uint32_t segment, MasterId local,
+                     const BusRequest& local_request, Cycle now);
+
+  [[nodiscard]] MasterId owner_of(std::uint32_t segment,
+                                  MasterId local) const;
+
+  SegmentedConfig config_;
+  BusSlave& slave_;
+
+  std::vector<Segment> segments_;
+  std::vector<Bridge> bridges_;  ///< (s -> s+1), (s+1 -> s) per adjacency
+  /// Per-segment filters, mirrored from set_filter: foreign-hop
+  /// occupancy is charged back to the origin's HOME filter
+  /// (EligibilityFilter::on_remote_occupancy), so a credit budget pays
+  /// for its transaction's whole path, not just the home forward beat.
+  std::vector<EligibilityFilter*> filters_;
+
+  std::vector<std::uint32_t> home_;  ///< per master
+  std::vector<std::uint32_t> slot_;  ///< per master: home-segment slot
+  std::vector<BusMaster*> callbacks_;
+  std::vector<InFlight> flight_;
+
+  /// Live global per-master counters; busy/idle/total assembled on demand.
+  BusStatistics global_;
+  BridgeStats bridge_stats_;
+};
+
+}  // namespace cbus::bus

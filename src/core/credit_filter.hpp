@@ -35,6 +35,14 @@ class CreditFilter final : public bus::EligibilityFilter {
     // virtual contenders, not in the filter.)
   }
 
+  void on_remote_occupancy(MasterId master, Cycle occupancy) override {
+    // Foreign-segment occupancy of a local master's transaction, charged
+    // against its home budget as a burst debit -- the per-cycle recovery
+    // already ran while the transaction was away, so the Table-I
+    // equation covers the whole path (see CreditState::charge).
+    state_.charge(master, occupancy);
+  }
+
   void reset() override { state_.reset(); }
 
   [[nodiscard]] CreditState& state() noexcept { return state_; }

@@ -1,5 +1,7 @@
 #include "core/credit_state.hpp"
 
+#include <algorithm>
+
 #include "common/contracts.hpp"
 
 namespace cbus::core {
@@ -25,16 +27,17 @@ CreditState::CreditState(CbaConfig config,
   }
 }
 
-CreditSoA::CreditSoA(std::size_t lanes, const CbaConfig& config)
-    : lanes_(lanes), masters_(config.n_masters) {
+CreditSoA::CreditSoA(std::size_t lanes, const CbaConfig& config,
+                     std::size_t slots_per_lane)
+    : lanes_(lanes),
+      slots_(std::max<std::size_t>(config.n_masters, slots_per_lane)) {
   CBUS_EXPECTS(lanes >= 1);
-  storage_.resize(lanes_ * masters_);
+  storage_.resize(lanes_ * slots_);
 }
 
 std::span<SaturatingCounter> CreditSoA::lane(std::size_t l) {
   CBUS_EXPECTS(l < lanes_);
-  return std::span<SaturatingCounter>(storage_)
-      .subspan(l * masters_, masters_);
+  return std::span<SaturatingCounter>(storage_).subspan(l * slots_, slots_);
 }
 
 void CreditState::tick(MasterId holder) {
@@ -55,6 +58,21 @@ void CreditState::tick(MasterId holder) {
                         counters_[m].value() + config_.increment[m]);
       ++underflow_clamps_;
     }
+  }
+}
+
+void CreditState::charge(MasterId m, Cycle occupancy) {
+  CBUS_EXPECTS(m < config_.n_masters);
+  const std::uint64_t units = config_.scale * occupancy;
+  if (counters_[m].value() >= units) {
+    counters_[m].spend(units);
+  } else {
+    // Count the shortfall in CYCLES, the same unit tick() clamps in
+    // (one clamp per cycle that could not be paid), so
+    // credit.underflows compares across topologies.
+    const std::uint64_t shortfall = units - counters_[m].value();
+    underflow_clamps_ += (shortfall + config_.scale - 1) / config_.scale;
+    counters_[m].spend(counters_[m].value());
   }
 }
 

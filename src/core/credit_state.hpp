@@ -40,6 +40,15 @@ class CreditState {
   /// (pass kNoMaster when the bus is idle or arbitrating).
   void tick(MasterId holder);
 
+  /// Burst debit of `occupancy` cycles against master m's budget (at
+  /// `scale` units per cycle), clamping at zero like the hardware
+  /// counter and counting the clamp. Used by the segmented interconnect
+  /// to charge a master's HOME budget for the cycles its transaction
+  /// occupied foreign segments, so the Table-I equation
+  /// budget = initial + increment*t - scale*total_path_occupancy keeps
+  /// holding per master across contention points.
+  void charge(MasterId m, Cycle occupancy);
+
   /// Budget of master m, in scaled units.
   [[nodiscard]] std::uint64_t budget(MasterId m) const;
 
@@ -81,22 +90,31 @@ class CreditState {
 };
 
 /// Contiguous credit-counter storage for a batch of replicas: lane l's
-/// n_masters counters occupy [l * n_masters, (l+1) * n_masters), so the
+/// counters occupy [l * slots, (l+1) * slots) where `slots` is
+/// slots_per_lane() (n_masters by default; wider for segmented
+/// topologies, whose per-segment credit states carve one lane), so the
 /// whole batch's credit state fits a handful of cache lines and the
 /// lockstep bus ticks walk it sequentially. Hand `lane(l)` to the
 /// replica's CreditState/CreditFilter; the arena must outlive them.
 class CreditSoA {
  public:
-  CreditSoA(std::size_t lanes, const CbaConfig& config);
+  /// `slots_per_lane` widens a lane beyond n_masters counters -- the
+  /// segmented interconnect carves one lane into per-segment credit
+  /// states (cores + bridge-port slots). 0 means n_masters.
+  CreditSoA(std::size_t lanes, const CbaConfig& config,
+            std::size_t slots_per_lane = 0);
 
   [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+  [[nodiscard]] std::size_t slots_per_lane() const noexcept {
+    return slots_;
+  }
 
-  /// Lane `l`'s counter slice (sized n_masters).
+  /// Lane `l`'s counter slice (sized slots_per_lane()).
   [[nodiscard]] std::span<SaturatingCounter> lane(std::size_t l);
 
  private:
   std::size_t lanes_;
-  std::uint32_t masters_;
+  std::size_t slots_;
   std::vector<SaturatingCounter> storage_;
 };
 

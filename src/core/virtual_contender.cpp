@@ -20,7 +20,10 @@ VirtualContender::VirtualContender(const VirtualContenderConfig& config,
 }
 
 bool VirtualContender::budget_full() const {
-  return credits_ == nullptr || credits_->saturated(config_.self);
+  if (credits_ == nullptr) return true;
+  const MasterId slot =
+      config_.credit_slot == kNoMaster ? config_.self : config_.credit_slot;
+  return credits_->saturated(slot);
 }
 
 void VirtualContender::tick(Cycle now) {

@@ -38,6 +38,11 @@ struct VirtualContenderConfig {
   MasterId tua = 0;
   Cycle hold = 56;  ///< bus occupancy per grant (MaxL in WCET mode)
   ContenderPolicy policy = ContenderPolicy::kCompLatch;
+  /// The slot this contender's BUDGi occupies in the CreditState it
+  /// watches. kNoMaster means `self` -- the single-bus case; on a
+  /// segmented interconnect each segment keeps its own credit state and
+  /// the contender watches its LOCAL slot there.
+  MasterId credit_slot = kNoMaster;
 };
 
 class VirtualContender final : public sim::Component, public bus::BusMaster {

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "bus/segmented.hpp"
 #include "stats/fairness.hpp"
 
 namespace cbus::metrics {
@@ -77,8 +78,63 @@ void probe_credit(const core::CreditFilter* filter, Record& out) {
   out.set("credit.budget", std::move(budgets));
 }
 
+void probe_credit(std::uint64_t underflows, std::span<const double> budgets,
+                  Record& out) {
+  out.set("credit.underflows", static_cast<double>(underflows));
+  if (budgets.empty()) return;  // no CBA: mirror the null-filter overload
+  out.set("credit.budget",
+          std::vector<double>(budgets.begin(), budgets.end()));
+}
+
+void probe_segments(const bus::SegmentedInterconnect* segmented,
+                    const bus::BusStatistics& flat, Record& out) {
+  if (segmented == nullptr) {
+    // Single bus: one segment whose occupancy is the bus utilization and
+    // whose grants are the global grant total; no bridge traffic.
+    out.set("seg.occupancy",
+            std::vector<double>{
+                flat.total_cycles == 0
+                    ? 0.0
+                    : static_cast<double>(flat.busy_cycles) /
+                          static_cast<double>(flat.total_cycles)});
+    out.set("seg.grants", std::vector<double>{static_cast<double>(
+                              flat.totals().grants)});
+    out.set("seg.remote_fraction", 0.0);
+    out.set("seg.bridge_hops", 0.0);
+    out.set("seg.mean_bridge_wait", 0.0);
+    return;
+  }
+
+  const std::uint32_t n = segmented->n_segments();
+  std::vector<double> occupancy(n);
+  std::vector<double> grants(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const bus::BusStatistics& st = segmented->segment_statistics(s);
+    occupancy[s] = st.total_cycles == 0
+                       ? 0.0
+                       : static_cast<double>(st.busy_cycles) /
+                             static_cast<double>(st.total_cycles);
+    grants[s] = static_cast<double>(st.totals().grants);
+  }
+  out.set("seg.occupancy", std::move(occupancy));
+  out.set("seg.grants", std::move(grants));
+
+  const bus::BridgeStats& bridges = segmented->bridge_stats();
+  const std::uint64_t completed =
+      bridges.remote_transactions + bridges.local_transactions;
+  out.set("seg.remote_fraction",
+          completed == 0 ? 0.0
+                         : static_cast<double>(bridges.remote_transactions) /
+                               static_cast<double>(completed));
+  out.set("seg.bridge_hops", static_cast<double>(bridges.hops));
+  out.set("seg.mean_bridge_wait",
+          bridges.hops == 0 ? 0.0
+                            : static_cast<double>(bridges.queue_cycles) /
+                                  static_cast<double>(bridges.hops));
+}
+
 std::span<const MetricInfo> metric_catalog() {
-  static const std::array<MetricInfo, 15> kCatalog{{
+  static const std::array<MetricInfo, 20> kCatalog{{
       {"tua.cycles", false,
        "execution time of the task under analysis (cycles)"},
       {"tua.bus_requests", false, "bus requests issued by the TuA"},
@@ -105,6 +161,15 @@ std::span<const MetricInfo> metric_catalog() {
        "cycles a CBA counter clamped at zero (0 without CBA)"},
       {"credit.budget", true,
        "end-of-run CBA budget per master in cycles (CBA setups only)"},
+      {"seg.occupancy", true,
+       "busy fraction per interconnect segment (one element per segment)"},
+      {"seg.grants", true,
+       "grants per interconnect segment, transit hops included"},
+      {"seg.remote_fraction", false,
+       "fraction of transactions that crossed at least one bridge"},
+      {"seg.bridge_hops", false, "store-and-forward bridge traversals"},
+      {"seg.mean_bridge_wait", false,
+       "mean cycles a forwarded request sat in a bridge buffer"},
   }};
   return kCatalog;
 }

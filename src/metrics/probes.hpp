@@ -15,10 +15,16 @@
 #include <span>
 #include <string_view>
 
+#include <cstdint>
+
 #include "bus/bus.hpp"
 #include "core/credit_filter.hpp"
 #include "cpu/core_config.hpp"
 #include "metrics/record.hpp"
+
+namespace cbus::bus {
+class SegmentedInterconnect;  // probes take it as an opaque pointer
+}  // namespace cbus::bus
 
 namespace cbus::metrics {
 
@@ -42,10 +48,29 @@ void probe_fairness(const bus::BusStatistics& stats, Record& out);
 /// end-of-run budgets in cycles.
 void probe_credit(const core::CreditFilter* filter, Record& out);
 
+/// Segmented-topology form of probe_credit: `underflows` summed over the
+/// per-segment filters, `budgets` the per-master end-of-run budgets in
+/// cycles read from each master's home-segment filter (empty = no CBA).
+/// Emits the same keys as the single-bus overload.
+void probe_credit(std::uint64_t underflows, std::span<const double> budgets,
+                  Record& out);
+
+/// Per-segment interconnect accounting: the seg.occupancy and seg.grants
+/// vectors (one element per segment) plus the scalar bridge-traffic keys
+/// seg.remote_fraction, seg.bridge_hops and seg.mean_bridge_wait. Pass a
+/// null interconnect for the single-bus topology: the keys degrade to
+/// one-segment values derived from `flat` (so a topology sweep renders
+/// comparable columns for every job).
+void probe_segments(const bus::SegmentedInterconnect* segmented,
+                    const bus::BusStatistics& flat, Record& out);
+
 /// One catalog entry per standard probe key.
 struct MetricInfo {
   std::string_view key;
-  bool per_master = false;  ///< vector value, one element per master
+  /// Vector value, one element per master -- or per SEGMENT for the
+  /// seg.* keys (the flag means "addressable as key[i]", and the axis
+  /// is named in each description).
+  bool per_master = false;
   /// Emitted by every campaign ("always") or only under a condition.
   std::string_view description;
 };

@@ -23,7 +23,8 @@ const std::vector<std::string_view>& config_keys() {
   static const std::vector<std::string_view> keys = {
       "cores",    "arbiter", "setup",        "mode",
       "bus",      "dram",    "l1_bytes",     "l2_bytes",
-      "store_buffer", "maxl", "tdma_slot"};
+      "store_buffer", "maxl", "tdma_slot",   "topology",
+      "bridge_hold", "bridge_latency", "seg_stripe"};
   return keys;
 }
 
@@ -166,6 +167,39 @@ PlatformConfig parse_config(std::istream& in) {
       }
     } else if (key == "tdma_slot") {
       cfg.tdma_slot = parse_config_uint(value, key, line_no);
+    } else if (key == "topology") {
+      if (value == "single") {
+        cfg.topology.segments = 1;
+      } else if (value.rfind("segmented:", 0) == 0) {
+        const std::uint32_t n =
+            parse_config_u32(value.substr(10), key, line_no);
+        CBUS_EXPECTS_MSG(n >= 2,
+                         "line " + std::to_string(line_no) +
+                             ": segmented:<n> needs n >= 2 (use "
+                             "`topology = single` for one bus)");
+        cfg.topology.segments = n;
+      } else {
+        CBUS_EXPECTS_MSG(false, "line " + std::to_string(line_no) +
+                                    ": unknown topology: " + value +
+                                    " (single | segmented:<n>)");
+      }
+    } else if (key == "bridge_hold") {
+      cfg.topology.bridge_hold = parse_config_uint(value, key, line_no);
+      CBUS_EXPECTS_MSG(cfg.topology.bridge_hold >= 1,
+                       "line " + std::to_string(line_no) +
+                           ": bridge_hold must be positive");
+    } else if (key == "bridge_latency") {
+      cfg.topology.bridge_latency = parse_config_uint(value, key, line_no);
+    } else if (key == "seg_stripe") {
+      const std::uint64_t stripe = parse_config_uint(value, key, line_no);
+      CBUS_EXPECTS_MSG(stripe >= 4 && stripe <= 0x8000'0000ull &&
+                           (stripe & (stripe - 1)) == 0,
+                       "line " + std::to_string(line_no) +
+                           ": seg_stripe must be a power of two in "
+                           "[4, 2^31]: " + value);
+      std::uint32_t log2 = 0;
+      for (std::uint64_t v = stripe; v > 1; v >>= 1) ++log2;
+      cfg.topology.stripe_log2 = log2;
     } else {
       CBUS_EXPECTS_MSG(false, "line " + std::to_string(line_no) +
                                   ": unknown key '" + key + "'");
@@ -229,6 +263,14 @@ void write_config(std::ostream& out, const PlatformConfig& config) {
   out << "l2_bytes = " << config.l2_partition.size_bytes << '\n';
   out << "store_buffer = " << config.core.store_buffer_depth << '\n';
   out << "tdma_slot = " << config.tdma_slot << '\n';
+  if (config.topology.segmented()) {
+    out << "topology = segmented:" << config.topology.segments << '\n';
+  } else {
+    out << "topology = single\n";
+  }
+  out << "bridge_hold = " << config.topology.bridge_hold << '\n';
+  out << "bridge_latency = " << config.topology.bridge_latency << '\n';
+  out << "seg_stripe = " << (1ull << config.topology.stripe_log2) << '\n';
 }
 
 }  // namespace cbus::platform

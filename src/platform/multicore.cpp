@@ -5,6 +5,43 @@
 
 namespace cbus::platform {
 
+namespace {
+
+/// Segment `cores`' credit config carved from the global one: core slots
+/// keep their GLOBAL Table-I parameters (rates, caps, thresholds), so the
+/// paper's per-core budget shapes each core on its home segment
+/// unchanged. Bridge ingress slots are credit-exempt (full recovery,
+/// zero threshold) because the traffic they carry is charged at the
+/// SOURCE: the interconnect debits every foreign-hop occupancy against
+/// the origin core's home budget (EligibilityFilter::on_remote_occupancy
+/// -> CreditState::charge), so a budget bounds its core's occupancy of
+/// the whole interconnect and gating the bridge slot too would charge
+/// the same cycles twice and starve cross-segment flows.
+[[nodiscard]] core::CbaConfig segment_cba(const core::CbaConfig& global,
+                                          std::span<const MasterId> cores,
+                                          std::uint32_t n_local) {
+  core::CbaConfig cfg;
+  cfg.n_masters = n_local;
+  cfg.max_latency = global.max_latency;
+  cfg.scale = global.scale;
+  const std::uint64_t bridge_cap = global.scale * global.max_latency;
+  cfg.increment.assign(n_local, global.scale);
+  cfg.saturation.assign(n_local, bridge_cap);
+  cfg.threshold.assign(n_local, 0);
+  cfg.initial.assign(n_local, bridge_cap);
+  for (std::size_t slot = 0; slot < cores.size(); ++slot) {
+    const MasterId m = cores[slot];
+    cfg.increment[slot] = global.increment[m];
+    cfg.saturation[slot] = global.saturation[m];
+    cfg.threshold[slot] = global.threshold[m];
+    cfg.initial[slot] = global.initial[m];
+  }
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace
+
 Multicore::Multicore(const PlatformConfig& config, std::uint64_t seed,
                      cpu::OpStream& tua,
                      const std::vector<cpu::OpStream*>& contenders,
@@ -14,21 +51,62 @@ Multicore::Multicore(const PlatformConfig& config, std::uint64_t seed,
   CBUS_EXPECTS_MSG(contenders.size() + 1 <= config_.n_cores,
                    "more workloads than cores");
 
-  arbiter_ = bus::make_arbiter(config_.arbiter, config_.n_cores, bank_,
-                               config_.tdma_slot);
+  // Bank-draw order is part of the reproducibility contract: the
+  // single-bus arbiter draws its channel seeds BEFORE the L2 placement
+  // seeds, exactly as it always has. The segmented path is new, so its
+  // per-segment arbiters draw after the L2 (the interconnect needs the
+  // slave reference at construction), in segment order.
+  if (!config_.topology.segmented()) {
+    arbiter_ = bus::make_arbiter(config_.arbiter, config_.n_cores, bank_,
+                                 config_.tdma_slot);
+  }
   l2_ = std::make_unique<mem::PartitionedL2>(
       config_.n_cores, config_.l2_partition, config_.timings, bank_,
       config_.dram);
 
   const bus::BusConfig bus_cfg{config_.n_cores,
                                config_.overlapped_arbitration};
-  if (config_.bus_protocol == BusProtocol::kSplit) {
+  if (config_.topology.segmented()) {
+    seg_bus_ = std::make_unique<bus::SegmentedInterconnect>(
+        config_.segmented_config(), *l2_,
+        [this](std::uint32_t n_local, std::uint32_t /*segment*/) {
+          return bus::make_arbiter(config_.arbiter, n_local, bank_,
+                                   config_.tdma_slot);
+        });
+  } else if (config_.bus_protocol == BusProtocol::kSplit) {
     split_bus_ = std::make_unique<bus::SplitBus>(bus_cfg, *arbiter_, *l2_);
   } else {
     bus_ = std::make_unique<bus::NonSplitBus>(bus_cfg, *arbiter_, *l2_);
   }
 
-  if (config_.cba.has_value()) {
+  if (config_.cba.has_value() && seg_bus_) {
+    // Per-segment credit accounting: one CreditFilter per segment over
+    // that segment's local slots, carved out of the (optional) external
+    // SoA lane in segment order.
+    CBUS_EXPECTS_MSG(credit_lane.empty() ||
+                         credit_lane.size() >= config_.credit_slots(),
+                     "credit lane smaller than the segmented slot count");
+    std::size_t offset = 0;
+    for (std::uint32_t s = 0; s < seg_bus_->n_segments(); ++s) {
+      const std::uint32_t n_local = seg_bus_->n_local_masters(s);
+      core::CbaConfig seg_cfg =
+          segment_cba(*config_.cba, seg_bus_->segment_cores(s), n_local);
+      auto filter =
+          credit_lane.empty()
+              ? std::make_unique<core::CreditFilter>(std::move(seg_cfg))
+              : std::make_unique<core::CreditFilter>(
+                    std::move(seg_cfg),
+                    credit_lane.subspan(offset, n_local));
+      offset += n_local;
+      seg_bus_->set_filter(s, filter.get());
+      seg_filters_.push_back(std::move(filter));
+    }
+    if (config_.mode == PlatformMode::kWcetEstimation &&
+        config_.tua_zero_initial_budget) {
+      seg_filters_[seg_bus_->home_segment(0)]->state().set_budget(
+          seg_bus_->local_slot(0), 0);
+    }
+  } else if (config_.cba.has_value()) {
     filter_ = credit_lane.empty()
                   ? std::make_unique<core::CreditFilter>(*config_.cba)
                   : std::make_unique<core::CreditFilter>(*config_.cba,
@@ -64,8 +142,17 @@ Multicore::Multicore(const PlatformConfig& config, std::uint64_t seed,
       vc.tua = 0;
       vc.hold = config_.contender_hold;
       vc.policy = config_.contender_policy;
-      virtual_contenders_.push_back(std::make_unique<core::VirtualContender>(
-          vc, port, filter_ ? &filter_->state() : nullptr));
+      const core::CreditState* credits = nullptr;
+      if (seg_bus_ && !seg_filters_.empty()) {
+        // Segmented: the contender's BUDGi lives in its home segment's
+        // credit state, at its local slot.
+        vc.credit_slot = seg_bus_->local_slot(m);
+        credits = &seg_filters_[seg_bus_->home_segment(m)]->state();
+      } else if (filter_) {
+        credits = &filter_->state();
+      }
+      virtual_contenders_.push_back(
+          std::make_unique<core::VirtualContender>(vc, port, credits));
     }
   }
 
@@ -74,6 +161,7 @@ Multicore::Multicore(const PlatformConfig& config, std::uint64_t seed,
   for (auto& vc : virtual_contenders_) kernel_.add(*vc);
   if (bus_) kernel_.add(*bus_);
   if (split_bus_) kernel_.add(*split_bus_);
+  if (seg_bus_) kernel_.add(*seg_bus_);
 }
 
 RunResult Multicore::run(Cycle max_cycles) {
@@ -106,9 +194,13 @@ RunResult Multicore::collect(bool finished, Cycle executed) const {
   result.tua_cycles = cores_.front()->done() ? cores_.front()->finish_cycle()
                                              : executed;
   result.tua_stats = cores_.front()->stats();
-  result.bus_stats = bus_ ? bus_->statistics() : split_bus_->statistics();
-  result.credit_underflows =
-      filter_ ? filter_->state().underflow_clamps() : 0;
+  if (bus_) {
+    result.bus_stats = bus_->statistics();
+  } else if (seg_bus_) {
+    result.bus_stats = seg_bus_->statistics();
+  } else {
+    result.bus_stats = split_bus_->statistics();
+  }
   result.core_finish.reserve(cores_.size());
   for (const auto& c : cores_) {
     result.core_finish.push_back(c->done() ? c->finish_cycle() : 0);
@@ -116,7 +208,30 @@ RunResult Multicore::collect(bool finished, Cycle executed) const {
   metrics::probe_tua(result.tua_cycles, result.tua_stats, result.record);
   metrics::probe_bus(result.bus_stats, result.record);
   metrics::probe_fairness(result.bus_stats, result.record);
-  metrics::probe_credit(filter_.get(), result.record);
+  if (seg_bus_) {
+    std::uint64_t underflows = 0;
+    std::vector<double> budgets;
+    if (!seg_filters_.empty()) {
+      for (const auto& f : seg_filters_) {
+        underflows += f->state().underflow_clamps();
+      }
+      budgets.resize(config_.n_cores);
+      for (MasterId m = 0; m < config_.n_cores; ++m) {
+        budgets[m] = seg_filters_[seg_bus_->home_segment(m)]
+                         ->state()
+                         .budget_cycles(seg_bus_->local_slot(m));
+      }
+    }
+    result.credit_underflows = underflows;
+    metrics::probe_credit(underflows, budgets, result.record);
+    metrics::probe_segments(seg_bus_.get(), result.bus_stats,
+                            result.record);
+  } else {
+    result.credit_underflows =
+        filter_ ? filter_->state().underflow_clamps() : 0;
+    metrics::probe_credit(filter_.get(), result.record);
+    metrics::probe_segments(nullptr, result.bus_stats, result.record);
+  }
   return result;
 }
 

@@ -21,6 +21,7 @@
 
 #include "bus/arbiter.hpp"
 #include "bus/bus.hpp"
+#include "bus/segmented.hpp"
 #include "bus/split_bus.hpp"
 #include "core/credit_filter.hpp"
 #include "core/virtual_contender.hpp"
@@ -102,10 +103,19 @@ class Multicore {
     CBUS_EXPECTS(bus_ != nullptr);
     return *bus_;
   }
-  /// The active bus port, protocol-independent.
+  /// The active bus port, protocol- and topology-independent.
   [[nodiscard]] bus::BusPort& bus_port() noexcept {
-    return bus_ ? static_cast<bus::BusPort&>(*bus_)
-                : static_cast<bus::BusPort&>(*split_bus_);
+    if (bus_) return *bus_;
+    if (seg_bus_) return *seg_bus_;
+    return *split_bus_;
+  }
+  /// The segmented interconnect (null unless topology = segmented:<n>).
+  [[nodiscard]] bus::SegmentedInterconnect* segmented() noexcept {
+    return seg_bus_.get();
+  }
+  /// Segment `s`'s credit filter (CBA + segmented topology only).
+  [[nodiscard]] core::CreditFilter* segment_filter(std::uint32_t s) {
+    return s < seg_filters_.size() ? seg_filters_[s].get() : nullptr;
   }
   [[nodiscard]] mem::PartitionedL2& l2() noexcept { return *l2_; }
   [[nodiscard]] cpu::InOrderCore& core(std::size_t i) { return *cores_.at(i); }
@@ -132,6 +142,9 @@ class Multicore {
   std::unique_ptr<mem::PartitionedL2> l2_;
   std::unique_ptr<bus::NonSplitBus> bus_;
   std::unique_ptr<bus::SplitBus> split_bus_;
+  std::unique_ptr<bus::SegmentedInterconnect> seg_bus_;
+  /// Per-segment CBA filters (segmented topology; empty otherwise).
+  std::vector<std::unique_ptr<core::CreditFilter>> seg_filters_;
   std::vector<std::unique_ptr<cpu::InOrderCore>> cores_;
   std::vector<std::unique_ptr<core::VirtualContender>> virtual_contenders_;
 };

@@ -34,6 +34,17 @@ PlatformConfig PlatformConfig::paper_wcet(BusSetup setup) {
   return cfg;
 }
 
+bus::SegmentedConfig PlatformConfig::segmented_config() const noexcept {
+  bus::SegmentedConfig cfg;
+  cfg.n_masters = n_cores;
+  cfg.n_segments = topology.segments;
+  cfg.overlapped_arbitration = overlapped_arbitration;
+  cfg.bridge_hold = topology.bridge_hold;
+  cfg.bridge_latency = topology.bridge_latency;
+  cfg.stripe_log2 = topology.stripe_log2;
+  return cfg;
+}
+
 void PlatformConfig::validate() const {
   CBUS_EXPECTS(n_cores >= 1 && n_cores <= kMaxMasters);
   core.validate();
@@ -41,6 +52,12 @@ void PlatformConfig::validate() const {
   timings.validate();
   CBUS_EXPECTS(contender_hold >= 1);
   CBUS_EXPECTS(tdma_slot >= 1);
+  if (topology.segmented()) {
+    segmented_config().validate();
+    CBUS_EXPECTS_MSG(bus_protocol == BusProtocol::kNonSplit,
+                     "the segmented interconnect models the non-split "
+                     "protocol only (bus = non-split)");
+  }
   if (dram.has_value()) dram->validate();
   if (cba.has_value()) {
     cba->validate();

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "bus/arbiter_factory.hpp"
+#include "bus/segmented.hpp"
 #include "cache/cache_config.hpp"
 #include "core/cba_config.hpp"
 #include "core/virtual_contender.hpp"
@@ -46,12 +47,28 @@ enum class BusProtocol : std::uint8_t {
   return "?";
 }
 
+/// Interconnect topology: the paper's single shared bus, or a chain of
+/// bus segments joined by store-and-forward bridges
+/// (bus::SegmentedInterconnect). Config-file syntax:
+/// `topology = single | segmented:<n>` plus the per-segment keys
+/// `bridge_hold`, `bridge_latency` and `seg_stripe` (route interleave in
+/// bytes, a power of two).
+struct TopologyConfig {
+  std::uint32_t segments = 1;  ///< 1 = the single shared bus
+  Cycle bridge_hold = 5;       ///< forward beat leaving a segment (cycles)
+  Cycle bridge_latency = 2;    ///< store-and-forward delay per hop
+  std::uint32_t stripe_log2 = 12;  ///< 4 KiB address interleave
+
+  [[nodiscard]] bool segmented() const noexcept { return segments > 1; }
+};
+
 struct PlatformConfig {
   std::uint32_t n_cores = 4;
 
   bus::ArbiterKind arbiter = bus::ArbiterKind::kRandomPermutation;
   bool overlapped_arbitration = true;
   BusProtocol bus_protocol = BusProtocol::kNonSplit;
+  TopologyConfig topology;
 
   /// Optional open-page DRAM bank model (flat 28-cycle latency when unset).
   std::optional<mem::DramConfig> dram;
@@ -93,6 +110,18 @@ struct PlatformConfig {
 
   /// Same platform switched to WCET-estimation (maximum-contention) mode.
   [[nodiscard]] static PlatformConfig paper_wcet(BusSetup setup);
+
+  /// The bus::SegmentedConfig this platform's interconnect uses
+  /// (meaningful when topology.segmented()).
+  [[nodiscard]] bus::SegmentedConfig segmented_config() const noexcept;
+
+  /// Credit-counter slots one machine consumes (SoA arena sizing): the
+  /// core counters, plus the per-segment bridge-port counters when the
+  /// topology is segmented.
+  [[nodiscard]] std::uint32_t credit_slots() const noexcept {
+    return n_cores +
+           (topology.segmented() ? 2 * (topology.segments - 1) : 0);
+  }
 
   void validate() const;
 };

@@ -98,9 +98,11 @@ void run_campaign_slice(const CampaignSpec& spec, std::uint32_t first_run,
   for (std::uint32_t i = 0; i < first_run; ++i) (void)mix.next();
 
   // One contiguous credit arena for the whole batch (SoA across lanes).
+  // Segmented topologies widen each lane by the bridge-port slots.
   std::unique_ptr<core::CreditSoA> credit;
   if (config.cba.has_value()) {
-    credit = std::make_unique<core::CreditSoA>(lanes, *config.cba);
+    credit = std::make_unique<core::CreditSoA>(lanes, *config.cba,
+                                               config.credit_slots());
   }
 
   struct Lane {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bus/arbiter_factory.hpp"
+#include "bus/deficit_age.hpp"
 #include "bus/deficit_round_robin.hpp"
 #include "bus/fifo.hpp"
 #include "bus/lottery.hpp"
@@ -310,6 +311,101 @@ TEST(DeficitRoundRobin, RejectsZeroQuantum) {
   EXPECT_THROW(DeficitRoundRobinArbiter(4, 0), std::invalid_argument);
 }
 
+// --- deficit-age ------------------------------------------------------------
+
+TEST(DeficitAge, OlderRequestWinsAtEqualDeficit) {
+  DeficitAgeArbiter arb(4, 56);
+  const std::array<Cycle, 4> arrival{30, 10, 30, 30};
+  EXPECT_EQ(arb.pick(input_of(0b1111, arrival, /*grant_cycle=*/40)), 1u);
+}
+
+TEST(DeficitAge, TiesBreakToLowestMaster) {
+  DeficitAgeArbiter arb(4, 56);
+  EXPECT_EQ(arb.pick(input_of(0b1010, kZeroArrival)), 1u);
+}
+
+TEST(DeficitAge, CompletionChargeDeprioritizesRecentWinner) {
+  DeficitAgeArbiter arb(2, 56);
+  const MasterId w = arb.pick(input_of(0b11, kZeroArrival));
+  EXPECT_EQ(w, 0u);
+  arb.on_grant(0, 0);
+  arb.on_complete(0, 56);  // 0 consumed 56 cycles: 1 is now owed 56
+  EXPECT_EQ(arb.pick(input_of(0b11, kZeroArrival)), 1u);
+  EXPECT_EQ(arb.deficit(1), 56);  // rebased: 0 at the floor, 1 owed 56
+  EXPECT_EQ(arb.deficit(0), 0);
+}
+
+TEST(DeficitAge, AgeOutweighsDeficitEventually) {
+  // Master 1 is owed 56 cycles of service, but master 0's request has
+  // aged past that debt: the age term must win the score.
+  DeficitAgeArbiter arb(2, 56);
+  (void)arb.pick(input_of(0b11, kZeroArrival));
+  arb.on_complete(0, 56);  // spread: 1 owed 56 relative to 0
+  const std::array<Cycle, 2> young_first{0, 57};
+  EXPECT_EQ(arb.pick(input_of(0b11, young_first, /*grant_cycle=*/57)), 0u)
+      << "an older-by-57-cycles request must outscore a 56-cycle debt";
+  // The mirror case: debt 56 vs age 55 -- the debt wins.
+  DeficitAgeArbiter arb2(2, 56);
+  (void)arb2.pick(input_of(0b11, kZeroArrival));
+  arb2.on_complete(0, 56);
+  const std::array<Cycle, 2> other{2, 57};
+  EXPECT_EQ(arb2.pick(input_of(0b11, other, /*grant_cycle=*/57)), 1u);
+}
+
+TEST(DeficitAge, SpreadIsCappedAtFourQuanta) {
+  // However far behind a master falls, the rebased spread saturates at
+  // 4 quanta (the Table-I saturation rule on the inner policy).
+  DeficitAgeArbiter arb(2, 56);
+  for (int i = 0; i < 100; ++i) {
+    (void)arb.pick(input_of(0b11, kZeroArrival));
+    arb.on_complete(0, 56);  // master 0 keeps consuming
+  }
+  EXPECT_EQ(arb.deficit(1), arb.bank_cap());
+  EXPECT_EQ(arb.bank_cap(), 4 * 56);
+}
+
+TEST(DeficitAge, AbsentMasterForfeitsDeficit) {
+  // "Absent" covers both idle and filtered-ineligible masters: the inner
+  // policy must not bank priority for a master the CBA filter is
+  // throttling (Table-I compatibility).
+  DeficitAgeArbiter arb(2, 56);
+  (void)arb.pick(input_of(0b11, kZeroArrival));
+  arb.on_complete(0, 56);
+  (void)arb.pick(input_of(0b11, kZeroArrival));
+  EXPECT_EQ(arb.deficit(1), 56);
+  (void)arb.pick(input_of(0b01, kZeroArrival));  // 1 gated or idle
+  EXPECT_EQ(arb.deficit(1), 0);
+}
+
+TEST(DeficitAge, CycleFairWithMixedHolds) {
+  // The DRR cycle-fairness property must survive the age weighting: with
+  // both masters always pending (equal ages), long-run occupancy
+  // equalizes across 5- vs 56-cycle requests.
+  DeficitAgeArbiter arb(2, 56);
+  std::array<Cycle, 2> used{0, 0};
+  const std::array<Cycle, 2> holds{5, 56};
+  for (int i = 0; i < 4000; ++i) {
+    const MasterId w = arb.pick(ArbInput{0b11, kZeroArrival, 0});
+    arb.on_grant(w, 0);
+    arb.on_complete(w, holds[w]);
+    used[w] += holds[w];
+  }
+  const double share0 = static_cast<double>(used[0]) /
+                        static_cast<double>(used[0] + used[1]);
+  EXPECT_NEAR(share0, 0.5, 0.03);
+}
+
+TEST(DeficitAge, ResetClearsState) {
+  DeficitAgeArbiter arb(4, 56);
+  arb.on_complete(0, 30);
+  arb.reset();
+  EXPECT_EQ(arb.deficit(0), 0);
+}
+
+TEST(DeficitAge, RejectsZeroQuantum) {
+  EXPECT_THROW(DeficitAgeArbiter(4, 0), std::invalid_argument);
+}
+
 // --- TDMA ----------------------------------------------------------------------------
 
 TEST(Tdma, GrantsOnlyOwnerAtSlotStart) {
@@ -352,10 +448,7 @@ TEST(Tdma, SlotOwnerHelper) {
 
 TEST(ArbiterFactory, BuildsEveryKind) {
   rng::RandBank bank(41);
-  for (const auto kind :
-       {ArbiterKind::kRoundRobin, ArbiterKind::kFifo,
-        ArbiterKind::kFixedPriority, ArbiterKind::kLottery,
-        ArbiterKind::kRandomPermutation, ArbiterKind::kTdma}) {
+  for (const auto kind : all_arbiter_kinds()) {
     const auto arb = make_arbiter(kind, 4, bank);
     ASSERT_NE(arb, nullptr);
     EXPECT_EQ(arb->n_masters(), 4u);
@@ -371,15 +464,32 @@ TEST(ArbiterFactory, ParseNames) {
   EXPECT_EQ(parse_arbiter_kind("lottery"), ArbiterKind::kLottery);
   EXPECT_EQ(parse_arbiter_kind("rp"), ArbiterKind::kRandomPermutation);
   EXPECT_EQ(parse_arbiter_kind("tdma"), ArbiterKind::kTdma);
+  EXPECT_EQ(parse_arbiter_kind("drr"), ArbiterKind::kDeficitRoundRobin);
+  EXPECT_EQ(parse_arbiter_kind("da"), ArbiterKind::kDeficitAge);
+  EXPECT_EQ(parse_arbiter_kind("deficit-age"), ArbiterKind::kDeficitAge);
   EXPECT_THROW((void)parse_arbiter_kind("nonsense"), std::invalid_argument);
+}
+
+TEST(ArbiterFactory, UnknownKindErrorListsRegisteredNames) {
+  // The error must name the whole registry (aligned with the
+  // `--list arbiters` output), not just the bad value.
+  try {
+    (void)parse_arbiter_kind("nonsense");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("nonsense"), std::string::npos);
+    for (const ArbiterKind kind : all_arbiter_kinds()) {
+      EXPECT_NE(message.find(std::string(short_name(kind))),
+                std::string::npos)
+          << "error message misses " << short_name(kind);
+    }
+  }
 }
 
 TEST(ArbiterFactory, HwCostsPopulated) {
   rng::RandBank bank(43);
-  for (const auto kind :
-       {ArbiterKind::kRoundRobin, ArbiterKind::kFifo,
-        ArbiterKind::kFixedPriority, ArbiterKind::kLottery,
-        ArbiterKind::kRandomPermutation, ArbiterKind::kTdma}) {
+  for (const auto kind : all_arbiter_kinds()) {
     const auto arb = make_arbiter(kind, 4, bank);
     const HwCost cost = arb->hw_cost();
     EXPECT_FALSE(cost.notes.empty());

@@ -222,6 +222,7 @@ TEST(Probes, CatalogCoversProbeKeysWithPerMasterFlags) {
   probe_bus(stats, r);
   probe_fairness(stats, r);
   probe_credit(&filter, r);
+  probe_segments(nullptr, stats, r);
   // Every emitted key is in the catalog with the right shape...
   for (const auto& [key, value] : r) {
     const MetricInfo* info = find_metric(key);

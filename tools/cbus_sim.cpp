@@ -75,7 +75,7 @@ struct Options {
       "  --scenario S      iso (isolation) | con (max contention, WCET\n"
       "                    protocol) | stream (3 streaming co-runners)\n"
       "                                                     [con]\n"
-      "  --arbiter A       rr|fifo|priority|lottery|rp|tdma|drr [rp]\n"
+      "  --arbiter A       rr|fifo|priority|lottery|rp|tdma|drr|da [rp]\n"
       "  --runs N          randomized runs per job          [20]\n"
       "  --seed S          campaign seed                    [0xC0FFEE]\n"
       "  --cores N         core count (CBA rescaled)        [4]\n"
