@@ -45,6 +45,8 @@ void print_mbpta() {
     analysis_spec.tua = tua.get();
     analysis_spec.runs = runs;
     analysis_spec.base_seed = 0xE57;
+    analysis_spec.retain_raw = true;  // mbpta::analyze wants the series
+
     const auto analysis_runs = platform::run_campaign(analysis_spec);
 
     mbpta::MbptaConfig mcfg;

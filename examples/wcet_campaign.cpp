@@ -34,6 +34,8 @@ int main(int argc, char** argv) {
   spec.tua = tua.get();
   spec.runs = runs;
   spec.base_seed = 0xE57;
+  // MBPTA fits the raw execution-time series, so keep it.
+  spec.retain_raw = true;
 
   // Analysis-time measurements under the Table-I protocol.
   spec.protocol = platform::CampaignSpec::Protocol::kMaxContention;

@@ -1,0 +1,108 @@
+// Tiny binary stream helpers for the campaign checkpoint/serialization
+// formats (aggregator digests, slice checkpoints).
+//
+// Values are written in the host's native byte order: checkpoints are
+// working files of one campaign on one machine (resume, shard merge),
+// not interchange artifacts. Readers throw std::invalid_argument on a
+// short read -- at this layer a truncated payload is corruption (outer
+// framing handles legitimate kill-mid-write truncation).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+
+#include "common/contracts.hpp"
+
+namespace cbus::io {
+
+template <typename T>
+void write_pod(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.write(buf, sizeof(T));
+}
+
+inline void write_u8(std::ostream& out, std::uint8_t v) { write_pod(out, v); }
+inline void write_u32(std::ostream& out, std::uint32_t v) {
+  write_pod(out, v);
+}
+inline void write_u64(std::ostream& out, std::uint64_t v) {
+  write_pod(out, v);
+}
+inline void write_i64(std::ostream& out, std::int64_t v) {
+  write_pod(out, v);
+}
+inline void write_f64(std::ostream& out, double v) { write_pod(out, v); }
+
+inline void write_string(std::ostream& out, const std::string& s) {
+  write_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+template <typename T>
+[[nodiscard]] T read_pod(std::istream& in, const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  in.read(buf, sizeof(T));
+  CBUS_EXPECTS_MSG(in.gcount() == static_cast<std::streamsize>(sizeof(T)),
+                   std::string("truncated payload reading ") + what);
+  T value;
+  std::memcpy(&value, buf, sizeof(T));
+  return value;
+}
+
+[[nodiscard]] inline std::uint8_t read_u8(std::istream& in,
+                                          const char* what) {
+  return read_pod<std::uint8_t>(in, what);
+}
+[[nodiscard]] inline std::uint32_t read_u32(std::istream& in,
+                                            const char* what) {
+  return read_pod<std::uint32_t>(in, what);
+}
+[[nodiscard]] inline std::uint64_t read_u64(std::istream& in,
+                                            const char* what) {
+  return read_pod<std::uint64_t>(in, what);
+}
+[[nodiscard]] inline std::int64_t read_i64(std::istream& in,
+                                           const char* what) {
+  return read_pod<std::int64_t>(in, what);
+}
+[[nodiscard]] inline double read_f64(std::istream& in, const char* what) {
+  return read_pod<double>(in, what);
+}
+
+[[nodiscard]] inline std::string read_string(std::istream& in,
+                                             const char* what,
+                                             std::uint32_t max_size) {
+  const std::uint32_t size = read_u32(in, what);
+  CBUS_EXPECTS_MSG(size <= max_size,
+                   std::string("implausible string length reading ") + what);
+  std::string s(size, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(size));
+  CBUS_EXPECTS_MSG(in.gcount() == static_cast<std::streamsize>(size),
+                   std::string("truncated payload reading ") + what);
+  return s;
+}
+
+/// FNV-1a 64-bit over a byte range -- the checkpoint checksum.
+[[nodiscard]] inline std::uint64_t fnv1a(const void* data,
+                                         std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a(const std::string& s) noexcept {
+  return fnv1a(s.data(), s.size());
+}
+
+}  // namespace cbus::io

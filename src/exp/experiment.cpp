@@ -251,6 +251,17 @@ ExperimentSpec parse_experiment(std::istream& in) {
       } catch (const std::invalid_argument& e) {
         throw std::invalid_argument(where + e.what());
       }
+    } else if (key == "retain") {
+      if (value == "raw") {
+        spec.retain_raw = true;
+      } else if (value == "stream") {
+        spec.retain_raw = false;
+      } else {
+        CBUS_EXPECTS_MSG(false, where + "'retain' wants raw or stream, "
+                                        "got: " + value);
+      }
+    } else if (key == "checkpoint") {
+      spec.checkpoint_path = value;
     } else if (key == "summary") {
       spec.summary = parse_switch(value, key, line_no);
     } else if (key == "csv") {
@@ -265,7 +276,22 @@ ExperimentSpec parse_experiment(std::istream& in) {
       CBUS_EXPECTS_MSG(false, where + "unknown key '" + key + "'");
     }
   });
+  validate_spec(spec);
   return spec;
+}
+
+void validate_spec(const ExperimentSpec& spec) {
+  if (!spec.retain_raw) {
+    CBUS_EXPECTS_MSG(spec.csv_path.empty(),
+                     "csv writes one row per run; retain = stream does "
+                     "not keep the per-run series");
+    CBUS_EXPECTS_MSG(!spec.pwcet,
+                     "pwcet fits the raw sample series; retain = stream "
+                     "does not keep it");
+  }
+  CBUS_EXPECTS_MSG(spec.checkpoint_path.empty() || !spec.retain_raw,
+                   "checkpointing requires retain = stream (slice digests "
+                   "are what the checkpoint stores)");
 }
 
 ExperimentSpec load_experiment(const std::string& path) {

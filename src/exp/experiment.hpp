@@ -130,6 +130,18 @@ struct ExperimentSpec {
   /// parallel (slices from all sweep jobs share one pool).
   std::uint32_t batch = 1;
 
+  /// `retain = raw` (the default) keeps every job's per-run sample
+  /// series: required by per-run CSV rows and the `pwcet` analysis.
+  /// `retain = stream` folds exactly-mergeable digests instead, at
+  /// memory independent of `runs` -- the mode for million-run campaigns
+  /// -- and is required for checkpointing and sharding.
+  bool retain_raw = true;
+
+  /// Slice-granularity checkpoint file (`checkpoint = PATH`): finished
+  /// slices are appended as they complete, and a rerun of the same spec
+  /// skips them (see docs/CAMPAIGNS.md). Requires `retain = stream`.
+  std::string checkpoint_path;
+
   /// Metric selections from the `metrics` directive, in declaration
   /// order: catalog keys (`fair.jain_occupancy`), optionally one vector
   /// element (`bus.occupancy_share[2]`). Empty = no metric columns.
@@ -143,6 +155,12 @@ struct ExperimentSpec {
   /// Set or replace a platform key (keeps declaration order stable).
   void set_platform_key(const std::string& key, const std::string& value);
 };
+
+/// Cross-key validation: `retain = stream` forbids per-run CSV rows and
+/// `pwcet` (both need the raw series), and `checkpoint` requires
+/// `retain = stream`. Runs at parse time and again after CLI overrides
+/// layer on top. Throws std::invalid_argument.
+void validate_spec(const ExperimentSpec& spec);
 
 /// Parse an experiment stream. Throws std::invalid_argument with the
 /// offending line number on malformed input or unknown keys.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <sstream>
 #include <thread>
@@ -105,6 +107,7 @@ namespace {
   campaign.runs = spec.runs;
   campaign.max_cycles = spec.max_cycles;
   campaign.batch = std::max(1u, spec.batch);
+  campaign.retain_raw = spec.retain_raw;
   const std::string kernel = job.kernel;
   campaign.tua_factory = [kernel]() { return workloads::make_eembc(kernel); };
 
@@ -150,22 +153,27 @@ namespace {
   return out;
 }
 
-/// Run the optional per-job MBPTA analysis over the folded campaign.
+/// Run the optional per-job MBPTA analysis (and its tail-convergence
+/// diagnostics) over the folded campaign.
 void attach_mbpta(const ExperimentSpec& spec, JobResult& out) {
   if (!spec.pwcet) return;
   mbpta::MbptaConfig mcfg;
   mcfg.block_size = std::max<std::size_t>(2, spec.runs / 30);
   try {
     out.mbpta = mbpta::analyze(out.campaign.samples(), mcfg);
+    out.convergence = mbpta::tail_convergence(out.campaign.samples(), mcfg);
   } catch (const std::exception& e) {
     out.mbpta_error = e.what();
   }
 }
 
-/// Fold a job's per-run outcomes (in run order) and attach the optional
-/// MBPTA analysis -- the tail of the original run_job.
+/// Fold a job's per-run outcomes (in run order, retaining the raw
+/// series) and attach the optional MBPTA analysis -- the tail of the
+/// original run_job.
 void finalize_job(const ExperimentSpec& spec,
                   std::span<platform::RunOutcome> outcomes, JobResult& out) {
+  out.campaign.aggregate =
+      metrics::Aggregator(metrics::Aggregator::Options{.retain_raw = true});
   for (platform::RunOutcome& outcome : outcomes) {
     if (!outcome.finished) {
       ++out.campaign.unfinished_runs;
@@ -271,13 +279,26 @@ JobResult run_job(const ExperimentSpec& spec, const Job& job) {
 }
 
 ExperimentResult run_experiment(const ExperimentSpec& spec,
-                                std::uint32_t threads_override) {
+                                const RunOptions& options) {
+  validate_spec(spec);
+  CBUS_EXPECTS(options.shard_count >= 1 &&
+               options.shard_index < options.shard_count);
+  const std::string checkpoint_path = !options.checkpoint_path.empty()
+                                          ? options.checkpoint_path
+                                          : spec.checkpoint_path;
+  CBUS_EXPECTS_MSG(options.shard_count == 1 || !checkpoint_path.empty(),
+                   "sharded runs need a checkpoint file (the shard's "
+                   "results live there)");
+  CBUS_EXPECTS_MSG(checkpoint_path.empty() || !spec.retain_raw,
+                   "checkpointing requires retain = stream (slice digests "
+                   "are what the checkpoint stores)");
+
   const std::vector<Job> jobs = expand(spec);
   const std::uint32_t batch = std::max(1u, spec.batch);
 
-  // Per-job campaign in factory form plus its per-run outcome slots.
-  // Building the campaign cannot fail (streams are made lazily inside
-  // slices), so failures surface per slice below.
+  // Per-job campaign in factory form plus (raw mode only) its per-run
+  // outcome slots. Building the campaign cannot fail (streams are made
+  // lazily inside slices), so failures surface per slice below.
   struct Plan {
     platform::CampaignSpec campaign;
     std::vector<platform::RunOutcome> outcomes;
@@ -285,48 +306,150 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   std::vector<Plan> plans(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     plans[j].campaign = make_campaign(spec, jobs[j]);
-    plans[j].outcomes.resize(spec.runs);
+    if (spec.retain_raw) plans[j].outcomes.resize(spec.runs);
   }
 
-  // ONE slice list across every sweep job: batches span jobs, so the
-  // worker pool stays busy even when the experiment has fewer jobs than
-  // threads (e.g. one job with thousands of runs). Every slice writes
-  // into its job's pre-sized outcome slots and results are folded in
-  // run order, so output is identical for any thread count and batch.
+  // ONE job-major slice plan across every sweep job: batches span jobs,
+  // so the worker pool stays busy even when the experiment has fewer
+  // jobs than threads (e.g. one job with thousands of runs). In raw
+  // mode every slice writes into its job's pre-sized outcome slots and
+  // results are folded in run order; in streaming mode each slice folds
+  // into a local digest merged under a mutex -- exact mergeability
+  // makes both identical for any thread count, batch, shard split or
+  // resume. Every job has the same runs/batch, so the plan is a pure
+  // function of the slice index and is computed on demand rather than
+  // materialized: per-slice bookkeeping vectors would put the run count
+  // back into the memory profile that streaming mode exists to flatten
+  // (docs/CAMPAIGNS.md pins peak RSS independent of the run count).
   struct Slice {
     std::size_t job;
     std::uint32_t first;
     std::uint32_t count;
   };
-  std::vector<Slice> slices;
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    for (std::uint32_t first = 0; first < spec.runs; first += batch) {
-      slices.push_back(Slice{j, first, std::min(batch, spec.runs - first)});
+  const std::uint32_t slices_per_job = (spec.runs + batch - 1) / batch;
+  const std::size_t slice_count =
+      jobs.size() * static_cast<std::size_t>(slices_per_job);
+  const auto slice_of = [&](std::size_t s) {
+    const std::uint32_t first =
+        static_cast<std::uint32_t>(s % slices_per_job) * batch;
+    return Slice{s / slices_per_job, first,
+                 std::min(batch, spec.runs - first)};
+  };
+
+  // A failed slice fails its whole job; only the lowest-numbered
+  // slice's error is reported so the report is thread-count
+  // independent.
+  constexpr std::size_t kNoErrorSlice = ~static_cast<std::size_t>(0);
+  struct JobError {
+    std::size_t slice = kNoErrorSlice;
+    std::string message;
+  };
+  std::vector<JobError> job_errors(jobs.size());
+  std::mutex error_mutex;
+
+  // Streaming fold state, one aggregator per job; and the checkpoint,
+  // whose already-completed slices are merged in up front and skipped.
+  std::vector<metrics::Aggregator> folded(jobs.size());
+  std::vector<std::uint32_t> fold_unfinished(jobs.size(), 0);
+  std::vector<bool> done(slice_count, false);
+  std::mutex fold_mutex;
+  std::optional<CheckpointWriter> writer;
+  if (!checkpoint_path.empty()) {
+    const CheckpointMeta meta =
+        make_meta(spec, options.shard_index, options.shard_count);
+    CBUS_ASSERT(meta.job_count == jobs.size() &&
+                meta.slice_count == slice_count);
+    if (std::filesystem::exists(checkpoint_path)) {
+      LoadedCheckpoint loaded = load_checkpoint(checkpoint_path);
+      validate_checkpoint_meta(loaded.meta, meta);
+      for (SliceState& state : loaded.slices) {
+        CBUS_EXPECTS_MSG(state.slice < slice_count && !done[state.slice],
+                         "checkpoint repeats slice " +
+                             std::to_string(state.slice));
+        const Slice planned = slice_of(state.slice);
+        CBUS_EXPECTS_MSG(
+            state.job == planned.job && state.first_run == planned.first &&
+                state.run_count == planned.count &&
+                state.slice % options.shard_count == options.shard_index,
+            "checkpoint slice " + std::to_string(state.slice) +
+                " does not match the campaign's slice plan");
+        done[state.slice] = true;
+        folded[state.job].merge(state.aggregate);
+        fold_unfinished[state.job] += state.unfinished;
+      }
+      writer.emplace(
+          CheckpointWriter::append_to(checkpoint_path, loaded.valid_bytes));
+    } else {
+      writer.emplace(CheckpointWriter::create(checkpoint_path, meta));
     }
   }
-  std::vector<std::string> slice_errors(slices.size());
 
-  std::uint32_t threads =
-      threads_override != 0 ? threads_override : spec.threads;
+  // This shard's share of the plan, minus what the checkpoint already
+  // holds -- counted (to size the pool), never materialized.
+  std::size_t pending = 0;
+  for (std::size_t s = options.shard_index; s < slice_count;
+       s += options.shard_count) {
+    if (!done[s]) ++pending;
+  }
+
+  std::uint32_t threads = options.threads_override != 0
+                              ? options.threads_override
+                              : spec.threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  threads = static_cast<std::uint32_t>(
-      std::min<std::size_t>(threads, slices.size()));
+  threads =
+      static_cast<std::uint32_t>(std::min<std::size_t>(threads, pending));
 
+  const auto run_one = [&](std::size_t s) {
+    const Slice slice = slice_of(s);
+    if (spec.retain_raw) {
+      platform::run_campaign_slice(
+          plans[slice.job].campaign, slice.first,
+          std::span<platform::RunOutcome>(plans[slice.job].outcomes)
+              .subspan(slice.first, slice.count));
+      return;
+    }
+    std::vector<platform::RunOutcome> outcomes(slice.count);
+    platform::run_campaign_slice(plans[slice.job].campaign, slice.first,
+                                 outcomes);
+    SliceState state;
+    state.slice = static_cast<std::uint32_t>(s);
+    state.job = static_cast<std::uint32_t>(slice.job);
+    state.first_run = slice.first;
+    state.run_count = slice.count;
+    for (const platform::RunOutcome& outcome : outcomes) {
+      if (!outcome.finished) {
+        ++state.unfinished;
+        continue;
+      }
+      state.aggregate.add(outcome.record);
+    }
+    const std::lock_guard<std::mutex> lock(fold_mutex);
+    if (writer.has_value()) writer->append(state);
+    folded[slice.job].merge(state.aggregate);
+    fold_unfinished[slice.job] += state.unfinished;
+  };
+
+  // Workers claim raw slice indices and skip the ones this shard does
+  // not own (or the checkpoint already holds); `done` is read-only once
+  // the pool starts, so the scan needs no lock.
   std::atomic<std::size_t> next{0};
   const auto worker = [&]() {
     while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= slices.size()) return;
-      const Slice& slice = slices[i];
+      const std::size_t s = next.fetch_add(1);
+      if (s >= slice_count) return;
+      if (s % options.shard_count != options.shard_index || done[s]) {
+        continue;
+      }
       try {
-        platform::run_campaign_slice(
-            plans[slice.job].campaign, slice.first,
-            std::span<platform::RunOutcome>(plans[slice.job].outcomes)
-                .subspan(slice.first, slice.count));
+        run_one(s);
       } catch (const std::exception& e) {
-        slice_errors[i] = e.what();
+        const std::size_t job = s / slices_per_job;
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (s < job_errors[job].slice) {
+          job_errors[job] = JobError{s, e.what()};
+        }
       }
     }
   };
@@ -346,16 +469,47 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
     JobResult& out = result.jobs[j];
     out = job_shell(jobs[j]);
     // A failed slice fails the whole job (as an exception aborted the
-    // whole campaign before); the lowest-numbered slice's error wins so
-    // the report is thread-count-independent.
-    for (std::size_t i = 0; i < slices.size(); ++i) {
-      if (slices[i].job == j && !slice_errors[i].empty()) {
-        out.error = slice_errors[i];
-        break;
-      }
+    // whole campaign before).
+    if (job_errors[j].slice != kNoErrorSlice) {
+      out.error = job_errors[j].message;
     }
-    if (out.error.empty()) finalize_job(spec, plans[j].outcomes, out);
+    if (!out.error.empty()) continue;
+    if (spec.retain_raw) {
+      finalize_job(spec, plans[j].outcomes, out);
+    } else {
+      out.campaign.aggregate = std::move(folded[j]);
+      out.campaign.unfinished_runs = fold_unfinished[j];
+      attach_mbpta(spec, out);  // no-op: stream mode forbids pwcet
+    }
   }
+  return result;
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                std::uint32_t threads_override) {
+  RunOptions options;
+  options.threads_override = threads_override;
+  return run_experiment(spec, options);
+}
+
+ExperimentResult finalize_from_slices(const ExperimentSpec& spec,
+                                      const std::vector<SliceState>& slices) {
+  validate_spec(spec);
+  const std::vector<Job> jobs = expand(spec);
+  ExperimentResult result;
+  result.jobs.resize(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    result.jobs[j] = job_shell(jobs[j]);
+  }
+  for (const SliceState& state : slices) {
+    CBUS_EXPECTS_MSG(state.job < jobs.size(),
+                     "slice state references job " +
+                         std::to_string(state.job) + " of " +
+                         std::to_string(jobs.size()));
+    result.jobs[state.job].campaign.aggregate.merge(state.aggregate);
+    result.jobs[state.job].campaign.unfinished_runs += state.unfinished;
+  }
+  for (JobResult& job : result.jobs) attach_mbpta(spec, job);
   return result;
 }
 

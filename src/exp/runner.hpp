@@ -18,7 +18,9 @@
 #include <utility>
 #include <vector>
 
+#include "exp/checkpoint.hpp"
 #include "exp/experiment.hpp"
+#include "mbpta/convergence.hpp"
 #include "mbpta/pwcet.hpp"
 #include "platform/platform_config.hpp"
 #include "platform/scenarios.hpp"
@@ -45,6 +47,8 @@ struct JobResult {
   std::uint64_t seed = 0;
   platform::CampaignResult campaign;
   std::optional<mbpta::MbptaResult> mbpta;
+  /// Tail-stability diagnostics on the pWCET estimate (with `pwcet`).
+  std::optional<mbpta::ConvergenceReport> convergence;
   std::string mbpta_error;  ///< analysis declined (e.g. too few samples)
   std::string error;        ///< nonempty when the job itself failed
 
@@ -62,10 +66,36 @@ struct ExperimentResult {
 /// combination is invalid (e.g. `setup = hcba` with `cores = 1`).
 [[nodiscard]] std::vector<Job> expand(const ExperimentSpec& spec);
 
+/// Execution knobs run_experiment takes beyond the spec: worker threads,
+/// shard ownership and the slice checkpoint. Shard i of N owns exactly
+/// the global slices s with s % N == i; each shard writes its own
+/// checkpoint file, and cbus_merge folds the set back together.
+struct RunOptions {
+  std::uint32_t threads_override = 0;  ///< nonzero beats spec.threads
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  /// Overrides spec.checkpoint_path when nonempty. Sharded runs
+  /// (shard_count > 1) must checkpoint -- the file IS the shard's
+  /// output. Checkpointing requires retain = stream.
+  std::string checkpoint_path;
+};
+
+/// Run every job this process owns. With a checkpoint: slices already in
+/// the file are skipped (after validating its header against the spec)
+/// and newly finished ones are appended, so a killed campaign resumes
+/// where it stopped and produces byte-identical output.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                              const RunOptions& options);
+
 /// Run every job. `threads_override` (when nonzero) beats spec.threads;
 /// 0/0 falls back to the hardware concurrency, clamped to the job count.
 [[nodiscard]] ExperimentResult run_experiment(
     const ExperimentSpec& spec, std::uint32_t threads_override = 0);
+
+/// Fold externally-executed slice states (a merged shard checkpoint set)
+/// into per-job results, exactly as a local streaming run would have.
+[[nodiscard]] ExperimentResult finalize_from_slices(
+    const ExperimentSpec& spec, const std::vector<SliceState>& slices);
 
 /// Run one already-expanded job (exposed for tests).
 [[nodiscard]] JobResult run_job(const ExperimentSpec& spec, const Job& job);

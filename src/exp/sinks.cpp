@@ -262,12 +262,16 @@ class JsonSink final : public ResultSink {
       out << ",\n      \"unfinished\": " << job.campaign.unfinished_runs;
       out << ",\n      \"credit_underflows\": "
           << job.campaign.credit_underflows();
-      out << ",\n      \"samples\": [";
-      const auto& samples = job.campaign.samples();
-      for (std::size_t i = 0; i < samples.size(); ++i) {
-        out << (i == 0 ? "" : ", ") << fmt(samples[i]);
+      // Streaming campaigns (retain = stream) do not keep the per-run
+      // series, so the samples array is raw-retention-only.
+      if (job.campaign.aggregate.retains_raw()) {
+        out << ",\n      \"samples\": [";
+        const auto& samples = job.campaign.samples();
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+          out << (i == 0 ? "" : ", ") << fmt(samples[i]);
+        }
+        out << ']';
       }
-      out << ']';
       if (!spec.metrics.empty()) {
         out << ",\n      \"metrics\": {";
         for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
@@ -296,6 +300,21 @@ class JsonSink final : public ResultSink {
       } else if (!job.mbpta_error.empty()) {
         out << ",\n      \"pwcet_error\": \"" << json_escape(job.mbpta_error)
             << '"';
+      }
+      if (job.convergence.has_value()) {
+        const auto& c = *job.convergence;
+        out << ",\n      \"convergence\": {\n";
+        out << "        \"converged\": " << (c.converged ? "true" : "false")
+            << ",\n";
+        out << "        \"scale_cv\": " << json_number(c.scale_cv) << ",\n";
+        out << "        \"pwcet_drift\": " << json_number(c.pwcet_drift)
+            << ",\n";
+        out << "        \"curve\": [";
+        for (std::size_t i = 0; i < c.curve.size(); ++i) {
+          out << (i == 0 ? "" : ", ") << "{\"runs\": " << c.curve[i].runs
+              << ", \"pwcet\": " << json_number(c.curve[i].pwcet) << '}';
+        }
+        out << "]\n      }";
       }
       out << "\n    }";
     }

@@ -1,0 +1,85 @@
+#include "mbpta/convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "mbpta/gumbel.hpp"
+
+namespace cbus::mbpta {
+
+metrics::Record ConvergenceReport::record() const {
+  metrics::Record out;
+  out.set("mbpta.converged", converged ? 1.0 : 0.0);
+  out.set("mbpta.scale_cv", scale_cv);
+  out.set("mbpta.pwcet_drift", pwcet_drift);
+  out.set("mbpta.target_log10p", std::log10(target_probability));
+  std::vector<double> runs;
+  std::vector<double> pwcets;
+  runs.reserve(curve.size());
+  pwcets.reserve(curve.size());
+  for (const ConvergencePoint& point : curve) {
+    runs.push_back(static_cast<double>(point.runs));
+    pwcets.push_back(point.pwcet);
+  }
+  out.set("mbpta.curve_runs", std::move(runs));
+  out.set("mbpta.curve_pwcet", std::move(pwcets));
+  return out;
+}
+
+ConvergenceReport tail_convergence(std::span<const double> exec_times,
+                                   const MbptaConfig& config,
+                                   double target_probability) {
+  CBUS_EXPECTS(config.block_size >= 1);
+  CBUS_EXPECTS(target_probability > 0.0 && target_probability < 1.0);
+  CBUS_EXPECTS_MSG(exec_times.size() >= 2 * config.block_size,
+                   "not enough samples for block maxima");
+
+  // Halving prefixes n, n/2, n/4, ... while a Gumbel fit stays
+  // meaningful; evaluated smallest-first so the curve reads as growth.
+  std::vector<std::size_t> sizes;
+  const std::size_t floor_size = std::max<std::size_t>(
+      2 * config.block_size, std::size_t{16});
+  for (std::size_t n = exec_times.size(); n >= floor_size; n /= 2) {
+    sizes.push_back(n);
+  }
+  std::reverse(sizes.begin(), sizes.end());
+
+  ConvergenceReport report;
+  report.target_probability = target_probability;
+  report.curve.reserve(sizes.size());
+  for (const std::size_t n : sizes) {
+    const std::vector<double> maxima =
+        block_maxima(exec_times.first(n), config.block_size);
+    const GumbelFit fit = fit_pwm(maxima);
+    report.curve.push_back(ConvergencePoint{
+        n, fit.scale, fit.quantile_exceedance(target_probability)});
+  }
+
+  const std::size_t points = report.curve.size();
+  const std::size_t tail = std::min<std::size_t>(points, 3);
+  if (tail >= 2) {
+    double mean = 0.0;
+    for (std::size_t i = points - tail; i < points; ++i) {
+      mean += report.curve[i].scale;
+    }
+    mean /= static_cast<double>(tail);
+    double var = 0.0;
+    for (std::size_t i = points - tail; i < points; ++i) {
+      const double d = report.curve[i].scale - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(tail - 1);
+    report.scale_cv = mean > 0.0 ? std::sqrt(var) / mean : 0.0;
+
+    const double last = report.curve[points - 1].pwcet;
+    const double prev = report.curve[points - 2].pwcet;
+    report.pwcet_drift =
+        last != 0.0 ? std::abs(last - prev) / std::abs(last) : 0.0;
+  }
+  report.converged =
+      points >= 3 && report.scale_cv < 0.05 && report.pwcet_drift < 0.02;
+  return report;
+}
+
+}  // namespace cbus::mbpta

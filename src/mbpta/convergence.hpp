@@ -1,0 +1,57 @@
+// Tail-convergence diagnostics: is the pWCET estimate stable in the
+// number of runs, or still drifting?
+//
+// MBPTA's central practical question is "did we run enough times?". The
+// answer here is empirical: refit the Gumbel tail on growing prefixes of
+// the sample series (n/2^k, ..., n/4, n/2, n) and watch the fitted scale
+// and the deep-tail quantile settle. A campaign whose pWCET-vs-run-count
+// curve has flattened (low scale dispersion, small last-step drift) has
+// converged; one still moving needs more runs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mbpta/pwcet.hpp"
+#include "metrics/record.hpp"
+
+namespace cbus::mbpta {
+
+/// One refit on a sample prefix.
+struct ConvergencePoint {
+  std::size_t runs = 0;    ///< prefix length the fit used
+  double scale = 0.0;      ///< fitted Gumbel scale (beta)
+  double pwcet = 0.0;      ///< quantile at the target exceedance
+};
+
+struct ConvergenceReport {
+  /// Prefix refits in increasing run count; the last entry uses every
+  /// sample.
+  std::vector<ConvergencePoint> curve;
+  double target_probability = 0.0;  ///< exceedance the curve tracks
+  /// Coefficient of variation of the fitted scale over the curve's last
+  /// (up to) three points: dispersion that survives doubling the runs.
+  double scale_cv = 0.0;
+  /// |pwcet(n) - pwcet(n/2)| / pwcet(n): the last doubling's relative
+  /// movement of the deep-tail estimate.
+  double pwcet_drift = 0.0;
+  /// Three or more prefix points, scale_cv < 0.05 and pwcet_drift < 0.02.
+  bool converged = false;
+
+  /// The report as `mbpta.*` metric keys (`mbpta.converged`,
+  /// `mbpta.scale_cv`, `mbpta.pwcet_drift`, `mbpta.target_log10p`, plus
+  /// `mbpta.curve_runs` / `mbpta.curve_pwcet` vectors), so sinks render
+  /// it like any other quantity.
+  [[nodiscard]] metrics::Record record() const;
+};
+
+/// Refit the Gumbel tail on halving prefixes of `exec_times` (each at
+/// least 2 * config.block_size and 16 samples long) and report stability
+/// of the pWCET at `target_probability`. Requires enough samples for one
+/// full-series analyze().
+[[nodiscard]] ConvergenceReport tail_convergence(
+    std::span<const double> exec_times, const MbptaConfig& config = {},
+    double target_probability = 1e-15);
+
+}  // namespace cbus::mbpta

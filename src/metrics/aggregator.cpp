@@ -1,18 +1,148 @@
 #include "metrics/aggregator.hpp"
 
+#include <bit>
+#include <cmath>
 #include <cstdio>
+#include <limits>
+
+#include "common/binary_io.hpp"
 
 namespace cbus::metrics {
 
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Order-independent minimum: prefers -0.0 over +0.0 on ties so the
+/// retained bit pattern never depends on arrival order.
+[[nodiscard]] bool replaces_min(double x, double current) noexcept {
+  return x < current || (x == current && std::signbit(x));
+}
+
+/// Order-independent maximum: prefers +0.0 over -0.0 on ties.
+[[nodiscard]] bool replaces_max(double x, double current) noexcept {
+  return x > current || (x == current && !std::signbit(x));
+}
+
+}  // namespace
+
+void Aggregator::ElementDigest::add(double x) {
+  if (std::isnan(x)) {
+    ++nans;
+    return;
+  }
+  if (std::isinf(x)) {
+    x > 0.0 ? ++pos_inf : ++neg_inf;
+    return;
+  }
+  if (finite == 0) {
+    finite_min = x;
+    finite_max = x;
+  } else {
+    if (replaces_min(x, finite_min)) finite_min = x;
+    if (replaces_max(x, finite_max)) finite_max = x;
+  }
+  ++finite;
+  sum.add(x);
+  const double sq = x * x;  // rounded once per sample: deterministic
+  if (std::isfinite(sq)) {
+    sum_sq.add(sq);
+  } else {
+    ++sq_overflow;
+  }
+  sketch.add(x);
+}
+
+void Aggregator::ElementDigest::merge(const ElementDigest& other) {
+  if (other.finite > 0) {
+    if (finite == 0) {
+      finite_min = other.finite_min;
+      finite_max = other.finite_max;
+    } else {
+      if (replaces_min(other.finite_min, finite_min)) {
+        finite_min = other.finite_min;
+      }
+      if (replaces_max(other.finite_max, finite_max)) {
+        finite_max = other.finite_max;
+      }
+    }
+  }
+  finite += other.finite;
+  nans += other.nans;
+  pos_inf += other.pos_inf;
+  neg_inf += other.neg_inf;
+  sq_overflow += other.sq_overflow;
+  sum.merge(other.sum);
+  sum_sq.merge(other.sum_sq);
+  sketch.merge(other.sketch);
+}
+
+stats::OnlineStats Aggregator::ElementDigest::stats() const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return {};
+  const auto nd = static_cast<double>(n);
+
+  double mean;
+  if (nans > 0 || (pos_inf > 0 && neg_inf > 0)) {
+    mean = kNan;
+  } else if (pos_inf > 0) {
+    mean = kInf;
+  } else if (neg_inf > 0) {
+    mean = -kInf;
+  } else {
+    mean = sum.to_double() / nd;
+  }
+
+  double m2;
+  if (nans > 0 || pos_inf > 0 || neg_inf > 0 || sq_overflow > 0) {
+    m2 = kNan;
+  } else if (finite < 2 || std::bit_cast<std::uint64_t>(finite_min) ==
+                               std::bit_cast<std::uint64_t>(finite_max)) {
+    m2 = 0.0;  // constant series: exactly zero, no cancellation residue
+  } else {
+    const double s1 = sum.to_double();
+    m2 = std::max(0.0, sum_sq.to_double() - (s1 / nd) * s1);
+  }
+
+  double lo;
+  double hi;
+  if (finite == 0 && pos_inf == 0 && neg_inf == 0) {
+    lo = kNan;  // every sample was NaN
+    hi = kNan;
+  } else {
+    lo = neg_inf > 0 ? -kInf : (finite > 0 ? finite_min : kInf);
+    hi = pos_inf > 0 ? kInf : (finite > 0 ? finite_max : -kInf);
+  }
+  return stats::OnlineStats::from_moments(n, mean, m2, lo, hi);
+}
+
+double Aggregator::ElementDigest::quantile(double q) const {
+  // Rank over the orderable samples: -inf block, finite sketch, +inf
+  // block; NaNs are unrankable and excluded.
+  const std::uint64_t rankable = neg_inf + sketch.count() + pos_inf;
+  if (rankable == 0) return kNan;
+  const double rank = q * static_cast<double>(rankable - 1);
+  std::uint64_t cumulative = neg_inf;
+  if (neg_inf > 0 && static_cast<double>(cumulative) > rank) return -kInf;
+  for (const stats::LogHistogram::Bucket& bucket : sketch.buckets()) {
+    cumulative += bucket.count;
+    if (static_cast<double>(cumulative) > rank) {
+      return stats::LogHistogram::representative(bucket.key);
+    }
+  }
+  return pos_inf > 0 ? kInf : kNan;
+}
+
 void Aggregator::add(const Record& run) {
-  if (runs_ == 0) {
+  if (runs_ == 0 && keys_.empty()) {
     keys_.reserve(run.size());
     for (const auto& [key, value] : run) {
       KeyAggregate agg;
       agg.key = key;
       agg.vector_valued = value.is_vector();
-      agg.stats.resize(value.size());
-      agg.samples.resize(value.size());
+      agg.digests.resize(value.size());
+      if (retain_raw_) agg.samples.resize(value.size());
       keys_.push_back(std::move(agg));
     }
   } else {
@@ -26,15 +156,42 @@ void Aggregator::add(const Record& run) {
     CBUS_EXPECTS_MSG(key == agg.key,
                      "record key order changed mid-campaign: '" + key +
                          "' vs '" + agg.key + "'");
-    CBUS_EXPECTS_MSG(value.size() == agg.stats.size(),
+    CBUS_EXPECTS_MSG(value.size() == agg.digests.size(),
                      "metric '" + key + "' changed width mid-campaign");
     const auto elements = value.elements();
     for (std::size_t e = 0; e < elements.size(); ++e) {
-      agg.stats[e].add(elements[e]);
-      agg.samples[e].push_back(elements[e]);
+      agg.digests[e].add(elements[e]);
+      if (retain_raw_) agg.samples[e].push_back(elements[e]);
     }
   }
   ++runs_;
+}
+
+void Aggregator::merge(const Aggregator& other) {
+  CBUS_EXPECTS_MSG(!retain_raw_ && !other.retain_raw_,
+                   "merge needs streaming aggregators (raw series are "
+                   "order-dependent; fold records instead)");
+  if (other.runs_ == 0 && other.keys_.empty()) return;
+  if (runs_ == 0 && keys_.empty()) {
+    keys_ = other.keys_;
+    runs_ = other.runs_;
+    return;
+  }
+  CBUS_EXPECTS_MSG(other.keys_.size() == keys_.size(),
+                   "record key set does not match the campaign's");
+  for (std::size_t k = 0; k < keys_.size(); ++k) {
+    KeyAggregate& mine = keys_[k];
+    const KeyAggregate& theirs = other.keys_[k];
+    CBUS_EXPECTS_MSG(mine.key == theirs.key,
+                     "record key order changed mid-campaign: '" +
+                         theirs.key + "' vs '" + mine.key + "'");
+    CBUS_EXPECTS_MSG(mine.digests.size() == theirs.digests.size(),
+                     "metric '" + mine.key + "' changed width mid-campaign");
+    for (std::size_t e = 0; e < mine.digests.size(); ++e) {
+      mine.digests[e].merge(theirs.digests[e]);
+    }
+  }
+  runs_ += other.runs_;
 }
 
 const Aggregator::KeyAggregate* Aggregator::find(
@@ -65,29 +222,52 @@ std::vector<std::string> Aggregator::keys() const {
 
 std::size_t Aggregator::width(std::string_view key) const noexcept {
   const KeyAggregate* agg = find(key);
-  return agg == nullptr ? 0 : agg->stats.size();
+  return agg == nullptr ? 0 : agg->digests.size();
 }
 
 bool Aggregator::is_vector(std::string_view key) const {
   return at(key).vector_valued;
 }
 
-const stats::OnlineStats& Aggregator::element_stats(
-    std::string_view key, std::size_t element) const {
+stats::OnlineStats Aggregator::element_stats(std::string_view key,
+                                             std::size_t element) const {
   const KeyAggregate& agg = at(key);
-  CBUS_EXPECTS_MSG(element < agg.stats.size(),
+  CBUS_EXPECTS_MSG(element < agg.digests.size(),
                    "element out of range for metric '" + std::string(key) +
                        "'");
-  return agg.stats[element];
+  return agg.digests[element].stats();
+}
+
+double Aggregator::element_sum(std::string_view key,
+                               std::size_t element) const {
+  const KeyAggregate& agg = at(key);
+  CBUS_EXPECTS_MSG(element < agg.digests.size(),
+                   "element out of range for metric '" + std::string(key) +
+                       "'");
+  return agg.digests[element].sum.to_double();
 }
 
 const std::vector<double>& Aggregator::element_samples(
     std::string_view key, std::size_t element) const {
+  CBUS_EXPECTS_MSG(retain_raw_,
+                   "raw samples were not retained; construct the "
+                   "Aggregator with Options::retain_raw");
   const KeyAggregate& agg = at(key);
   CBUS_EXPECTS_MSG(element < agg.samples.size(),
                    "element out of range for metric '" + std::string(key) +
                        "'");
   return agg.samples[element];
+}
+
+double Aggregator::element_quantile(std::string_view key, std::size_t element,
+                                    double q) const {
+  CBUS_EXPECTS(q >= 0.0 && q <= 1.0);
+  const KeyAggregate& agg = at(key);
+  CBUS_EXPECTS_MSG(element < agg.digests.size(),
+                   "element out of range for metric '" + std::string(key) +
+                       "'");
+  if (retain_raw_) return stats::quantile(agg.samples[element], q);
+  return agg.digests[element].quantile(q);
 }
 
 namespace {
@@ -108,7 +288,7 @@ Record Aggregator::summarize(std::span<const double> percentiles) const {
   }
   Record out;
   for (const auto& agg : keys_) {
-    const std::size_t width = agg.stats.size();
+    const std::size_t width = agg.digests.size();
     const auto emit = [&](const std::string& suffix, auto&& per_element) {
       if (agg.vector_valued) {
         std::vector<double> values(width);
@@ -118,15 +298,136 @@ Record Aggregator::summarize(std::span<const double> percentiles) const {
         out.set(agg.key + '.' + suffix, per_element(0));
       }
     };
-    emit("mean", [&](std::size_t e) { return agg.stats[e].mean(); });
-    emit("min", [&](std::size_t e) { return agg.stats[e].min(); });
-    emit("max", [&](std::size_t e) { return agg.stats[e].max(); });
-    emit("stddev", [&](std::size_t e) { return agg.stats[e].stddev(); });
+    emit("mean",
+         [&](std::size_t e) { return agg.digests[e].stats().mean(); });
+    emit("min", [&](std::size_t e) { return agg.digests[e].stats().min(); });
+    emit("max", [&](std::size_t e) { return agg.digests[e].stats().max(); });
+    emit("stddev",
+         [&](std::size_t e) { return agg.digests[e].stats().stddev(); });
     for (const double p : percentiles) {
       emit(percentile_suffix(p), [&](std::size_t e) {
-        return stats::quantile(agg.samples[e], p / 100.0);
+        return retain_raw_ ? stats::quantile(agg.samples[e], p / 100.0)
+                           : agg.digests[e].quantile(p / 100.0);
       });
     }
+  }
+  return out;
+}
+
+namespace {
+
+constexpr std::uint32_t kDigestMagic = 0x47414243;  // "CBAG"
+constexpr std::uint32_t kDigestVersion = 1;
+
+void write_exact_sum(std::ostream& out, const stats::ExactSum& sum) {
+  const auto limbs = sum.limbs();
+  std::size_t last = limbs.size();
+  while (last > 0 && limbs[last - 1] == 0) --last;
+  std::size_t first = 0;
+  while (first < last && limbs[first] == 0) ++first;
+  io::write_u32(out, static_cast<std::uint32_t>(first));
+  io::write_u32(out, static_cast<std::uint32_t>(last - first));
+  for (std::size_t i = first; i < last; ++i) io::write_u64(out, limbs[i]);
+}
+
+[[nodiscard]] stats::ExactSum read_exact_sum(std::istream& in) {
+  const std::uint32_t first = io::read_u32(in, "exact-sum offset");
+  const std::uint32_t count = io::read_u32(in, "exact-sum limb count");
+  CBUS_EXPECTS_MSG(
+      first <= stats::ExactSum::kLimbs &&
+          count <= stats::ExactSum::kLimbs - first,
+      "exact-sum limb range out of bounds (corrupted digest)");
+  std::array<std::uint64_t, stats::ExactSum::kLimbs> limbs{};
+  for (std::uint32_t i = 0; i < count; ++i) {
+    limbs[first + i] = io::read_u64(in, "exact-sum limb");
+  }
+  return stats::ExactSum::from_limbs(limbs);
+}
+
+void write_sketch(std::ostream& out, const stats::LogHistogram& sketch) {
+  const auto buckets = sketch.buckets();
+  io::write_u32(out, static_cast<std::uint32_t>(buckets.size()));
+  for (const auto& bucket : buckets) {
+    io::write_i64(out, bucket.key);
+    io::write_u64(out, bucket.count);
+  }
+}
+
+[[nodiscard]] stats::LogHistogram read_sketch(std::istream& in) {
+  const std::uint32_t n = io::read_u32(in, "sketch bucket count");
+  std::vector<stats::LogHistogram::Bucket> buckets;
+  buckets.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    stats::LogHistogram::Bucket bucket;
+    bucket.key = io::read_i64(in, "sketch bucket key");
+    bucket.count = io::read_u64(in, "sketch bucket payload");
+    buckets.push_back(bucket);
+  }
+  return stats::LogHistogram::from_buckets(std::move(buckets));
+}
+
+}  // namespace
+
+void Aggregator::serialize(std::ostream& out) const {
+  CBUS_EXPECTS_MSG(!retain_raw_,
+                   "only streaming aggregators serialize (raw series are "
+                   "not part of the digest state)");
+  io::write_u32(out, kDigestMagic);
+  io::write_u32(out, kDigestVersion);
+  io::write_u64(out, runs_);
+  io::write_u32(out, static_cast<std::uint32_t>(keys_.size()));
+  for (const KeyAggregate& agg : keys_) {
+    io::write_string(out, agg.key);
+    io::write_u8(out, agg.vector_valued ? 1 : 0);
+    io::write_u32(out, static_cast<std::uint32_t>(agg.digests.size()));
+    for (const ElementDigest& digest : agg.digests) {
+      io::write_u64(out, digest.finite);
+      io::write_u64(out, digest.nans);
+      io::write_u64(out, digest.pos_inf);
+      io::write_u64(out, digest.neg_inf);
+      io::write_u64(out, digest.sq_overflow);
+      io::write_f64(out, digest.finite_min);
+      io::write_f64(out, digest.finite_max);
+      write_exact_sum(out, digest.sum);
+      write_exact_sum(out, digest.sum_sq);
+      write_sketch(out, digest.sketch);
+    }
+  }
+}
+
+Aggregator Aggregator::deserialize(std::istream& in) {
+  CBUS_EXPECTS_MSG(io::read_u32(in, "digest magic") == kDigestMagic,
+                   "not an aggregator digest (bad magic)");
+  const std::uint32_t version = io::read_u32(in, "digest version");
+  CBUS_EXPECTS_MSG(version == kDigestVersion,
+                   "aggregator digest version " + std::to_string(version) +
+                       " is not supported (this build reads version " +
+                       std::to_string(kDigestVersion) + ")");
+  Aggregator out;
+  out.runs_ = io::read_u64(in, "digest run count");
+  const std::uint32_t nkeys = io::read_u32(in, "digest key count");
+  out.keys_.reserve(nkeys);
+  for (std::uint32_t k = 0; k < nkeys; ++k) {
+    KeyAggregate agg;
+    agg.key = io::read_string(in, "digest key name", 4096);
+    agg.vector_valued = io::read_u8(in, "digest key kind") != 0;
+    const std::uint32_t width = io::read_u32(in, "digest key width");
+    CBUS_EXPECTS_MSG(width <= 65536,
+                     "implausible digest width (corrupted digest)");
+    agg.digests.resize(width);
+    for (ElementDigest& digest : agg.digests) {
+      digest.finite = io::read_u64(in, "digest finite count");
+      digest.nans = io::read_u64(in, "digest nan count");
+      digest.pos_inf = io::read_u64(in, "digest +inf count");
+      digest.neg_inf = io::read_u64(in, "digest -inf count");
+      digest.sq_overflow = io::read_u64(in, "digest overflow count");
+      digest.finite_min = io::read_f64(in, "digest minimum");
+      digest.finite_max = io::read_f64(in, "digest maximum");
+      digest.sum = read_exact_sum(in);
+      digest.sum_sq = read_exact_sum(in);
+      digest.sketch = read_sketch(in);
+    }
+    out.keys_.push_back(std::move(agg));
   }
   return out;
 }

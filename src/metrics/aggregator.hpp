@@ -1,30 +1,60 @@
 // metrics::Aggregator -- folds per-run Records into per-campaign
-// statistics.
+// statistics at constant memory.
 //
 // The first record added defines the key set and the element width of
 // every key; later records must match (a campaign's platform shape is
 // fixed, so a width change is a probe bug, not data). Per key and element
-// the aggregator keeps an OnlineStats digest plus the raw sample series
-// in run order, so sinks can render both summary columns (mean/min/max/
-// stddev/percentiles) and per-run rows without re-running anything.
+// the aggregator keeps an exactly-mergeable digest: integer counters
+// (finite/NaN/inf), Kulisch-style exact sums of x and x^2
+// (stats::ExactSum), finite min/max, and a log-linear quantile sketch
+// (stats::LogHistogram). Every piece of that state folds associatively
+// AND commutatively with no rounding, so two aggregators built from any
+// partition of the same run set -- different batch sizes, thread counts,
+// checkpoint slices or shard processes -- are bit-for-bit identical.
+//
+// Raw per-run series retention is OPT-IN (Options::retain_raw): the
+// default streaming mode is O(#keys), independent of the run count.
+// Sinks that render per-run rows or feed MBPTA fitters ask for retention
+// explicitly; everything else (mean/min/max/stddev/CI, sketch
+// percentiles) works in both modes.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "metrics/record.hpp"
+#include "stats/exact_sum.hpp"
+#include "stats/log_histogram.hpp"
 #include "stats/summary.hpp"
 
 namespace cbus::metrics {
 
 class Aggregator {
  public:
+  struct Options {
+    /// Keep every per-run sample series (O(runs) memory). Required by
+    /// per-run CSV rows, exact percentiles and MBPTA fit inputs.
+    bool retain_raw = false;
+  };
+
+  Aggregator() = default;
+  explicit Aggregator(const Options& options) : retain_raw_(options.retain_raw) {}
+
   /// Fold one per-run record. Precondition: the key set and per-key
   /// widths match every previously added record.
   void add(const Record& run);
+
+  /// Fold another aggregator built over a DISJOINT run set with the same
+  /// key schema (a checkpoint slice, another shard). Streaming mode only
+  /// (raw series would need a run order; digests do not). The result is
+  /// bit-identical for any merge order or partition.
+  void merge(const Aggregator& other);
+
+  [[nodiscard]] bool retains_raw() const noexcept { return retain_raw_; }
 
   [[nodiscard]] std::uint64_t runs() const noexcept { return runs_; }
   [[nodiscard]] bool empty() const noexcept { return runs_ == 0; }
@@ -40,27 +70,71 @@ class Aggregator {
   /// True when `key` was added as a vector (even a 1-element one).
   [[nodiscard]] bool is_vector(std::string_view key) const;
 
-  /// Per-element digest; preconditions: has(key), element < width(key).
-  [[nodiscard]] const stats::OnlineStats& element_stats(
-      std::string_view key, std::size_t element = 0) const;
+  /// Per-element digest view, derived from the exact state; preconditions:
+  /// has(key), element < width(key).
+  [[nodiscard]] stats::OnlineStats element_stats(std::string_view key,
+                                                 std::size_t element = 0) const;
 
-  /// Per-element raw series in run order; same preconditions.
+  /// Exact sum of the element's finite samples, rounded once.
+  [[nodiscard]] double element_sum(std::string_view key,
+                                   std::size_t element = 0) const;
+
+  /// Per-element raw series in run order; preconditions additionally
+  /// include retains_raw().
   [[nodiscard]] const std::vector<double>& element_samples(
       std::string_view key, std::size_t element = 0) const;
+
+  /// q-quantile (q in [0, 1]) of one element: exact over the retained
+  /// series, otherwise the sketch estimate (~0.2% relative resolution).
+  [[nodiscard]] double element_quantile(std::string_view key,
+                                        std::size_t element, double q) const;
 
   /// Summary record: for every key K emit `K.mean`, `K.min`, `K.max` and
   /// `K.stddev` (vector-shaped when K is), plus `K.p<P>` per requested
   /// percentile. Percentiles are in [0, 100] and render with %g (99.9 ->
-  /// "K.p99.9"). Empty aggregators summarize to an empty record.
+  /// "K.p99.9"); they are exact with raw retention, sketch estimates in
+  /// streaming mode. Empty aggregators summarize to an empty record.
   [[nodiscard]] Record summarize(
       std::span<const double> percentiles = {}) const;
 
+  /// Write the streaming digest state (versioned, canonical: equal states
+  /// produce equal bytes). Precondition: !retains_raw().
+  void serialize(std::ostream& out) const;
+
+  /// Rebuild from serialize() output; throws std::invalid_argument on a
+  /// malformed or truncated payload.
+  [[nodiscard]] static Aggregator deserialize(std::istream& in);
+
  private:
+  /// The exactly-mergeable per-element state.
+  struct ElementDigest {
+    std::uint64_t finite = 0;
+    std::uint64_t nans = 0;
+    std::uint64_t pos_inf = 0;
+    std::uint64_t neg_inf = 0;
+    /// x^2 rounded per-sample overflowed to inf (|x| ~ 1e154 or larger);
+    /// the variance view degrades to NaN, counted so merges stay exact.
+    std::uint64_t sq_overflow = 0;
+    stats::ExactSum sum;     ///< exact sum of finite x
+    stats::ExactSum sum_sq;  ///< exact sum of finite fl(x*x)
+    double finite_min = 0.0;
+    double finite_max = 0.0;
+    stats::LogHistogram sketch;  ///< finite samples only
+
+    void add(double x);
+    void merge(const ElementDigest& other);
+    [[nodiscard]] std::uint64_t count() const noexcept {
+      return finite + nans + pos_inf + neg_inf;
+    }
+    [[nodiscard]] stats::OnlineStats stats() const noexcept;
+    [[nodiscard]] double quantile(double q) const;
+  };
+
   struct KeyAggregate {
     std::string key;
     bool vector_valued = false;
-    std::vector<stats::OnlineStats> stats;     ///< one per element
-    std::vector<std::vector<double>> samples;  ///< [element][run]
+    std::vector<ElementDigest> digests;        ///< one per element
+    std::vector<std::vector<double>> samples;  ///< [element][run], opt-in
   };
 
   [[nodiscard]] const KeyAggregate* find(std::string_view key) const noexcept;
@@ -68,6 +142,7 @@ class Aggregator {
 
   std::vector<KeyAggregate> keys_;
   std::uint64_t runs_ = 0;
+  bool retain_raw_ = false;
 };
 
 }  // namespace cbus::metrics

@@ -11,7 +11,9 @@
 // plus hand-edited sinks.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -22,6 +24,40 @@
 #include "common/contracts.hpp"
 
 namespace cbus::metrics {
+
+namespace detail {
+
+/// Census of live Record instances (including moved-from shells). The
+/// streaming campaign path promises peak Record count O(batch * threads),
+/// independent of the run count; regression tests read these counters to
+/// catch an accidental return to O(runs) materialization.
+struct RecordCensus {
+  RecordCensus() noexcept { bump(); }
+  RecordCensus(const RecordCensus&) noexcept { bump(); }
+  RecordCensus(RecordCensus&&) noexcept { bump(); }
+  RecordCensus& operator=(const RecordCensus&) noexcept = default;
+  RecordCensus& operator=(RecordCensus&&) noexcept = default;
+  ~RecordCensus() { live_.fetch_sub(1, std::memory_order_relaxed); }
+
+  friend bool operator==(const RecordCensus&, const RecordCensus&) noexcept {
+    return true;  // bookkeeping only; never part of Record equality
+  }
+
+  static void bump() noexcept {
+    const std::uint64_t now =
+        live_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  static inline std::atomic<std::uint64_t> live_{0};
+  static inline std::atomic<std::uint64_t> peak_{0};
+};
+
+}  // namespace detail
 
 /// A metric value: one double, or one double per bus master.
 class Value {
@@ -99,7 +135,22 @@ class Record {
 
   friend bool operator==(const Record&, const Record&) = default;
 
+  /// Live Record instances right now / the high-water mark since the
+  /// last reset. Diagnostics for O(1)-memory regression tests only.
+  [[nodiscard]] static std::uint64_t live_count() noexcept {
+    return detail::RecordCensus::live_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] static std::uint64_t peak_live_count() noexcept {
+    return detail::RecordCensus::peak_.load(std::memory_order_relaxed);
+  }
+  static void reset_peak_live_count() noexcept {
+    detail::RecordCensus::peak_.store(
+        detail::RecordCensus::live_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+
  private:
+  [[no_unique_address]] detail::RecordCensus census_;
   std::vector<std::pair<std::string, Value>> entries_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -54,33 +55,29 @@ std::uint64_t run_seed(std::uint64_t base_seed, std::uint32_t run_index) {
   return seed;
 }
 
-const stats::OnlineStats& CampaignResult::exec_time() const {
-  static const stats::OnlineStats kEmpty;
+stats::OnlineStats CampaignResult::exec_time() const {
   return aggregate.has("tua.cycles") ? aggregate.element_stats("tua.cycles")
-                                     : kEmpty;
+                                     : stats::OnlineStats{};
 }
 
 const std::vector<double>& CampaignResult::samples() const {
   static const std::vector<double> kEmpty;
-  return aggregate.has("tua.cycles")
+  return aggregate.retains_raw() && aggregate.has("tua.cycles")
              ? aggregate.element_samples("tua.cycles")
              : kEmpty;
 }
 
-const stats::OnlineStats& CampaignResult::bus_utilization() const {
-  static const stats::OnlineStats kEmpty;
+stats::OnlineStats CampaignResult::bus_utilization() const {
   return aggregate.has("bus.utilization")
              ? aggregate.element_stats("bus.utilization")
-             : kEmpty;
+             : stats::OnlineStats{};
 }
 
 std::uint64_t CampaignResult::credit_underflows() const {
   if (!aggregate.has("credit.underflows")) return 0;
-  std::uint64_t total = 0;
-  for (const double x : aggregate.element_samples("credit.underflows")) {
-    total += static_cast<std::uint64_t>(x);
-  }
-  return total;
+  // Underflow clamps are integer counts, so the exact sum is exact here.
+  return static_cast<std::uint64_t>(
+      aggregate.element_sum("credit.underflows"));
 }
 
 void run_campaign_slice(const CampaignSpec& spec, std::uint32_t first_run,
@@ -160,6 +157,8 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
                      "form (CampaignSpec.tua_factory)");
     const PlatformConfig config = resolve_campaign_config(spec);
     CampaignResult result;
+    result.aggregate = metrics::Aggregator(
+        metrics::Aggregator::Options{.retain_raw = spec.retain_raw});
     rng::SplitMix64 mix(spec.base_seed);
     for (std::uint32_t run = 0; run < spec.runs; ++run) {
       const std::uint64_t seed = mix.next();
@@ -179,15 +178,18 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
     return result;
   }
 
-  // Factory form: partition the runs into contiguous lockstep slices,
-  // execute them (optionally across threads), then fold the outcomes in
-  // run order -- so the aggregate is independent of batch and threads.
+  // Factory form: partition the runs into contiguous lockstep slices and
+  // execute them (optionally across threads). In the default streaming
+  // mode every slice folds its outcomes into a local digest immediately
+  // and merges it into the total -- exact mergeability makes the merge
+  // order irrelevant and peak live Records stay O(batch * threads). With
+  // retain_raw the per-run series must keep run order, so all outcomes
+  // are materialized and folded serially, as before.
   CBUS_EXPECTS_MSG(spec.corunners.empty(),
                    "give corunner_factories (not shared corunners) with "
                    "tua_factory");
   (void)resolve_campaign_config(spec);  // validate before spawning workers
   const std::uint32_t batch = std::max<std::uint32_t>(1, spec.batch);
-  std::vector<RunOutcome> outcomes(spec.runs);
   std::vector<std::pair<std::uint32_t, std::uint32_t>> slices;
   for (std::uint32_t first = 0; first < spec.runs; first += batch) {
     slices.emplace_back(first, std::min(batch, spec.runs - first));
@@ -199,10 +201,33 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
   threads = static_cast<std::uint32_t>(
       std::min<std::size_t>(threads, slices.size()));
 
+  std::vector<RunOutcome> outcomes(spec.retain_raw ? spec.runs : 0);
+  metrics::Aggregator streamed;
+  std::uint32_t streamed_unfinished = 0;
+  std::mutex fold_mutex;
+
   const auto run_slice = [&](std::size_t s) {
     const auto [first, count] = slices[s];
-    run_campaign_slice(spec, first,
-                       std::span<RunOutcome>(outcomes).subspan(first, count));
+    if (spec.retain_raw) {
+      run_campaign_slice(
+          spec, first,
+          std::span<RunOutcome>(outcomes).subspan(first, count));
+      return;
+    }
+    std::vector<RunOutcome> local(count);
+    run_campaign_slice(spec, first, local);
+    metrics::Aggregator fold;
+    std::uint32_t unfinished = 0;
+    for (const RunOutcome& outcome : local) {
+      if (!outcome.finished) {
+        ++unfinished;
+        continue;
+      }
+      fold.add(outcome.record);
+    }
+    const std::lock_guard<std::mutex> lock(fold_mutex);
+    streamed.merge(fold);
+    streamed_unfinished += unfinished;
   };
   if (threads <= 1) {
     for (std::size_t s = 0; s < slices.size(); ++s) run_slice(s);
@@ -232,6 +257,13 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
   }
 
   CampaignResult result;
+  if (!spec.retain_raw) {
+    result.aggregate = std::move(streamed);
+    result.unfinished_runs = streamed_unfinished;
+    return result;
+  }
+  result.aggregate = metrics::Aggregator(
+      metrics::Aggregator::Options{.retain_raw = true});
   for (RunOutcome& outcome : outcomes) {
     if (!outcome.finished) {
       ++result.unfinished_runs;

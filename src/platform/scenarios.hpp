@@ -75,6 +75,12 @@ struct CampaignSpec {
   std::uint32_t batch = 1;
   /// Worker threads across batches (factory form only; 0 = hardware).
   std::uint32_t threads = 1;
+
+  /// Keep every run's raw sample series on the aggregate (O(runs)
+  /// memory) -- required by CampaignResult::samples(), per-run CSV rows
+  /// and MBPTA fit inputs. The default streams exactly-mergeable digests
+  /// at memory independent of the run count.
+  bool retain_raw = false;
 };
 
 /// One run's outcome in slice order; `record` is meaningful only for
@@ -93,13 +99,14 @@ struct CampaignResult {
 
   /// TuA execution-time digest (the `tua.cycles` key; empty stats when no
   /// run finished).
-  [[nodiscard]] const stats::OnlineStats& exec_time() const;
+  [[nodiscard]] stats::OnlineStats exec_time() const;
 
-  /// Raw per-run TuA times in run order (the MBPTA input).
+  /// Raw per-run TuA times in run order (the MBPTA input). Empty unless
+  /// the campaign ran with CampaignSpec::retain_raw.
   [[nodiscard]] const std::vector<double>& samples() const;
 
   /// Bus busy-fraction digest (the `bus.utilization` key).
-  [[nodiscard]] const stats::OnlineStats& bus_utilization() const;
+  [[nodiscard]] stats::OnlineStats bus_utilization() const;
 
   /// Total CBA underflow clamps across finished runs.
   [[nodiscard]] std::uint64_t credit_underflows() const;

@@ -1,0 +1,132 @@
+#include "stats/exact_sum.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace cbus::stats {
+
+namespace {
+
+constexpr std::uint64_t kMantissaMask = (std::uint64_t{1} << 52) - 1;
+
+}  // namespace
+
+void ExactSum::add(double x) {
+  CBUS_EXPECTS_MSG(std::isfinite(x),
+                   "ExactSum accumulates finite values only");
+  const auto bits = std::bit_cast<std::uint64_t>(x);
+  const bool negative = (bits >> 63) != 0;
+  const std::uint64_t exponent = (bits >> 52) & 0x7FF;
+  std::uint64_t mantissa = bits & kMantissaMask;
+  std::size_t shift = 0;
+  if (exponent != 0) {
+    mantissa |= std::uint64_t{1} << 52;  // implicit leading bit
+    shift = static_cast<std::size_t>(exponent - 1);
+  }
+  if (mantissa == 0) return;  // +-0 contributes nothing
+
+  // The addend is mantissa * 2^shift in 2^-1074 units: at most 117 bits,
+  // spanning two limbs after the in-limb offset.
+  const std::size_t limb = shift / 64;
+  const std::size_t offset = shift % 64;
+  const std::uint64_t lo = mantissa << offset;
+  const std::uint64_t hi = offset == 0 ? 0 : mantissa >> (64 - offset);
+
+  if (!negative) {
+    const auto add_at = [&](std::size_t i, std::uint64_t v) {
+      while (v != 0 && i < kLimbs) {
+        const std::uint64_t old = limbs_[i];
+        limbs_[i] += v;
+        v = limbs_[i] < old ? 1 : 0;  // carry
+        ++i;
+      }
+    };
+    add_at(limb, lo);
+    add_at(limb + 1, hi);
+  } else {
+    const auto sub_at = [&](std::size_t i, std::uint64_t v) {
+      while (v != 0 && i < kLimbs) {
+        const std::uint64_t old = limbs_[i];
+        limbs_[i] -= v;
+        v = old < limbs_[i] ? 1 : 0;  // borrow (wrapped past zero)
+        ++i;
+      }
+    };
+    sub_at(limb, lo);
+    sub_at(limb + 1, hi);
+  }
+}
+
+void ExactSum::merge(const ExactSum& other) noexcept {
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < kLimbs; ++i) {
+    const std::uint64_t a = limbs_[i] + carry;
+    const std::uint64_t c1 = a < carry ? 1 : 0;
+    limbs_[i] = a + other.limbs_[i];
+    const std::uint64_t c2 = limbs_[i] < a ? 1 : 0;
+    carry = c1 + c2;
+  }
+}
+
+bool ExactSum::is_zero() const noexcept {
+  return std::all_of(limbs_.begin(), limbs_.end(),
+                     [](std::uint64_t l) { return l == 0; });
+}
+
+double ExactSum::to_double() const noexcept {
+  std::array<std::uint64_t, kLimbs> mag = limbs_;
+  const bool negative = (mag[kLimbs - 1] >> 63) != 0;
+  if (negative) {  // two's-complement negate to get the magnitude
+    for (auto& l : mag) l = ~l;
+    for (std::size_t i = 0; i < kLimbs; ++i) {
+      if (++mag[i] != 0) break;
+    }
+  }
+
+  std::size_t top = kLimbs;
+  while (top > 0 && mag[top - 1] == 0) --top;
+  if (top == 0) return 0.0;
+  const std::size_t h = top - 1;
+  const auto msb = static_cast<std::size_t>(63 - std::countl_zero(mag[h]));
+  const std::size_t position = h * 64 + msb;  // highest set bit
+
+  std::uint64_t window;  // bits [position .. position-63]
+  bool sticky = false;
+  if (position <= 63) {
+    window = mag[0];  // the whole magnitude: exact
+  } else {
+    const std::size_t low_bit = position - 63;
+    const std::size_t idx = low_bit / 64;
+    const std::size_t off = low_bit % 64;
+    window = mag[idx] >> off;
+    if (off != 0) window |= mag[idx + 1] << (64 - off);
+    if (off != 0 && (mag[idx] & ((std::uint64_t{1} << off) - 1)) != 0) {
+      sticky = true;
+    }
+    for (std::size_t i = 0; i < idx && !sticky; ++i) {
+      sticky = mag[i] != 0;
+    }
+    // Bit 0 of the window sits 11 bits below the double's 53-bit
+    // rounding point, so folding the sticky flag into it preserves
+    // correct nearest-even rounding in the u64->double conversion.
+    if (sticky) window |= 1;
+  }
+
+  const int exp2 =
+      position <= 63 ? -1074 : static_cast<int>(position - 63) - 1074;
+  const double value = std::ldexp(static_cast<double>(window), exp2);
+  return negative ? -value : value;
+}
+
+ExactSum ExactSum::from_limbs(std::span<const std::uint64_t> limbs) {
+  CBUS_EXPECTS_MSG(limbs.size() == kLimbs,
+                   "ExactSum::from_limbs wants exactly kLimbs limbs");
+  ExactSum out;
+  std::copy(limbs.begin(), limbs.end(), out.limbs_.begin());
+  return out;
+}
+
+}  // namespace cbus::stats

@@ -1,0 +1,57 @@
+// stats::ExactSum -- an exactly-rounded, order-independent accumulator
+// for IEEE-754 doubles (a Kulisch-style superaccumulator).
+//
+// The campaign pipeline folds per-run metric records across threads,
+// lockstep slices, checkpoint files and shard processes; byte-identical
+// output requires the fold to be associative AND commutative down to the
+// last bit. Floating-point addition is neither, so this accumulator keeps
+// the running sum as an EXACT integer: every finite double is an integer
+// multiple of 2^-1074, and a 2240-bit two's-complement integer has room
+// for 2^64 addends of the largest finite magnitude. add() and merge()
+// are integer arithmetic with no rounding (hence no order sensitivity);
+// the single rounding step is to_double(), correctly rounded to
+// nearest-even via a sticky bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace cbus::stats {
+
+class ExactSum {
+ public:
+  /// 35 x 64 = 2240 bits: magnitudes up to 2^1024 in 2^-1074 units are
+  /// 2098-bit integers, 2^64 of them need 2162 bits, plus the sign bit.
+  static constexpr std::size_t kLimbs = 35;
+
+  /// Accumulate one finite double, exactly. Precondition: isfinite(x)
+  /// (callers count NaN/inf separately -- integer counters merge exactly).
+  void add(double x);
+
+  /// Add another accumulator's total, exactly (limb-wise integer add).
+  void merge(const ExactSum& other) noexcept;
+
+  /// The sum rounded once to the nearest double (ties to even); +-inf on
+  /// overflow past the double range. Deterministic on IEEE-754 hosts.
+  [[nodiscard]] double to_double() const noexcept;
+
+  [[nodiscard]] bool is_zero() const noexcept;
+
+  /// Raw limbs, little-endian in 2^-1074 units, two's complement --
+  /// the canonical serialized form.
+  [[nodiscard]] std::span<const std::uint64_t, kLimbs> limbs()
+      const noexcept {
+    return limbs_;
+  }
+
+  /// Rebuild from serialized limbs; precondition: exactly kLimbs values.
+  [[nodiscard]] static ExactSum from_limbs(std::span<const std::uint64_t> limbs);
+
+  friend bool operator==(const ExactSum&, const ExactSum&) = default;
+
+ private:
+  std::array<std::uint64_t, kLimbs> limbs_{};
+};
+
+}  // namespace cbus::stats

@@ -1,0 +1,104 @@
+#include "stats/log_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace cbus::stats {
+
+namespace {
+
+/// Bits of |x| kept in the key: sign-stripped exponent plus the top 8
+/// mantissa bits. Monotone in |x|, covering denormals naturally.
+constexpr int kDroppedMantissaBits = 52 - 8;
+
+}  // namespace
+
+std::int64_t LogHistogram::bucket_key(double x) noexcept {
+  if (x == 0.0) return 0;
+  const auto bits = std::bit_cast<std::uint64_t>(std::fabs(x));
+  const auto magnitude =
+      static_cast<std::int64_t>(bits >> kDroppedMantissaBits) + 1;
+  return x > 0.0 ? magnitude : -magnitude;
+}
+
+double LogHistogram::representative(std::int64_t key) noexcept {
+  if (key == 0) return 0.0;
+  const auto magnitude = static_cast<std::uint64_t>(std::llabs(key)) - 1;
+  const double lo =
+      std::bit_cast<double>(magnitude << kDroppedMantissaBits);
+  double hi = std::bit_cast<double>((magnitude + 1) << kDroppedMantissaBits);
+  if (!std::isfinite(hi)) hi = std::numeric_limits<double>::max();
+  const double mid = lo + (hi - lo) * 0.5;
+  return key > 0 ? mid : -mid;
+}
+
+void LogHistogram::add(double x) {
+  CBUS_EXPECTS_MSG(std::isfinite(x),
+                   "LogHistogram counts finite values only");
+  const std::int64_t key = bucket_key(x);
+  const auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), key,
+      [](const Bucket& b, std::int64_t k) { return b.key < k; });
+  if (it != buckets_.end() && it->key == key) {
+    ++it->count;
+  } else {
+    buckets_.insert(it, Bucket{key, 1});
+  }
+  ++total_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.buckets_.empty()) return;
+  std::vector<Bucket> merged;
+  merged.reserve(buckets_.size() + other.buckets_.size());
+  auto a = buckets_.begin();
+  auto b = other.buckets_.begin();
+  while (a != buckets_.end() && b != other.buckets_.end()) {
+    if (a->key < b->key) {
+      merged.push_back(*a++);
+    } else if (b->key < a->key) {
+      merged.push_back(*b++);
+    } else {
+      merged.push_back(Bucket{a->key, a->count + b->count});
+      ++a;
+      ++b;
+    }
+  }
+  merged.insert(merged.end(), a, buckets_.end());
+  merged.insert(merged.end(), b, other.buckets_.end());
+  buckets_ = std::move(merged);
+  total_ += other.total_;
+}
+
+double LogHistogram::quantile(double q) const {
+  CBUS_EXPECTS_MSG(total_ > 0, "quantile of an empty LogHistogram");
+  CBUS_EXPECTS(q >= 0.0 && q <= 1.0);
+  const double rank = q * static_cast<double>(total_ - 1);
+  std::uint64_t cumulative = 0;
+  for (const Bucket& bucket : buckets_) {
+    cumulative += bucket.count;
+    if (static_cast<double>(cumulative) > rank) {
+      return representative(bucket.key);
+    }
+  }
+  return representative(buckets_.back().key);
+}
+
+LogHistogram LogHistogram::from_buckets(std::vector<Bucket> buckets) {
+  LogHistogram out;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    CBUS_EXPECTS_MSG(buckets[i].count > 0,
+                     "LogHistogram bucket with a zero count");
+    CBUS_EXPECTS_MSG(i == 0 || buckets[i - 1].key < buckets[i].key,
+                     "LogHistogram buckets out of order");
+    out.total_ += buckets[i].count;
+  }
+  out.buckets_ = std::move(buckets);
+  return out;
+}
+
+}  // namespace cbus::stats

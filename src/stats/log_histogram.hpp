@@ -1,0 +1,67 @@
+// stats::LogHistogram -- a sparse log-linear quantile sketch whose state
+// merges exactly.
+//
+// Streaming campaigns cannot keep per-run series, but sinks still want
+// percentiles. Classic streaming quantile estimators (P^2, reservoir
+// sampling) have arrival-order-dependent state, which would break the
+// campaign determinism contract the moment slices run on different
+// threads or shards. This sketch instead buckets each finite sample by
+// (sign, biased exponent, top 8 mantissa bits) -- about 0.2% relative
+// resolution -- and keeps an integer count per occupied bucket. Counts
+// add bucket-wise, so merging is associative, commutative and exact;
+// quantiles are answered with the deterministic bucket midpoint.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cbus::stats {
+
+class LogHistogram {
+ public:
+  /// One occupied bucket. Keys order exactly like the values they cover:
+  /// 0 is the zero bucket, +-(m + 1) covers positive/negative values
+  /// whose |x| bit pattern has top-20-bits m.
+  struct Bucket {
+    std::int64_t key = 0;
+    std::uint64_t count = 0;
+    friend bool operator==(const Bucket&, const Bucket&) = default;
+  };
+
+  /// Count one sample. Precondition: isfinite(x) (non-finite samples are
+  /// tracked by the caller's integer counters).
+  void add(double x);
+
+  /// Add another sketch's counts, bucket-wise (exact).
+  void merge(const LogHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+
+  /// Approximate q-quantile (q in [0, 1]): the midpoint of the bucket
+  /// holding rank q * (count - 1). Precondition: count() > 0.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Occupied buckets, ascending by key -- the canonical serialized form.
+  [[nodiscard]] std::span<const Bucket> buckets() const noexcept {
+    return buckets_;
+  }
+
+  /// Rebuild from serialized buckets; validates strict key order and
+  /// nonzero counts (throws std::invalid_argument otherwise).
+  [[nodiscard]] static LogHistogram from_buckets(std::vector<Bucket> buckets);
+
+  /// The bucket key a value lands in (exposed for tests).
+  [[nodiscard]] static std::int64_t bucket_key(double x) noexcept;
+  /// The deterministic representative (midpoint) of a bucket.
+  [[nodiscard]] static double representative(std::int64_t key) noexcept;
+
+  friend bool operator==(const LogHistogram&, const LogHistogram&) = default;
+
+ private:
+  std::vector<Bucket> buckets_;  ///< sorted ascending by key
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace cbus::stats

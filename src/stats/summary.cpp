@@ -53,6 +53,19 @@ void OnlineStats::merge(const OnlineStats& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+OnlineStats OnlineStats::from_moments(std::uint64_t n, double mean,
+                                      double m2, double min,
+                                      double max) noexcept {
+  OnlineStats out;
+  if (n == 0) return out;
+  out.n_ = n;
+  out.mean_ = mean;
+  out.m2_ = m2;
+  out.min_ = min;
+  out.max_ = max;
+  return out;
+}
+
 double quantile(std::span<const double> sample, double q) {
   CBUS_EXPECTS(!sample.empty());
   CBUS_EXPECTS(q >= 0.0 && q <= 1.0);

@@ -33,6 +33,14 @@ class OnlineStats {
 
   void merge(const OnlineStats& other) noexcept;
 
+  /// Rebuild a digest from externally-derived moments: `m2` is the sum of
+  /// squared deviations (variance * (n-1)). Used by the streaming
+  /// aggregator, which keeps exactly-mergeable sums instead of Welford
+  /// state and derives this view on demand.
+  [[nodiscard]] static OnlineStats from_moments(std::uint64_t n, double mean,
+                                                double m2, double min,
+                                                double max) noexcept;
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;

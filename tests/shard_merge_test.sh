@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Shard/merge determinism check: the same streaming campaign run as 1, 3
+# and 8 shard processes (x 1 and 4 worker threads) and folded back with
+# cbus_merge must produce JSON byte-identical to a single-process run.
+#
+# Usage: shard_merge_test.sh CBUS_SIM CBUS_MERGE EXPERIMENT_FILE
+set -euo pipefail
+
+sim="$1"
+merge="$2"
+exp="$3"
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/cbus-shard-XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+
+# Reference: one process, default threads.
+mkdir "$work/single"
+(cd "$work/single" && "$sim" --experiment "$exp" >/dev/null)
+reference="$work/single/stream_shard.json"
+[[ -s "$reference" ]] || { echo "FAIL: reference JSON missing"; exit 1; }
+
+for shards in 1 3 8; do
+  for threads in 1 4; do
+    dir="$work/s${shards}t${threads}"
+    mkdir "$dir"
+    cd "$dir"
+    ckpts=()
+    for ((i = 0; i < shards; ++i)); do
+      "$sim" --experiment "$exp" --threads "$threads" \
+             --shard "$i/$shards" --checkpoint "$dir/shard$i.ckpt" \
+             >/dev/null
+      ckpts+=("$dir/shard$i.ckpt")
+    done
+    "$merge" --experiment "$exp" "${ckpts[@]}" >/dev/null
+    if ! cmp -s "$reference" "$dir/stream_shard.json"; then
+      echo "FAIL: $shards shard(s) x $threads thread(s) JSON differs" \
+           "from the single-process run"
+      diff "$reference" "$dir/stream_shard.json" | head -20
+      exit 1
+    fi
+    echo "ok: $shards shard(s) x $threads thread(s) byte-identical"
+  done
+done
+
+# An incomplete shard set must be refused, not silently merged.
+cd "$work/s3t1"
+if "$merge" --experiment "$exp" shard0.ckpt shard1.ckpt \
+    >/dev/null 2>"$work/err.txt"; then
+  echo "FAIL: merge accepted an incomplete shard set"
+  exit 1
+fi
+grep -q "checkpoint file(s) were given" "$work/err.txt" || {
+  echo "FAIL: unexpected merge error:"; cat "$work/err.txt"; exit 1; }
+
+echo "PASS"

@@ -440,6 +440,8 @@ TEST(Runner, PwcetProducesCurve) {
   results[0].kernel = "matrix";
   results[0].scenario = "con";
   results[0].seed = 42;
+  results[0].campaign.aggregate = metrics::Aggregator(
+      metrics::Aggregator::Options{.retain_raw = true});
   for (const double x : {100.0, 110.0, 120.0}) {
     metrics::Record record;
     record.set("tua.cycles", x);
@@ -571,6 +573,8 @@ TEST(Sinks, CsvPadsNarrowJobsWithEmptyCells) {
   results[0].kernel = "matrix";
   results[0].scenario = "con";
   results[0].seed = 42;
+  results[0].campaign.aggregate = metrics::Aggregator(
+      metrics::Aggregator::Options{.retain_raw = true});
   for (const double x : {100.0, 110.0}) {
     metrics::Record record;
     record.set("tua.cycles", x);
@@ -582,6 +586,8 @@ TEST(Sinks, CsvPadsNarrowJobsWithEmptyCells) {
   results[1].kernel = "matrix";
   results[1].scenario = "con";
   results[1].seed = 43;
+  results[1].campaign.aggregate = metrics::Aggregator(
+      metrics::Aggregator::Options{.retain_raw = true});
   {
     metrics::Record record;
     record.set("tua.cycles", 200.0);
@@ -677,6 +683,8 @@ TEST(Sinks, NonFiniteMetricValuesRenderAsJsonNull) {
   spec.metrics = {"fair.maxmin_grants"};
   auto results = golden_results();
   results[1].error.clear();
+  results[1].campaign.aggregate = metrics::Aggregator(
+      metrics::Aggregator::Options{.retain_raw = true});
   for (const double x : {50.0, 60.0}) {
     metrics::Record record;
     record.set("tua.cycles", x);

@@ -38,6 +38,7 @@ using platform::SyntheticMasterConfig;
   spec.runs = runs;
   spec.base_seed = seed;
   spec.corunners = std::move(corunners);
+  spec.retain_raw = true;  // integration tests read the per-run series
   return run_campaign(spec);
 }
 

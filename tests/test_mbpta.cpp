@@ -6,6 +6,7 @@
 #include <cmath>
 #include <vector>
 
+#include "mbpta/convergence.hpp"
 #include "mbpta/diagnostics.hpp"
 #include "mbpta/gumbel.hpp"
 #include "mbpta/pot.hpp"
@@ -262,6 +263,76 @@ TEST(Pot, RejectsBadInputs) {
   EXPECT_THROW((void)fit_pot(tiny, 0.9), std::invalid_argument);
   const PotFit fit = fit_pot(xs, 0.9);
   EXPECT_THROW((void)fit.quantile_exceedance(0.5), std::invalid_argument);
+}
+
+// --- tail convergence -----------------------------------------------------------
+
+TEST(Convergence, StationaryGumbelSeriesConverges) {
+  // 8192 iid Gumbel samples: prefix refits should agree, the deep-tail
+  // estimate should have stopped moving, and the curve's run counts
+  // must halve down to the floor and end with the full series.
+  const auto xs = gumbel_sample(1000.0, 5.0, 8192, 21);
+  const ConvergenceReport report = tail_convergence(xs);
+  ASSERT_GE(report.curve.size(), 3u);
+  EXPECT_EQ(report.curve.back().runs, xs.size());
+  for (std::size_t i = 1; i < report.curve.size(); ++i) {
+    EXPECT_LT(report.curve[i - 1].runs, report.curve[i].runs);
+  }
+  EXPECT_TRUE(report.converged)
+      << "scale_cv=" << report.scale_cv
+      << " pwcet_drift=" << report.pwcet_drift;
+  EXPECT_LT(report.scale_cv, 0.05);
+  EXPECT_LT(report.pwcet_drift, 0.02);
+  EXPECT_DOUBLE_EQ(report.target_probability, 1e-15);
+  // Every prefix pWCET sits above the prefix's own observations region.
+  for (const ConvergencePoint& point : report.curve) {
+    EXPECT_GT(point.pwcet, 1000.0);
+    EXPECT_GT(point.scale, 0.0);
+  }
+}
+
+TEST(Convergence, DriftingSeriesDoesNotConverge) {
+  // A strong trend keeps moving the tail as runs accumulate: the last
+  // doubling must still show drift, so converged stays false.
+  auto xs = gumbel_sample(1000.0, 5.0, 1024, 33);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] += static_cast<double>(i) * 2.0;
+  }
+  const ConvergenceReport report = tail_convergence(xs);
+  EXPECT_FALSE(report.converged);
+  EXPECT_GT(report.pwcet_drift + report.scale_cv, 0.02);
+}
+
+TEST(Convergence, ShortSeriesYieldsSinglePointNotConverged) {
+  // Just enough for one analyze() but below the halving floor twice:
+  // a one-point curve cannot claim convergence.
+  const auto xs = gumbel_sample(1000.0, 5.0, 30, 5);
+  MbptaConfig config;
+  config.block_size = 10;
+  const ConvergenceReport report = tail_convergence(xs, config);
+  ASSERT_GE(report.curve.size(), 1u);
+  EXPECT_EQ(report.curve.back().runs, xs.size());
+  EXPECT_FALSE(report.converged);
+}
+
+TEST(Convergence, RecordEmitsMbptaKeys) {
+  const auto xs = gumbel_sample(500.0, 2.0, 512, 9);
+  const ConvergenceReport report = tail_convergence(xs);
+  const metrics::Record record = report.record();
+  EXPECT_EQ(record.at("mbpta.converged").scalar(),
+            report.converged ? 1.0 : 0.0);
+  EXPECT_DOUBLE_EQ(record.at("mbpta.scale_cv").scalar(), report.scale_cv);
+  EXPECT_DOUBLE_EQ(record.at("mbpta.pwcet_drift").scalar(),
+                   report.pwcet_drift);
+  EXPECT_DOUBLE_EQ(record.at("mbpta.target_log10p").scalar(), -15.0);
+  ASSERT_EQ(record.at("mbpta.curve_runs").size(), report.curve.size());
+  ASSERT_EQ(record.at("mbpta.curve_pwcet").size(), report.curve.size());
+  for (std::size_t i = 0; i < report.curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(record.at("mbpta.curve_runs")[i],
+                     static_cast<double>(report.curve[i].runs));
+    EXPECT_DOUBLE_EQ(record.at("mbpta.curve_pwcet")[i],
+                     report.curve[i].pwcet);
+  }
 }
 
 }  // namespace

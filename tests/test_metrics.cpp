@@ -2,7 +2,11 @@
 // references, the campaign Aggregator and the standard probes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <random>
+#include <sstream>
 
 #include "bus/bus.hpp"
 #include "core/credit_filter.hpp"
@@ -80,7 +84,7 @@ TEST(KeyRef, RejectsMalformedReferences) {
 }
 
 TEST(Aggregator, FoldsScalarsAndVectors) {
-  Aggregator agg;
+  Aggregator agg{Aggregator::Options{.retain_raw = true}};
   agg.add(run_record(100.0, 0.5, {0.25, 0.75}));
   agg.add(run_record(120.0, 0.7, {0.35, 0.65}));
   EXPECT_EQ(agg.runs(), 2u);
@@ -118,8 +122,20 @@ TEST(Aggregator, RejectsShapeChanges) {
   EXPECT_THROW(agg.add(renamed), std::invalid_argument);
 }
 
-TEST(Aggregator, SummarizeEmitsStatsAndPercentiles) {
+TEST(Aggregator, StreamsByDefaultAndRefusesRawReads) {
+  // The default Aggregator keeps digests only; asking for the per-run
+  // series is a contract violation, not an empty vector.
   Aggregator agg;
+  agg.add(run_record(100.0, 0.5, {0.25, 0.75}));
+  agg.add(run_record(120.0, 0.7, {0.35, 0.65}));
+  EXPECT_FALSE(agg.retains_raw());
+  EXPECT_DOUBLE_EQ(agg.element_stats("tua.cycles").mean(), 110.0);
+  EXPECT_THROW((void)agg.element_samples("tua.cycles"),
+               std::invalid_argument);
+}
+
+TEST(Aggregator, SummarizeEmitsStatsAndPercentiles) {
+  Aggregator agg{Aggregator::Options{.retain_raw = true}};
   for (const double x : {1.0, 2.0, 3.0, 4.0}) {
     Record r;
     r.set("k", x);
@@ -142,6 +158,145 @@ TEST(Aggregator, SummarizeEmitsStatsAndPercentiles) {
 
   EXPECT_THROW((void)agg.summarize(std::vector<double>{101.0}),
                std::invalid_argument);
+}
+
+// Canonical digest bytes of a streaming aggregator; the property tests
+// below compare these for bit-for-bit equality.
+[[nodiscard]] std::string digest_bytes(const Aggregator& agg) {
+  std::ostringstream out(std::ios::binary);
+  agg.serialize(out);
+  return out.str();
+}
+
+/// A record over every standard catalog key (scalars and 4-wide
+/// per-master vectors), with values drawn from a deliberately nasty
+/// pool: NaN, +-inf, +-0.0, denormals and magnitudes whose square
+/// overflows a double.
+[[nodiscard]] Record nasty_catalog_record(std::mt19937_64& rng) {
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+  static constexpr double kNasty[] = {
+      std::numeric_limits<double>::quiet_NaN(),
+      kInf,
+      -kInf,
+      0.0,
+      -0.0,
+      1e200,   // x*x overflows to inf
+      -1e200,
+      5e-324,  // smallest denormal
+      1.0,
+      -3.75,
+      123456.789};
+  std::uniform_int_distribution<std::size_t> pick(0, std::size(kNasty) - 1);
+  std::uniform_real_distribution<double> uniform(-1e6, 1e6);
+  const auto draw = [&]() {
+    // Mostly ordinary finite values, with a steady trickle of edge cases.
+    return rng() % 4 == 0 ? kNasty[pick(rng)] : uniform(rng);
+  };
+  Record r;
+  for (const MetricInfo& info : metric_catalog()) {
+    if (info.per_master) {
+      r.set(std::string(info.key),
+            std::vector<double>{draw(), draw(), draw(), draw()});
+    } else {
+      r.set(std::string(info.key), draw());
+    }
+  }
+  return r;
+}
+
+TEST(Aggregator, ShardMergeIsOrderInvariantAndAssociative) {
+  // The determinism contract behind checkpoints and cbus_merge: folding
+  // any partition of a run set in any order gives BIT-identical digest
+  // state. 100+ seeded random partitions over every catalog key, with
+  // non-finite and overflow-prone values in the mix.
+  std::mt19937_64 rng(0xC0FFEE5EEDull);
+  std::vector<Record> runs;
+  for (int i = 0; i < 64; ++i) runs.push_back(nasty_catalog_record(rng));
+
+  Aggregator reference;
+  for (const Record& r : runs) reference.add(r);
+  const std::string expected = digest_bytes(reference);
+
+  for (int trial = 0; trial < 120; ++trial) {
+    // Partition the runs into 1..5 shards at random...
+    std::uniform_int_distribution<std::size_t> pick_shards(1, 5);
+    const std::size_t shard_count = pick_shards(rng);
+    std::vector<Aggregator> shards(shard_count);
+    std::vector<Record> shuffled = runs;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    for (const Record& r : shuffled) {
+      shards[rng() % shard_count].add(r);
+    }
+    // ... and fold the shards back together in random order. Both the
+    // partition and the merge order must be invisible in the bytes.
+    std::shuffle(shards.begin(), shards.end(), rng);
+    Aggregator merged;
+    for (const Aggregator& shard : shards) merged.merge(shard);
+    ASSERT_EQ(digest_bytes(merged), expected) << "trial " << trial;
+    ASSERT_EQ(merged.runs(), runs.size());
+  }
+}
+
+TEST(Aggregator, SerializeRoundTripsAndRejectsJunk) {
+  std::mt19937_64 rng(42);
+  Aggregator agg;
+  for (int i = 0; i < 8; ++i) agg.add(nasty_catalog_record(rng));
+  const std::string bytes = digest_bytes(agg);
+
+  std::istringstream in(bytes);
+  const Aggregator back = Aggregator::deserialize(in);
+  EXPECT_EQ(digest_bytes(back), bytes);
+  EXPECT_EQ(back.runs(), agg.runs());
+  EXPECT_EQ(back.keys(), agg.keys());
+
+  std::istringstream junk("not an aggregator digest");
+  EXPECT_THROW((void)Aggregator::deserialize(junk), std::invalid_argument);
+
+  std::istringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW((void)Aggregator::deserialize(truncated),
+               std::invalid_argument);
+}
+
+TEST(Aggregator, MergeRefusesRawAndMismatchedSchemas) {
+  Aggregator raw{Aggregator::Options{.retain_raw = true}};
+  raw.add(run_record(1.0, 0.5, {0.5, 0.5}));
+  Aggregator streaming;
+  streaming.add(run_record(2.0, 0.5, {0.5, 0.5}));
+  EXPECT_THROW(streaming.merge(raw), std::invalid_argument);
+
+  Aggregator other_schema;
+  Record r;
+  r.set("different.key", 1.0);
+  other_schema.add(r);
+  EXPECT_THROW(streaming.merge(other_schema), std::invalid_argument);
+
+  // Merging an empty aggregator into an empty one stays empty; merging
+  // content into an empty one adopts the schema.
+  Aggregator empty;
+  empty.merge(Aggregator{});
+  EXPECT_TRUE(empty.empty());
+  empty.merge(streaming);
+  EXPECT_EQ(digest_bytes(empty), digest_bytes(streaming));
+}
+
+TEST(Aggregator, StreamingQuantilesTrackExactOnes) {
+  // The sketch's ~0.2% resolution contract, checked against the exact
+  // quantile from a raw-retaining twin.
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> uniform(1.0, 1e4);
+  Aggregator stream;
+  Aggregator raw{Aggregator::Options{.retain_raw = true}};
+  for (int i = 0; i < 2000; ++i) {
+    Record r;
+    r.set("k", uniform(rng));
+    stream.add(r);
+    raw.add(r);
+  }
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const double exact = raw.element_quantile("k", 0, q);
+    const double approx = stream.element_quantile("k", 0, q);
+    EXPECT_NEAR(approx, exact, std::abs(exact) * 0.005 + 1e-12) << q;
+  }
 }
 
 TEST(Aggregator, EmptySummarizesToEmptyRecord) {

@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <cmath>
+#include <cstdint>
 #include <map>
 #include <sstream>
+#include <string>
 
+#include "metrics/aggregator.hpp"
+#include "metrics/record.hpp"
 #include "platform/config_file.hpp"
 #include "platform/multicore.hpp"
 #include "platform/platform_config.hpp"
@@ -184,6 +189,7 @@ TEST(SyntheticMaster, IsolatedPeriodIsGapPlusArbPlusHold) {
   spec.tua = &tua;
   spec.runs = runs;
   spec.base_seed = seed;
+  spec.retain_raw = true;  // these tests read the per-run series
   return spec;
 }
 
@@ -294,6 +300,7 @@ void expect_same_aggregate(const metrics::Aggregator& a,
   };
   spec.runs = runs;
   spec.base_seed = seed;
+  spec.retain_raw = true;  // these tests read the per-run series
   return spec;
 }
 
@@ -630,6 +637,112 @@ TEST(ConfigFile, ParsedConfigActuallyRuns) {
 TEST(ConfigFile, MissingFileThrows) {
   EXPECT_THROW((void)load_config("/nonexistent/cbus.cfg"),
                std::invalid_argument);
+}
+
+// --- streaming aggregation ------------------------------------------------------
+
+/// Serialized digest bytes of a streaming campaign aggregate.
+[[nodiscard]] std::string digest_bytes(const metrics::Aggregator& agg) {
+  std::ostringstream out(std::ios::binary);
+  agg.serialize(out);
+  return out.str();
+}
+
+TEST(StreamingCampaign, DigestIsBitIdenticalAcrossBatchAndThreads) {
+  // The streaming fold merges slice digests in whatever order worker
+  // threads finish; exact mergeability must hide that entirely. Every
+  // batch x thread combination lands on the same digest bytes.
+  auto make = [](std::uint32_t batch, std::uint32_t threads) {
+    auto spec = make_factory_spec(CampaignSpec::Protocol::kMaxContention,
+                                  PlatformConfig::paper_wcet(BusSetup::kCba),
+                                  "canrdr", 12, 77);
+    spec.retain_raw = false;
+    spec.batch = batch;
+    spec.threads = threads;
+    return run_campaign(spec);
+  };
+  const auto reference = make(1, 1);
+  EXPECT_FALSE(reference.aggregate.retains_raw());
+  const std::string expected = digest_bytes(reference.aggregate);
+  for (const std::uint32_t batch : {1u, 3u, 8u}) {
+    for (const std::uint32_t threads : {1u, 4u}) {
+      const auto got = make(batch, threads);
+      EXPECT_EQ(digest_bytes(got.aggregate), expected)
+          << "batch=" << batch << " threads=" << threads;
+      EXPECT_EQ(got.unfinished_runs, reference.unfinished_runs);
+    }
+  }
+}
+
+TEST(StreamingCampaign, StatsMatchRawRetentionBitForBit) {
+  // Streaming derives mean/min/max/stddev from exact sums; the raw
+  // mode's OnlineStats folds the same run-ordered series. The derived
+  // views must agree to the last bit on every key and element.
+  auto spec = make_factory_spec(CampaignSpec::Protocol::kMaxContention,
+                                PlatformConfig::paper_wcet(BusSetup::kCba),
+                                "canrdr", 10, 31);
+  spec.retain_raw = false;
+  const auto streamed = run_campaign(spec);
+  spec.retain_raw = true;
+  const auto raw = run_campaign(spec);
+
+  ASSERT_EQ(streamed.aggregate.keys(), raw.aggregate.keys());
+  for (const std::string& key : raw.aggregate.keys()) {
+    ASSERT_EQ(streamed.aggregate.width(key), raw.aggregate.width(key));
+    for (std::size_t e = 0; e < raw.aggregate.width(key); ++e) {
+      const auto rs = raw.aggregate.element_stats(key, e);
+      const auto ss = streamed.aggregate.element_stats(key, e);
+      EXPECT_EQ(rs.count(), ss.count()) << key;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(rs.min()),
+                std::bit_cast<std::uint64_t>(ss.min()))
+          << key << '[' << e << ']';
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(rs.max()),
+                std::bit_cast<std::uint64_t>(ss.max()))
+          << key << '[' << e << ']';
+      // Welford means/variances round differently along the fold path,
+      // so the cross-mode contract there is closeness, not bit equality
+      // -- the exact sums are the BETTER answer.
+      EXPECT_NEAR(rs.mean(), ss.mean(),
+                  1e-9 * (1.0 + std::abs(rs.mean())))
+          << key << '[' << e << ']';
+      if (std::isfinite(rs.variance())) {
+        EXPECT_NEAR(rs.variance(), ss.variance(),
+                    1e-6 * (1.0 + std::abs(rs.variance())))
+            << key << '[' << e << ']';
+      }
+    }
+  }
+  // Raw mode kept the series, streaming mode refuses to invent one.
+  EXPECT_EQ(raw.samples().size(), 10u);
+  EXPECT_TRUE(streamed.samples().empty());
+}
+
+TEST(StreamingCampaign, PeakRecordCountIsIndependentOfRunCount) {
+  // The memory contract behind million-run campaigns: streaming keeps
+  // O(batch * threads) records alive at once, raw keeps O(runs). Record
+  // instances are census-counted, so measure the peak directly.
+  auto run_with = [](std::uint32_t runs, bool retain) {
+    auto spec = make_factory_spec(CampaignSpec::Protocol::kIsolation,
+                                  PlatformConfig::paper(BusSetup::kRp),
+                                  "canrdr", runs, 3);
+    spec.retain_raw = retain;
+    spec.batch = 4;
+    spec.threads = 1;
+    metrics::Record::reset_peak_live_count();
+    const auto result = run_campaign(spec);
+    EXPECT_EQ(result.aggregate.runs(), runs);
+    return metrics::Record::peak_live_count();
+  };
+
+  const std::uint64_t stream_small = run_with(20, false);
+  const std::uint64_t stream_large = run_with(160, false);
+  // Constant head-room: the peak may wiggle by a few scratch records
+  // but must not scale with the 8x run-count growth.
+  EXPECT_LE(stream_large, stream_small + 4);
+
+  const std::uint64_t raw_large = run_with(160, true);
+  EXPECT_GE(raw_large, 160u);  // one retained record per run
+  EXPECT_GT(raw_large, stream_large * 4);
 }
 
 }  // namespace

@@ -2,11 +2,16 @@
 // fairness indices.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
+#include "stats/exact_sum.hpp"
 #include "stats/fairness.hpp"
 #include "stats/histogram.hpp"
+#include "stats/log_histogram.hpp"
 #include "stats/summary.hpp"
 
 namespace cbus::stats {
@@ -252,6 +257,164 @@ TEST(Fairness, MaxMinRatioRejectsNegativeShares) {
   EXPECT_THROW((void)max_min_ratio(bad), std::invalid_argument);
   const std::vector<double> single_bad{-1.0};
   EXPECT_THROW((void)max_min_ratio(single_bad), std::invalid_argument);
+}
+
+// --- ExactSum ---------------------------------------------------------------
+
+[[nodiscard]] std::uint64_t bits_of(double x) {
+  return std::bit_cast<std::uint64_t>(x);
+}
+
+TEST(ExactSum, SumsExactlyWhereNaiveAdditionRounds) {
+  // 1 + 2^-60 repeated: naive left-to-right addition loses every tiny
+  // addend; the superaccumulator keeps all of them.
+  ExactSum sum;
+  sum.add(1.0);
+  const double tiny = std::ldexp(1.0, -60);
+  for (int i = 0; i < 1 << 12; ++i) sum.add(tiny);
+  const double expected = 1.0 + std::ldexp(1.0, -48);  // 2^12 * 2^-60
+  EXPECT_EQ(bits_of(sum.to_double()), bits_of(expected));
+}
+
+TEST(ExactSum, OrderAndPartitionInvariantToTheLastBit) {
+  // The property the whole campaign determinism story leans on: any
+  // ordering and any partition of the addends gives identical limbs.
+  const std::vector<double> values{1e308,  -1e308, 3.5,     5e-324,
+                                   -2.25,  1e30,   -1e-30,  0.25,
+                                   -0.0,   1e155,  -1e155,  7.125};
+  ExactSum forward;
+  for (const double v : values) forward.add(v);
+  ExactSum backward;
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    backward.add(*it);
+  }
+  EXPECT_EQ(forward, backward);
+
+  ExactSum odd, even;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i % 2 != 0 ? odd : even).add(values[i]);
+  }
+  even.merge(odd);
+  EXPECT_EQ(even, forward);
+  EXPECT_EQ(bits_of(even.to_double()), bits_of(forward.to_double()));
+}
+
+TEST(ExactSum, CancellationIsExact) {
+  ExactSum sum;
+  sum.add(1e308);
+  sum.add(3.0);
+  sum.add(-1e308);
+  EXPECT_EQ(bits_of(sum.to_double()), bits_of(3.0));
+
+  ExactSum zero;
+  zero.add(0.1);
+  zero.add(-0.1);
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(bits_of(zero.to_double()), bits_of(0.0));  // +0, not -0
+}
+
+TEST(ExactSum, OverflowPastDoubleRangeRoundsToInfinity) {
+  ExactSum sum;
+  const double huge = std::numeric_limits<double>::max();
+  sum.add(huge);
+  sum.add(huge);
+  EXPECT_TRUE(std::isinf(sum.to_double()));
+  EXPECT_GT(sum.to_double(), 0.0);
+  sum.add(-huge);
+  EXPECT_EQ(bits_of(sum.to_double()), bits_of(huge));
+}
+
+TEST(ExactSum, RoundsToNearestEven) {
+  // 1 + 2^-53 is exactly half-way between 1 and the next double: ties
+  // go to even (stay at 1). Adding one more ulp of the tail breaks the
+  // tie upward.
+  ExactSum half_way;
+  half_way.add(1.0);
+  half_way.add(std::ldexp(1.0, -53));
+  EXPECT_EQ(bits_of(half_way.to_double()), bits_of(1.0));
+
+  ExactSum above;
+  above.add(1.0);
+  above.add(std::ldexp(1.0, -53));
+  above.add(std::ldexp(1.0, -80));  // sticky bit
+  EXPECT_EQ(bits_of(above.to_double()),
+            bits_of(1.0 + std::ldexp(1.0, -52)));
+}
+
+TEST(ExactSum, LimbsRoundTrip) {
+  ExactSum sum;
+  sum.add(-123.456);
+  sum.add(5e-324);
+  const ExactSum back = ExactSum::from_limbs(sum.limbs());
+  EXPECT_EQ(back, sum);
+  EXPECT_EQ(bits_of(back.to_double()), bits_of(sum.to_double()));
+}
+
+// --- LogHistogram -----------------------------------------------------------
+
+TEST(LogHistogram, MergeIsExactAndOrderFree) {
+  std::vector<double> values;
+  for (int i = 1; i <= 500; ++i) values.push_back(i * 0.37);
+  LogHistogram whole;
+  for (const double v : values) whole.add(v);
+  LogHistogram a, b;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i % 3 == 0 ? a : b).add(values[i]);
+  }
+  b.merge(a);
+  EXPECT_EQ(b, whole);
+  EXPECT_EQ(b.count(), 500u);
+}
+
+TEST(LogHistogram, QuantileWithinRelativeResolution) {
+  LogHistogram sketch;
+  std::vector<double> values;
+  for (int i = 1; i <= 999; ++i) {
+    values.push_back(static_cast<double>(i));
+    sketch.add(static_cast<double>(i));
+  }
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double exact = quantile(values, q);
+    // Error budget: half a bucket (~0.2% relative) plus one sample
+    // spacing (the sketch does not interpolate between ranks).
+    EXPECT_NEAR(sketch.quantile(q), exact, exact * 0.005 + 1.0) << q;
+  }
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0),
+                   LogHistogram::representative(
+                       LogHistogram::bucket_key(1.0)));
+}
+
+TEST(LogHistogram, BucketKeysOrderLikeValues) {
+  const std::vector<double> ascending{-1e6, -2.5,  -1e-5, 0.0,
+                                      1e-9, 0.125, 3.7,   1e20};
+  for (std::size_t i = 1; i < ascending.size(); ++i) {
+    EXPECT_LT(LogHistogram::bucket_key(ascending[i - 1]),
+              LogHistogram::bucket_key(ascending[i]))
+        << ascending[i];
+  }
+  // Signed zero shares the zero bucket; representatives invert keys.
+  EXPECT_EQ(LogHistogram::bucket_key(-0.0), LogHistogram::bucket_key(0.0));
+  EXPECT_DOUBLE_EQ(LogHistogram::representative(0), 0.0);
+  const std::int64_t key = LogHistogram::bucket_key(1234.5);
+  EXPECT_NEAR(LogHistogram::representative(key), 1234.5, 1234.5 * 0.003);
+  EXPECT_NEAR(LogHistogram::representative(-key), -1234.5, 1234.5 * 0.003);
+}
+
+TEST(LogHistogram, FromBucketsValidates) {
+  LogHistogram sketch;
+  sketch.add(1.0);
+  sketch.add(2.0);
+  const auto buckets = sketch.buckets();
+  const LogHistogram back = LogHistogram::from_buckets(
+      std::vector<LogHistogram::Bucket>(buckets.begin(), buckets.end()));
+  EXPECT_EQ(back, sketch);
+
+  EXPECT_THROW((void)LogHistogram::from_buckets(
+                   {{.key = 5, .count = 1}, {.key = 5, .count = 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)LogHistogram::from_buckets({{.key = 2, .count = 0}}),
+      std::invalid_argument);
 }
 
 }  // namespace

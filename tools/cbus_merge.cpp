@@ -1,0 +1,95 @@
+// cbus_merge: fold sharded campaign checkpoints into one experiment
+// result.
+//
+// A sharded campaign (`cbus_sim --shard i/N --checkpoint shard_i.ckpt`)
+// leaves one checkpoint file per shard, each holding that shard's share
+// of the work slices as exactly-mergeable aggregator digests. This tool
+// validates the set -- every header must describe the same experiment,
+// shard indices must be distinct and the slice plan fully covered --
+// folds the slices back into per-job results, and writes the
+// experiment's configured outputs (JSON/summary), byte-identical to a
+// single-process run of the same spec.
+//
+// Usage:
+//   cbus_merge --experiment FILE [--config FILE] CKPT0 CKPT1 ... CKPTn-1
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/checkpoint.hpp"
+#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
+#include "exp/sinks.hpp"
+
+namespace {
+
+using namespace cbus;
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "cbus_merge -- fold sharded campaign checkpoints into one result\n"
+      "  --experiment FILE the experiment file the shards ran (must match\n"
+      "                    the checkpoints' recorded spec exactly)\n"
+      "  --config FILE     platform config file, as passed to cbus_sim\n"
+      "  CKPT...           one checkpoint file per shard, any order\n"
+      "Outputs go where the experiment file says (json/summary); per-run\n"
+      "csv is unavailable (shards stream digests, not raw series).\n";
+  std::exit(code);
+}
+
+[[noreturn]] void die(const std::string& message) {
+  std::cerr << "cbus_merge: " << message << "\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string experiment_path;
+  std::string config_path;
+  std::vector<std::string> checkpoint_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) die("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--experiment") {
+      experiment_path = value();
+    } else if (arg == "--config") {
+      config_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      die("unknown option: " + arg);
+    } else {
+      checkpoint_paths.push_back(arg);
+    }
+  }
+  if (experiment_path.empty()) die("--experiment is required");
+  if (checkpoint_paths.empty()) {
+    die("no checkpoint files given (one per shard)");
+  }
+
+  try {
+    exp::ExperimentSpec spec = exp::load_experiment(experiment_path);
+    if (!config_path.empty()) {
+      std::ifstream in(config_path);
+      if (!in.good()) die("cannot open config file: " + config_path);
+      std::ostringstream text;
+      text << in.rdbuf();
+      spec.platform_text = text.str();
+    }
+    const exp::LoadedCheckpoint merged =
+        exp::merge_checkpoints(spec, checkpoint_paths);
+    const exp::ExperimentResult result =
+        exp::finalize_from_slices(spec, merged.slices);
+    exp::emit_outputs(spec, result.jobs, std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "cbus_merge: error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -54,6 +54,10 @@ struct Options {
   std::optional<std::uint32_t> threads;
   std::optional<std::uint32_t> batch;
   std::optional<std::string> metrics;
+  std::optional<bool> retain_raw;       // --retain raw|stream
+  std::string checkpoint_path;          // --checkpoint PATH
+  std::uint32_t shard_index = 0;        // --shard i/N
+  std::uint32_t shard_count = 1;
   bool pwcet = false;
   bool csv = false;
 };
@@ -81,6 +85,15 @@ struct Options {
       "  --cores N         core count (CBA rescaled)        [4]\n"
       "  --pwcet           run the MBPTA analysis on the samples\n"
       "  --csv             per-run CSV on stdout\n"
+      "  --retain MODE     raw (keep per-run series; default) | stream\n"
+      "                    (constant-memory exact digests; required for\n"
+      "                    --checkpoint/--shard; forbids --csv/--pwcet)\n"
+      "  --checkpoint FILE slice checkpoint: finished slices are appended\n"
+      "                    and a rerun of the same spec+seed skips them\n"
+      "                    (see docs/CAMPAIGNS.md)\n"
+      "  --shard I/N       run only this process's share of the work\n"
+      "                    slices (s mod N == I) into its --checkpoint\n"
+      "                    file; fold the N files with cbus_merge\n"
       "  --metrics LIST    metric keys for the CSV/JSON outputs\n"
       "                    (comma-separated, or `all`); the experiment\n"
       "                    `metrics` directive spelled as a flag\n"
@@ -166,6 +179,30 @@ Options parse(int argc, char** argv) {
         if (*opt.batch == 0) die("--batch must be positive");
       } else if (arg == "--metrics") {
         opt.metrics = value();
+      } else if (arg == "--retain") {
+        const std::string mode = value();
+        if (mode == "raw") {
+          opt.retain_raw = true;
+        } else if (mode == "stream") {
+          opt.retain_raw = false;
+        } else {
+          die("--retain wants raw or stream, got '" + mode + "'");
+        }
+      } else if (arg == "--checkpoint") {
+        opt.checkpoint_path = value();
+      } else if (arg == "--shard") {
+        const std::string split = value();
+        const auto slash = split.find('/');
+        if (slash == std::string::npos) {
+          die("--shard wants I/N (e.g. 0/3), got '" + split + "'");
+        }
+        opt.shard_index =
+            platform::parse_config_u32(split.substr(0, slash), arg, 0);
+        opt.shard_count =
+            platform::parse_config_u32(split.substr(slash + 1), arg, 0);
+        if (opt.shard_count == 0 || opt.shard_index >= opt.shard_count) {
+          die("--shard index must be in [0, N): got '" + split + "'");
+        }
       } else if (arg == "--list") {
         list_values(value());
       } else if (arg == "--pwcet") {
@@ -219,6 +256,9 @@ Options parse(int argc, char** argv) {
     }
   }
   if (opt.runs.has_value() && *opt.runs == 0) die("--runs must be positive");
+  if (opt.shard_count > 1 && opt.checkpoint_path.empty()) {
+    die("--shard needs --checkpoint (the shard's results live there)");
+  }
   return opt;
 }
 
@@ -263,6 +303,15 @@ exp::ExperimentSpec build_spec(const Options& opt) {
   }
   if (opt.pwcet) spec.pwcet = true;
   if (opt.csv) spec.csv_path = "-";
+  if (opt.retain_raw.has_value()) spec.retain_raw = *opt.retain_raw;
+  if (!opt.checkpoint_path.empty()) {
+    spec.checkpoint_path = opt.checkpoint_path;
+  }
+  try {
+    exp::validate_spec(spec);
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
   return spec;
 }
 
@@ -272,8 +321,22 @@ int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   try {
     const exp::ExperimentSpec spec = build_spec(opt);
-    const exp::ExperimentResult result = exp::run_experiment(spec);
-    exp::emit_outputs(spec, result.jobs, std::cout);
+    exp::RunOptions run_options;
+    if (opt.threads.has_value()) {
+      run_options.threads_override = *opt.threads;
+    }
+    run_options.shard_index = opt.shard_index;
+    run_options.shard_count = opt.shard_count;
+    const exp::ExperimentResult result = exp::run_experiment(spec, run_options);
+    if (opt.shard_count > 1) {
+      // A shard holds only its own slices: sinks would render partial
+      // campaigns. Its output is the checkpoint; cbus_merge emits.
+      std::cout << "cbus_sim: shard " << opt.shard_index << "/"
+                << opt.shard_count << " complete: " << spec.checkpoint_path
+                << "\n";
+    } else {
+      exp::emit_outputs(spec, result.jobs, std::cout);
+    }
     if (const std::size_t failed = result.failed_jobs(); failed != 0) {
       std::cerr << "cbus_sim: " << failed << " of " << result.jobs.size()
                 << " job(s) failed\n";
