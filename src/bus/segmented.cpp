@@ -115,6 +115,7 @@ void SegmentedInterconnect::request(const BusRequest& request, Cycle now) {
   entry.hops = 0;
 
   ++global_.master[m].requests;
+  if (observer_ != nullptr) observer_->on_request(entry.original, now);
   raise_hop(home_[m], slot_[m], m, request.forced_hold, now);
 }
 
@@ -164,6 +165,17 @@ std::uint32_t SegmentedInterconnect::home_segment(MasterId master) const {
 std::uint32_t SegmentedInterconnect::local_slot(MasterId master) const {
   CBUS_EXPECTS(master < config_.n_masters);
   return slot_[master];
+}
+
+std::size_t SegmentedInterconnect::bridge_queue_depth(std::uint32_t b) const {
+  CBUS_EXPECTS(b < bridges_.size());
+  return bridges_[b].queue.size();
+}
+
+std::pair<std::uint32_t, std::uint32_t> SegmentedInterconnect::bridge_route(
+    std::uint32_t b) const {
+  CBUS_EXPECTS(b < bridges_.size());
+  return {bridges_[b].from, bridges_[b].to};
 }
 
 BusStatistics SegmentedInterconnect::statistics() const {
@@ -273,6 +285,9 @@ void SegmentedInterconnect::hop_granted(std::uint32_t segment,
     const Cycle wait = now - local_request.issued_at;
     pm.wait_cycles += wait;
     pm.max_wait = std::max(pm.max_wait, wait);
+    if (observer_ != nullptr) {
+      observer_->on_transfer_start(flight_[master].original, now, hold);
+    }
     if (callbacks_[master] != nullptr) {
       callbacks_[master]->on_grant(flight_[master].original, now, hold);
     }
@@ -305,6 +320,7 @@ void SegmentedInterconnect::hop_completed(std::uint32_t segment,
     }
     const BusRequest original = entry.original;
     entry.active = false;  // cleared first: the master may re-raise
+    if (observer_ != nullptr) observer_->on_transfer_complete(original, now);
     if (callbacks_[master] != nullptr) {
       callbacks_[master]->on_complete(original, now);
     }

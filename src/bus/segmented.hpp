@@ -44,6 +44,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "bus/arbiter.hpp"
@@ -117,6 +118,16 @@ class SegmentedInterconnect final : public sim::Component, public BusPort {
 
   void tick(Cycle now) override;
 
+  /// Install a passive observer of GLOBAL-level activity (nullptr
+  /// detaches): on_request at the global raise, on_transfer_start when
+  /// the origin hop wins home-segment arbitration (hold = the home
+  /// forward beat), on_transfer_complete when the target-segment hop
+  /// retires -- the same request/grant/complete milestones NonSplitBus
+  /// reports, so one BusObserver implementation covers both topologies.
+  /// Transit hops are not observed as events; their effect shows up in
+  /// the bridge queue depths below.
+  void set_observer(BusObserver* observer) noexcept { observer_ = observer; }
+
   /// Install segment `segment`'s eligibility filter (nullptr detaches).
   /// Local slot numbering (the filter's master ids): home cores in
   /// ascending global id, then the from-left, then the from-right bridge
@@ -143,6 +154,15 @@ class SegmentedInterconnect final : public sim::Component, public BusPort {
   [[nodiscard]] std::uint32_t home_segment(MasterId master) const;
   /// Local slot of a core on its home segment.
   [[nodiscard]] std::uint32_t local_slot(MasterId master) const;
+  /// Bridges in delivery order: (s -> s+1), (s+1 -> s) per adjacency.
+  [[nodiscard]] std::uint32_t n_bridges() const noexcept {
+    return static_cast<std::uint32_t>(bridges_.size());
+  }
+  /// Requests currently buffered in bridge `b` (store-and-forward queue).
+  [[nodiscard]] std::size_t bridge_queue_depth(std::uint32_t b) const;
+  /// (from, to) segments of bridge `b`.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> bridge_route(
+      std::uint32_t b) const;
 
   // --- statistics --------------------------------------------------------
   /// Global per-master view in BusStatistics shape: requests/grants/waits
@@ -255,6 +275,7 @@ class SegmentedInterconnect final : public sim::Component, public BusPort {
 
   std::vector<std::uint32_t> home_;  ///< per master
   std::vector<std::uint32_t> slot_;  ///< per master: home-segment slot
+  BusObserver* observer_ = nullptr;  ///< global-level milestones (may be null)
   std::vector<BusMaster*> callbacks_;
   std::vector<InFlight> flight_;
 

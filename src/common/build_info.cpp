@@ -1,0 +1,56 @@
+#include "common/build_info.hpp"
+
+#include <ostream>
+#include <sstream>
+
+// The CMake configure step passes these as compile definitions on the
+// cbus_common target (src/common/CMakeLists.txt); the fallbacks keep
+// non-CMake consumers (tooling, IDE single-file parses) compiling.
+#ifndef CBUS_BUILD_VERSION
+#define CBUS_BUILD_VERSION "0.0.0"
+#endif
+#ifndef CBUS_BUILD_GIT_HASH
+#define CBUS_BUILD_GIT_HASH "unknown"
+#endif
+#ifndef CBUS_BUILD_COMPILER
+#define CBUS_BUILD_COMPILER "unknown"
+#endif
+#ifndef CBUS_BUILD_TYPE
+#define CBUS_BUILD_TYPE "unknown"
+#endif
+#ifndef CBUS_BUILD_FLAGS
+#define CBUS_BUILD_FLAGS ""
+#endif
+
+namespace cbus::common {
+
+const BuildInfo& build_info() noexcept {
+  static constexpr BuildInfo kInfo{
+      CBUS_BUILD_VERSION, CBUS_BUILD_GIT_HASH, CBUS_BUILD_COMPILER,
+      CBUS_BUILD_TYPE, CBUS_BUILD_FLAGS};
+  return kInfo;
+}
+
+std::string build_info_line() {
+  const BuildInfo& info = build_info();
+  std::ostringstream out;
+  out << "cbus " << info.version << " (" << info.git_hash << ", "
+      << info.compiler << ", " << info.build_type
+      << "; checkpoint format v" << kCheckpointFormatVersion
+      << ", trace schema v" << kTraceSchemaVersion
+      << ", telemetry schema v" << kTelemetrySchemaVersion << ")";
+  return out.str();
+}
+
+void write_build_info_json(std::ostream& out) {
+  const BuildInfo& info = build_info();
+  out << "{\"version\": \"" << info.version << "\", \"git_hash\": \""
+      << info.git_hash << "\", \"compiler\": \"" << info.compiler
+      << "\", \"build_type\": \"" << info.build_type << "\", \"flags\": \""
+      << info.flags << "\", \"checkpoint_format\": "
+      << kCheckpointFormatVersion
+      << ", \"trace_schema\": " << kTraceSchemaVersion
+      << ", \"telemetry_schema\": " << kTelemetrySchemaVersion << "}";
+}
+
+}  // namespace cbus::common

@@ -10,6 +10,7 @@ CreditState::CreditState(CbaConfig config) : config_(std::move(config)) {
   config_.validate();
   owned_.resize(config_.n_masters);
   counters_ = owned_;
+  underflows_by_master_.resize(config_.n_masters, 0);
   for (MasterId m = 0; m < config_.n_masters; ++m) {
     counters_[m] = SaturatingCounter(config_.saturation[m], config_.initial[m]);
   }
@@ -22,6 +23,7 @@ CreditState::CreditState(CbaConfig config,
   CBUS_EXPECTS_MSG(storage.size() >= config_.n_masters,
                    "credit storage smaller than n_masters");
   counters_ = storage.first(config_.n_masters);
+  underflows_by_master_.resize(config_.n_masters, 0);
   for (MasterId m = 0; m < config_.n_masters; ++m) {
     counters_[m] = SaturatingCounter(config_.saturation[m], config_.initial[m]);
   }
@@ -57,6 +59,7 @@ void CreditState::tick(MasterId holder) {
       counters_[m].tick(config_.increment[m],
                         counters_[m].value() + config_.increment[m]);
       ++underflow_clamps_;
+      ++underflows_by_master_[m];
     }
   }
 }
@@ -71,7 +74,10 @@ void CreditState::charge(MasterId m, Cycle occupancy) {
     // (one clamp per cycle that could not be paid), so
     // credit.underflows compares across topologies.
     const std::uint64_t shortfall = units - counters_[m].value();
-    underflow_clamps_ += (shortfall + config_.scale - 1) / config_.scale;
+    const std::uint64_t clamped_cycles =
+        (shortfall + config_.scale - 1) / config_.scale;
+    underflow_clamps_ += clamped_cycles;
+    underflows_by_master_[m] += clamped_cycles;
     counters_[m].spend(counters_[m].value());
   }
 }
@@ -113,6 +119,7 @@ void CreditState::reset() {
     counters_[m].reset(config_.initial[m]);
   }
   underflow_clamps_ = 0;
+  std::fill(underflows_by_master_.begin(), underflows_by_master_.end(), 0);
 }
 
 }  // namespace cbus::core

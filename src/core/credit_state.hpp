@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/saturating_counter.hpp"
 #include "common/types.hpp"
 #include "core/cba_config.hpp"
@@ -77,6 +78,14 @@ class CreditState {
     return underflow_clamps_;
   }
 
+  /// Per-master share of underflow_clamps() (same unit: clamped cycles).
+  /// Lets observability attribute each clamp to the master whose counter
+  /// bottomed out; the sum over masters equals the global count.
+  [[nodiscard]] std::uint64_t underflow_clamps(MasterId m) const {
+    CBUS_EXPECTS(m < config_.n_masters);
+    return underflows_by_master_[m];
+  }
+
   [[nodiscard]] const CbaConfig& config() const noexcept { return config_; }
 
  private:
@@ -87,6 +96,8 @@ class CreditState {
   /// The live counters: `owned_` or an external CreditSoA lane.
   std::span<SaturatingCounter> counters_;
   std::uint64_t underflow_clamps_ = 0;
+  /// Per-master clamp attribution; bumped only on the cold clamp paths.
+  std::vector<std::uint64_t> underflows_by_master_;
 };
 
 /// Contiguous credit-counter storage for a batch of replicas: lane l's

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/binary_io.hpp"
+#include "common/build_info.hpp"
 #include "common/contracts.hpp"
 
 namespace cbus::exp {
@@ -13,7 +14,9 @@ namespace cbus::exp {
 namespace {
 
 constexpr char kFileMagic[8] = {'C', 'B', 'U', 'S', 'C', 'K', 'P', 'T'};
-constexpr std::uint32_t kFormatVersion = 1;
+/// Owned by common/build_info.hpp so --version and the telemetry headers
+/// report the format this build actually reads and writes.
+constexpr std::uint32_t kFormatVersion = common::kCheckpointFormatVersion;
 constexpr std::uint32_t kSliceMagic = 0x45434C53;  // "SLCE"
 /// An entry holds one slice's digest: far below this even for huge
 /// metric catalogs. Guards length-prefixed reads of corrupted files.
@@ -173,7 +176,10 @@ void validate_checkpoint_meta(const CheckpointMeta& on_disk,
   check_field("shard_count", on_disk.shard_count, expected.shard_count);
 }
 
-LoadedCheckpoint load_checkpoint(const std::string& path) {
+std::uint64_t stream_checkpoint(
+    const std::string& path,
+    const std::function<void(const CheckpointMeta&)>& on_meta,
+    const std::function<void(SliceState&&)>& on_slice) {
   std::ifstream in(path, std::ios::binary);
   CBUS_EXPECTS_MSG(in.good(), "cannot open checkpoint file: " + path);
 
@@ -200,9 +206,8 @@ LoadedCheckpoint load_checkpoint(const std::string& path) {
                    "checkpoint header failed its checksum (corrupted "
                    "file): " + path);
 
-  LoadedCheckpoint out;
-  out.meta = parse_header_payload(header);
-  out.valid_bytes = static_cast<std::uint64_t>(in.tellg());
+  if (on_meta) on_meta(parse_header_payload(header));
+  std::uint64_t valid_bytes = static_cast<std::uint64_t>(in.tellg());
 
   // Entries: a short read anywhere inside one entry is the expected
   // kill-mid-append artifact -- drop the tail and report the prefix. A
@@ -235,9 +240,17 @@ LoadedCheckpoint load_checkpoint(const std::string& path) {
     CBUS_EXPECTS_MSG(sum == io::fnv1a(payload),
                      "checkpoint slice entry failed its checksum "
                      "(corrupted file): " + path);
-    out.slices.push_back(parse_slice_payload(payload));
-    out.valid_bytes = static_cast<std::uint64_t>(in.tellg());
+    if (on_slice) on_slice(parse_slice_payload(payload));
+    valid_bytes = static_cast<std::uint64_t>(in.tellg());
   }
+  return valid_bytes;
+}
+
+LoadedCheckpoint load_checkpoint(const std::string& path) {
+  LoadedCheckpoint out;
+  out.valid_bytes = stream_checkpoint(
+      path, [&](const CheckpointMeta& meta) { out.meta = meta; },
+      [&](SliceState&& slice) { out.slices.push_back(std::move(slice)); });
   return out;
 }
 

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,18 @@ struct LoadedCheckpoint {
 /// Parse a checkpoint file. Tolerates exactly one truncated tail entry;
 /// throws std::invalid_argument on every other malformation.
 [[nodiscard]] LoadedCheckpoint load_checkpoint(const std::string& path);
+
+/// Single-pass streaming read: `on_meta` fires once with the parsed
+/// header, then `on_slice` once per complete entry, in file order. The
+/// caller folds each slice and drops it, so reading an N-slice
+/// checkpoint needs O(1) live slice states instead of O(N) -- the
+/// foundation of cbus_merge's streaming fold. Same error/truncation
+/// contract as load_checkpoint (which is built on this). Returns the
+/// valid-prefix byte length.
+std::uint64_t stream_checkpoint(
+    const std::string& path,
+    const std::function<void(const CheckpointMeta&)>& on_meta,
+    const std::function<void(SliceState&&)>& on_slice);
 
 /// Appends finished slices to a checkpoint file, one flushed entry per
 /// append() so a kill loses at most the entry in flight.

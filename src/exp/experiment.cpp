@@ -270,6 +270,25 @@ ExperimentSpec parse_experiment(std::istream& in) {
       spec.json_path = value;
     } else if (key == "threads") {
       spec.threads = platform::parse_config_u32(value, key, line_no);
+    } else if (key == "trace") {
+      spec.trace_path = value;
+    } else if (key == "trace_run") {
+      spec.trace_run = platform::parse_config_u32(value, key, line_no);
+    } else if (key == "trace_window") {
+      const std::size_t colon = value.find(':');
+      CBUS_EXPECTS_MSG(colon != std::string::npos,
+                       where + "'trace_window' wants <begin>:<end> cycles, "
+                               "got: " + value);
+      spec.trace_window_begin = platform::parse_config_uint(
+          value.substr(0, colon), key, line_no);
+      spec.trace_window_end = platform::parse_config_uint(
+          value.substr(colon + 1), key, line_no);
+      CBUS_EXPECTS_MSG(spec.trace_window_begin < spec.trace_window_end,
+                       where + "'trace_window' is empty: " + value);
+    } else if (key == "telemetry") {
+      spec.telemetry_path = value;
+    } else if (key == "progress") {
+      spec.progress = parse_switch(value, key, line_no);
     } else if (is_platform_key(key)) {
       spec.set_platform_key(key, value);
     } else {
@@ -292,6 +311,13 @@ void validate_spec(const ExperimentSpec& spec) {
   CBUS_EXPECTS_MSG(spec.checkpoint_path.empty() || !spec.retain_raw,
                    "checkpointing requires retain = stream (slice digests "
                    "are what the checkpoint stores)");
+  if (!spec.trace_path.empty()) {
+    CBUS_EXPECTS_MSG(spec.trace_run < spec.runs,
+                     "trace_run is past the campaign (trace_run must be "
+                     "< runs)");
+  }
+  CBUS_EXPECTS_MSG(spec.trace_window_begin < spec.trace_window_end,
+                   "trace_window is empty");
 }
 
 ExperimentSpec load_experiment(const std::string& path) {

@@ -40,6 +40,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <map>
 #include <span>
 #include <string>
@@ -151,6 +152,19 @@ struct ExperimentSpec {
   std::string json_path;            ///< JSON document; "-" = stdout
   bool summary = true;              ///< human-readable summary on stdout
   std::uint32_t threads = 0;        ///< worker threads; 0 = hardware
+
+  // --- observability (docs/OBSERVABILITY.md) ----------------------------
+  // None of these keys enters the spec hash or perturbs simulation: with
+  // all of them off/empty, outputs are byte-identical to a spec that
+  // never mentions them.
+  std::string trace_path;           ///< Chrome trace JSON (`trace = PATH`)
+  /// Which run of job 0 the trace captures (`trace_run = <k>`).
+  std::uint32_t trace_run = 0;
+  /// Cycle window the trace captures (`trace_window = a:b`).
+  Cycle trace_window_begin = 0;
+  Cycle trace_window_end = std::numeric_limits<Cycle>::max();
+  std::string telemetry_path;       ///< telemetry JSON (`telemetry = PATH`)
+  bool progress = false;            ///< throttled stderr progress line
 
   /// Set or replace a platform key (keeps declaration order stable).
   void set_platform_key(const std::string& key, const std::string& value);

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -10,6 +13,7 @@
 #include <thread>
 
 #include "common/contracts.hpp"
+#include "obs/timeline.hpp"
 #include "platform/config_file.hpp"
 #include "rng/rand_bank.hpp"
 #include "workloads/eembc_like.hpp"
@@ -292,6 +296,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   CBUS_EXPECTS_MSG(checkpoint_path.empty() || !spec.retain_raw,
                    "checkpointing requires retain = stream (slice digests "
                    "are what the checkpoint stores)");
+  CBUS_EXPECTS_MSG(spec.trace_path.empty() || options.shard_count == 1,
+                   "tracing a sharded run is ambiguous (the traced run may "
+                   "belong to another shard); trace a single-process run");
+  const bool progress = spec.progress || options.progress;
 
   const std::vector<Job> jobs = expand(spec);
   const std::uint32_t batch = std::max(1u, spec.batch);
@@ -307,6 +315,25 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     plans[j].campaign = make_campaign(spec, jobs[j]);
     if (spec.retain_raw) plans[j].outcomes.resize(spec.runs);
+  }
+
+  // The timeline tracer captures exactly ONE run: run `trace_run` of job
+  // 0 (the first sweep point). It rides the campaign's instrument hook;
+  // only the single worker executing that run's slice ever touches the
+  // Timeline, so no synchronisation is needed. On a checkpoint resume
+  // where that slice already finished, the trace file is written with no
+  // events (the run was not re-executed).
+  std::optional<obs::Timeline> timeline;
+  if (!spec.trace_path.empty()) {
+    obs::Timeline::Config tcfg;
+    tcfg.window_begin = spec.trace_window_begin;
+    tcfg.window_end = spec.trace_window_end;
+    timeline.emplace(tcfg);
+    plans[0].campaign.instrument =
+        [&timeline, target = spec.trace_run](std::uint32_t run,
+                                             platform::Multicore& machine) {
+          if (run == target) timeline->attach(machine);
+        };
   }
 
   // ONE job-major slice plan across every sweep job: batches span jobs,
@@ -387,9 +414,13 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   // This shard's share of the plan, minus what the checkpoint already
   // holds -- counted (to size the pool), never materialized.
   std::size_t pending = 0;
+  std::uint64_t pending_runs = 0;
   for (std::size_t s = options.shard_index; s < slice_count;
        s += options.shard_count) {
-    if (!done[s]) ++pending;
+    if (!done[s]) {
+      ++pending;
+      pending_runs += slice_of(s).count;
+    }
   }
 
   std::uint32_t threads = options.threads_override != 0
@@ -401,47 +432,76 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   threads =
       static_cast<std::uint32_t>(std::min<std::size_t>(threads, pending));
 
+  // Telemetry counts only the work this process actually executes:
+  // resumed/foreign slices are excluded from the totals, so runs/sec and
+  // ETA describe this invocation, not the whole campaign. Counters and
+  // the progress meter are updated under fold_mutex (the meter is not
+  // thread-safe); busy seconds go to per-worker slots, lock-free.
+  obs::Telemetry telemetry;
+  telemetry.total_slices = pending;
+  telemetry.total_runs = pending_runs;
+  telemetry.thread_busy_seconds.assign(std::max(1u, threads), 0.0);
+  std::optional<obs::ProgressMeter> meter;
+  if (progress) meter.emplace(std::cerr, pending_runs);
+  const auto wall_start = std::chrono::steady_clock::now();
+
   const auto run_one = [&](std::size_t s) {
     const Slice slice = slice_of(s);
+    const auto slice_start = std::chrono::steady_clock::now();
+    std::optional<SliceState> state;
     if (spec.retain_raw) {
       platform::run_campaign_slice(
           plans[slice.job].campaign, slice.first,
           std::span<platform::RunOutcome>(plans[slice.job].outcomes)
               .subspan(slice.first, slice.count));
-      return;
-    }
-    std::vector<platform::RunOutcome> outcomes(slice.count);
-    platform::run_campaign_slice(plans[slice.job].campaign, slice.first,
-                                 outcomes);
-    SliceState state;
-    state.slice = static_cast<std::uint32_t>(s);
-    state.job = static_cast<std::uint32_t>(slice.job);
-    state.first_run = slice.first;
-    state.run_count = slice.count;
-    for (const platform::RunOutcome& outcome : outcomes) {
-      if (!outcome.finished) {
-        ++state.unfinished;
-        continue;
+    } else {
+      std::vector<platform::RunOutcome> outcomes(slice.count);
+      platform::run_campaign_slice(plans[slice.job].campaign, slice.first,
+                                   outcomes);
+      state.emplace();
+      state->slice = static_cast<std::uint32_t>(s);
+      state->job = static_cast<std::uint32_t>(slice.job);
+      state->first_run = slice.first;
+      state->run_count = slice.count;
+      for (const platform::RunOutcome& outcome : outcomes) {
+        if (!outcome.finished) {
+          ++state->unfinished;
+          continue;
+        }
+        state->aggregate.add(outcome.record);
       }
-      state.aggregate.add(outcome.record);
     }
+    const double slice_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - slice_start)
+            .count();
     const std::lock_guard<std::mutex> lock(fold_mutex);
-    if (writer.has_value()) writer->append(state);
-    folded[slice.job].merge(state.aggregate);
-    fold_unfinished[slice.job] += state.unfinished;
+    if (state.has_value()) {
+      if (writer.has_value()) writer->append(*state);
+      folded[slice.job].merge(state->aggregate);
+      fold_unfinished[slice.job] += state->unfinished;
+    }
+    ++telemetry.slices_done;
+    telemetry.runs_done += slice.count;
+    telemetry.slice_wall_ms.add(slice_ms);
+    if (meter.has_value()) {
+      meter->update(telemetry.runs_done, telemetry.slices_done);
+    }
   };
 
   // Workers claim raw slice indices and skip the ones this shard does
   // not own (or the checkpoint already holds); `done` is read-only once
   // the pool starts, so the scan needs no lock.
   std::atomic<std::size_t> next{0};
-  const auto worker = [&]() {
+  const auto worker = [&](std::uint32_t me) {
+    double busy = 0.0;
     while (true) {
       const std::size_t s = next.fetch_add(1);
-      if (s >= slice_count) return;
+      if (s >= slice_count) break;
       if (s % options.shard_count != options.shard_index || done[s]) {
         continue;
       }
+      const auto t0 = std::chrono::steady_clock::now();
       try {
         run_one(s);
       } catch (const std::exception& e) {
@@ -451,16 +511,34 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
           job_errors[job] = JobError{s, e.what()};
         }
       }
+      busy += std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
     }
+    telemetry.thread_busy_seconds[me] += busy;  // exclusive per-worker slot
   };
 
   if (threads <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);
-    for (std::uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (std::thread& t : pool) t.join();
+  }
+
+  telemetry.wall_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - wall_start)
+                               .count();
+  telemetry.peak_rss_kb = obs::peak_rss_kb();
+  if (meter.has_value()) {
+    meter->finish(telemetry.runs_done, telemetry.slices_done);
+  }
+  if (timeline.has_value()) {
+    std::ofstream trace(spec.trace_path, std::ios::trunc);
+    CBUS_EXPECTS_MSG(trace.good(),
+                     "cannot write trace file: " + spec.trace_path);
+    timeline->write_json(trace);
   }
 
   ExperimentResult result;
@@ -482,6 +560,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
       attach_mbpta(spec, out);  // no-op: stream mode forbids pwcet
     }
   }
+  result.telemetry = std::move(telemetry);
   return result;
 }
 
@@ -510,6 +589,111 @@ ExperimentResult finalize_from_slices(const ExperimentSpec& spec,
     result.jobs[state.job].campaign.unfinished_runs += state.unfinished;
   }
   for (JobResult& job : result.jobs) attach_mbpta(spec, job);
+  return result;
+}
+
+ExperimentResult fold_checkpoints_streaming(
+    const ExperimentSpec& spec, const std::vector<std::string>& paths,
+    bool progress) {
+  validate_spec(spec);
+  CBUS_EXPECTS_MSG(!paths.empty(), "no checkpoint files to merge");
+
+  const std::vector<Job> jobs = expand(spec);
+  const CheckpointMeta merged_meta = make_meta(spec, 0, 1);
+  ExperimentResult result;
+  result.jobs.resize(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    result.jobs[j] = job_shell(jobs[j]);
+  }
+
+  obs::Telemetry telemetry;
+  telemetry.total_slices = merged_meta.slice_count;
+  telemetry.total_runs = static_cast<std::uint64_t>(spec.runs) * jobs.size();
+  telemetry.thread_busy_seconds.assign(1, 0.0);  // the fold is sequential
+  std::optional<obs::ProgressMeter> meter;
+  if (progress) meter.emplace(std::cerr, telemetry.total_runs);
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Every validation merge_checkpoints performs, applied as headers and
+  // slices stream past -- never holding more than one slice (and one
+  // aggregator per job) live. The first header establishes the shard
+  // geometry; exact mergeability makes the fold order irrelevant, so
+  // slices fold straight into their job in file order.
+  std::uint32_t shard_count = 0;
+  std::vector<bool> shard_seen;
+  std::vector<bool> slice_seen(merged_meta.slice_count, false);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::uint32_t file_shard = 0;
+    (void)stream_checkpoint(
+        paths[i],
+        [&](const CheckpointMeta& meta) {
+          if (shard_count == 0) {
+            shard_count = meta.shard_count;
+            CBUS_EXPECTS_MSG(
+                paths.size() == shard_count,
+                "the campaign ran as " + std::to_string(shard_count) +
+                    " shard(s) but " + std::to_string(paths.size()) +
+                    " checkpoint file(s) were given");
+            shard_seen.assign(shard_count, false);
+          }
+          CBUS_EXPECTS_MSG(meta.shard_index < shard_count,
+                           paths[i] + ": shard index " +
+                               std::to_string(meta.shard_index) +
+                               " out of range for " +
+                               std::to_string(shard_count) + " shard(s)");
+          validate_checkpoint_meta(
+              meta, make_meta(spec, meta.shard_index, shard_count));
+          CBUS_EXPECTS_MSG(!shard_seen[meta.shard_index],
+                           "two checkpoint files claim shard " +
+                               std::to_string(meta.shard_index));
+          shard_seen[meta.shard_index] = true;
+          file_shard = meta.shard_index;
+        },
+        [&](SliceState&& state) {
+          CBUS_EXPECTS_MSG(state.slice < merged_meta.slice_count,
+                           "slice " + std::to_string(state.slice) +
+                               " is outside the campaign's slice plan");
+          CBUS_EXPECTS_MSG(
+              state.slice % shard_count == file_shard,
+              "slice " + std::to_string(state.slice) + " appears in shard " +
+                  std::to_string(file_shard) +
+                  "'s checkpoint but belongs to shard " +
+                  std::to_string(state.slice % shard_count));
+          CBUS_EXPECTS_MSG(!slice_seen[state.slice],
+                           "slice " + std::to_string(state.slice) +
+                               " appears twice in the checkpoint set");
+          CBUS_EXPECTS_MSG(state.job < jobs.size(),
+                           "slice state references job " +
+                               std::to_string(state.job) + " of " +
+                               std::to_string(jobs.size()));
+          slice_seen[state.slice] = true;
+          result.jobs[state.job].campaign.aggregate.merge(state.aggregate);
+          result.jobs[state.job].campaign.unfinished_runs += state.unfinished;
+          ++telemetry.slices_done;
+          telemetry.runs_done += state.run_count;
+          if (meter.has_value()) {
+            meter->update(telemetry.runs_done, telemetry.slices_done);
+          }
+        });
+  }
+  for (std::uint32_t s = 0; s < merged_meta.slice_count; ++s) {
+    CBUS_EXPECTS_MSG(slice_seen[s],
+                     "checkpoint set is incomplete: slice " +
+                         std::to_string(s) + " (shard " +
+                         std::to_string(s % shard_count) +
+                         ") has not finished");
+  }
+  for (JobResult& job : result.jobs) attach_mbpta(spec, job);
+
+  telemetry.wall_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - wall_start)
+                               .count();
+  telemetry.thread_busy_seconds[0] = telemetry.wall_seconds;
+  telemetry.peak_rss_kb = obs::peak_rss_kb();
+  if (meter.has_value()) {
+    meter->finish(telemetry.runs_done, telemetry.slices_done);
+  }
+  result.telemetry = std::move(telemetry);
   return result;
 }
 

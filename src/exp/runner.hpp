@@ -22,6 +22,7 @@
 #include "exp/experiment.hpp"
 #include "mbpta/convergence.hpp"
 #include "mbpta/pwcet.hpp"
+#include "obs/telemetry.hpp"
 #include "platform/platform_config.hpp"
 #include "platform/scenarios.hpp"
 
@@ -57,6 +58,11 @@ struct JobResult {
 
 struct ExperimentResult {
   std::vector<JobResult> jobs;
+  /// What the runner measured about its own execution (progress,
+  /// throughput, thread utilisation, peak RSS). Always filled; the
+  /// caller decides whether to render it (`telemetry = PATH`,
+  /// `--telemetry`).
+  obs::Telemetry telemetry;
   [[nodiscard]] std::size_t failed_jobs() const noexcept;
 };
 
@@ -78,6 +84,10 @@ struct RunOptions {
   /// (shard_count > 1) must checkpoint -- the file IS the shard's
   /// output. Checkpointing requires retain = stream.
   std::string checkpoint_path;
+  /// Render the throttled stderr progress line (also enabled by
+  /// `progress = on` in the spec). stderr only: stdout and every output
+  /// file stay byte-identical with or without it.
+  bool progress = false;
 };
 
 /// Run every job this process owns. With a checkpoint: slices already in
@@ -96,6 +106,19 @@ struct RunOptions {
 /// into per-job results, exactly as a local streaming run would have.
 [[nodiscard]] ExperimentResult finalize_from_slices(
     const ExperimentSpec& spec, const std::vector<SliceState>& slices);
+
+/// Streaming equivalent of merge_checkpoints + finalize_from_slices:
+/// reads each shard checkpoint in one pass and folds every slice digest
+/// into its job's aggregate as it is decoded, so peak live slice states
+/// stay O(1) and peak live aggregators O(jobs) -- independent of the
+/// slice count (merge_checkpoints materializes all slices; million-run
+/// campaigns cannot). Same validation and diagnostics as
+/// merge_checkpoints; exact mergeability makes the result bit-identical
+/// to the materializing path. `progress` renders the fold's stderr
+/// progress line; result.telemetry reports the fold itself.
+[[nodiscard]] ExperimentResult fold_checkpoints_streaming(
+    const ExperimentSpec& spec, const std::vector<std::string>& paths,
+    bool progress = false);
 
 /// Run one already-expanded job (exposed for tests).
 [[nodiscard]] JobResult run_job(const ExperimentSpec& spec, const Job& job);

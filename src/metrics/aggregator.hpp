@@ -19,6 +19,7 @@
 // percentiles) works in both modes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <span>
@@ -32,6 +33,37 @@
 #include "stats/summary.hpp"
 
 namespace cbus::metrics {
+
+namespace detail {
+
+/// Census of live Aggregator instances, mirroring RecordCensus: the
+/// streaming merge path (cbus_merge, checkpoint resume) promises peak
+/// live aggregators O(jobs), independent of the slice count; regression
+/// tests read these counters to catch a return to materializing every
+/// slice's digest before folding.
+struct AggregatorCensus {
+  AggregatorCensus() noexcept { bump(); }
+  AggregatorCensus(const AggregatorCensus&) noexcept { bump(); }
+  AggregatorCensus(AggregatorCensus&&) noexcept { bump(); }
+  AggregatorCensus& operator=(const AggregatorCensus&) noexcept = default;
+  AggregatorCensus& operator=(AggregatorCensus&&) noexcept = default;
+  ~AggregatorCensus() { live_.fetch_sub(1, std::memory_order_relaxed); }
+
+  static void bump() noexcept {
+    const std::uint64_t now =
+        live_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  static inline std::atomic<std::uint64_t> live_{0};
+  static inline std::atomic<std::uint64_t> peak_{0};
+};
+
+}  // namespace detail
 
 class Aggregator {
  public:
@@ -105,6 +137,20 @@ class Aggregator {
   /// malformed or truncated payload.
   [[nodiscard]] static Aggregator deserialize(std::istream& in);
 
+  /// Live-instance census (includes moved-from shells), for streaming
+  /// memory regression tests.
+  [[nodiscard]] static std::uint64_t live_count() noexcept {
+    return detail::AggregatorCensus::live_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] static std::uint64_t peak_live_count() noexcept {
+    return detail::AggregatorCensus::peak_.load(std::memory_order_relaxed);
+  }
+  static void reset_peak_live_count() noexcept {
+    detail::AggregatorCensus::peak_.store(
+        detail::AggregatorCensus::live_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+
  private:
   /// The exactly-mergeable per-element state.
   struct ElementDigest {
@@ -143,6 +189,7 @@ class Aggregator {
   std::vector<KeyAggregate> keys_;
   std::uint64_t runs_ = 0;
   bool retain_raw_ = false;
+  [[no_unique_address]] detail::AggregatorCensus census_;
 };
 
 }  // namespace cbus::metrics

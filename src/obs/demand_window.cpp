@@ -1,0 +1,46 @@
+#include "obs/demand_window.hpp"
+
+namespace cbus::obs {
+
+DemandWindow::DemandWindow(std::uint32_t n_masters, Cycle window,
+                           std::uint32_t buckets)
+    : n_masters_(n_masters), n_buckets_(buckets) {
+  CBUS_EXPECTS_MSG(n_masters >= 1, "demand window needs >= 1 master");
+  CBUS_EXPECTS_MSG(buckets >= 1, "demand window needs >= 1 bucket");
+  CBUS_EXPECTS_MSG(window >= buckets,
+                   "demand window shorter than its bucket count");
+  bucket_width_ = (window + buckets - 1) / buckets;
+  window_ = bucket_width_ * buckets;
+  buckets_.resize(static_cast<std::size_t>(n_masters) * buckets);
+}
+
+void DemandWindow::record(MasterId m, Cycle now, std::uint64_t weight) {
+  CBUS_EXPECTS(m < n_masters_);
+  const std::uint64_t epoch = now / bucket_width_;
+  Bucket& slot = bucket(m, epoch % n_buckets_);
+  if (slot.epoch != epoch) {
+    slot.epoch = epoch;
+    slot.count = 0;
+  }
+  slot.count += weight;
+}
+
+std::uint64_t DemandWindow::demand(MasterId m, Cycle now) const {
+  CBUS_EXPECTS(m < n_masters_);
+  const std::uint64_t epoch = now / bucket_width_;
+  const std::uint64_t oldest =
+      epoch >= n_buckets_ - 1 ? epoch - (n_buckets_ - 1) : 0;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n_buckets_; ++i) {
+    const Bucket& slot = bucket(m, i);
+    if (slot.epoch >= oldest && slot.epoch <= epoch) total += slot.count;
+  }
+  return total;
+}
+
+double DemandWindow::rate(MasterId m, Cycle now) const {
+  return static_cast<double>(demand(m, now)) /
+         static_cast<double>(window_);
+}
+
+}  // namespace cbus::obs

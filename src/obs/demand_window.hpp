@@ -1,0 +1,68 @@
+// obs::DemandWindow -- sliding-window per-master demand measurement.
+//
+// The ABR explicit-rate literature (Fahmy & Jain, PAPERS.md) builds rate
+// control on switch-side measurement of per-source demand over a moving
+// window; the ROADMAP's adaptive credit controller needs exactly that
+// substrate, and the timeline tracer renders it as per-master demand
+// counter tracks. The window is bucketed: `buckets` ring slots of
+// `window / buckets` cycles each, so demand(now) answers "events in
+// roughly the last `window` cycles" (quantized to one bucket width) from
+// O(buckets) integers per master -- deterministic, allocation-free after
+// construction, and cheap enough to update on every request.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace cbus::obs {
+
+class DemandWindow {
+ public:
+  /// `window` is rounded up to a multiple of `buckets` (each bucket then
+  /// covers window / buckets cycles). Preconditions: n_masters >= 1,
+  /// buckets >= 1, window >= buckets.
+  DemandWindow(std::uint32_t n_masters, Cycle window,
+               std::uint32_t buckets = 16);
+
+  /// Count `weight` demand events for master `m` at cycle `now`.
+  /// `now` must be non-decreasing across calls (simulation time).
+  void record(MasterId m, Cycle now, std::uint64_t weight = 1);
+
+  /// Events recorded for `m` in the last `window()` cycles before `now`
+  /// (inclusive), quantized to bucket width. Counts recorded at cycles
+  /// after `now` are invisible only if time ran backwards -- which the
+  /// record() precondition forbids.
+  [[nodiscard]] std::uint64_t demand(MasterId m, Cycle now) const;
+
+  /// demand / window: the master's windowed request rate per cycle.
+  [[nodiscard]] double rate(MasterId m, Cycle now) const;
+
+  [[nodiscard]] Cycle window() const noexcept { return window_; }
+  [[nodiscard]] std::uint32_t n_masters() const noexcept {
+    return n_masters_;
+  }
+
+ private:
+  struct Bucket {
+    std::uint64_t epoch = ~std::uint64_t{0};  ///< cycle / bucket_width
+    std::uint64_t count = 0;
+  };
+
+  [[nodiscard]] const Bucket& bucket(MasterId m, std::size_t i) const {
+    return buckets_[m * n_buckets_ + i];
+  }
+  [[nodiscard]] Bucket& bucket(MasterId m, std::size_t i) {
+    return buckets_[m * n_buckets_ + i];
+  }
+
+  std::uint32_t n_masters_;
+  std::uint32_t n_buckets_;
+  Cycle bucket_width_;
+  Cycle window_;
+  std::vector<Bucket> buckets_;  ///< [master][ring slot]
+};
+
+}  // namespace cbus::obs

@@ -1,0 +1,84 @@
+#include "obs/registry.hpp"
+
+#include <ostream>
+
+namespace cbus::obs {
+
+namespace {
+
+template <typename Deque>
+[[nodiscard]] auto* find_entry(Deque& entries, std::string_view name) {
+  for (auto& entry : entries) {
+    if (entry.name == name) return &entry.instrument;
+  }
+  return static_cast<decltype(&entries.front().instrument)>(nullptr);
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  if (auto* found = find_entry(counters_, name)) return *found;
+  counters_.push_back({std::string(name), Counter{}});
+  order_.emplace_back(Sample::Kind::kCounter, counters_.size() - 1);
+  return counters_.back().instrument;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  if (auto* found = find_entry(gauges_, name)) return *found;
+  gauges_.push_back({std::string(name), Gauge{}});
+  order_.emplace_back(Sample::Kind::kGauge, gauges_.size() - 1);
+  return gauges_.back().instrument;
+}
+
+Timer& Registry::timer(std::string_view name) {
+  if (auto* found = find_entry(timers_, name)) return *found;
+  timers_.push_back({std::string(name), Timer{}});
+  order_.emplace_back(Sample::Kind::kTimer, timers_.size() - 1);
+  return timers_.back().instrument;
+}
+
+std::vector<Registry::Sample> Registry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(order_.size());
+  for (const auto& [kind, index] : order_) {
+    Sample sample;
+    sample.kind = kind;
+    switch (kind) {
+      case Sample::Kind::kCounter: {
+        const auto& entry = counters_[index];
+        sample.name = entry.name;
+        sample.value = static_cast<double>(entry.instrument.value());
+        break;
+      }
+      case Sample::Kind::kGauge: {
+        const auto& entry = gauges_[index];
+        sample.name = entry.name;
+        sample.value = entry.instrument.value();
+        sample.extra = entry.instrument.max();
+        break;
+      }
+      case Sample::Kind::kTimer: {
+        const auto& entry = timers_[index];
+        sample.name = entry.name;
+        sample.value = entry.instrument.total_seconds();
+        sample.extra = static_cast<double>(entry.instrument.intervals());
+        break;
+      }
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+void Registry::write_json(std::ostream& out) const {
+  out << '{';
+  bool first = true;
+  for (const Sample& sample : snapshot()) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << sample.name << "\": " << sample.value;
+  }
+  out << '}';
+}
+
+}  // namespace cbus::obs

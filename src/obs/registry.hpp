@@ -1,0 +1,164 @@
+// obs::Registry -- named counters, gauges and timers shared by the
+// observability layers (timeline tracer, campaign telemetry).
+//
+// The hooks are built to be left in place permanently: with the default
+// build (`-DCBUS_OBS=ON`, macro CBUS_OBS_ENABLED=1) a Counter::add is a
+// single uncontended integer add; configuring with `-DCBUS_OBS=OFF`
+// compiles every hook down to an empty inline (no storage, no clock
+// reads), so instrumented call sites cost nothing. The Registry API is
+// identical in both modes -- call sites never #ifdef.
+//
+// Instruments are NOT thread-safe: each worker/instance owns its own
+// Registry (the experiment runner folds per-thread registries under its
+// existing fold mutex), matching the determinism-first design of the
+// simulation core.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef CBUS_OBS_ENABLED
+#define CBUS_OBS_ENABLED 1
+#endif
+
+namespace cbus::obs {
+
+/// True when the observability hooks are compiled in (CBUS_OBS=ON).
+inline constexpr bool kEnabled = CBUS_OBS_ENABLED != 0;
+
+#if CBUS_OBS_ENABLED
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written level plus its high-water mark.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Accumulated wall time over counted intervals. Use Timer::Scope for
+/// RAII measurement of a block.
+class Timer {
+ public:
+  void add(std::chrono::nanoseconds d) noexcept {
+    total_ns_ += static_cast<std::uint64_t>(d.count());
+    ++intervals_;
+  }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept { return total_ns_; }
+  [[nodiscard]] std::uint64_t intervals() const noexcept {
+    return intervals_;
+  }
+  [[nodiscard]] double total_seconds() const noexcept {
+    return static_cast<double>(total_ns_) * 1e-9;
+  }
+
+  class Scope {
+   public:
+    explicit Scope(Timer& timer) noexcept
+        : timer_(&timer), start_(std::chrono::steady_clock::now()) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { timer_->add(std::chrono::steady_clock::now() - start_); }
+
+   private:
+    Timer* timer_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+ private:
+  std::uint64_t total_ns_ = 0;
+  std::uint64_t intervals_ = 0;
+};
+
+#else  // CBUS_OBS_ENABLED == 0: every hook is an empty inline.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+};
+
+class Gauge {
+ public:
+  void set(double) noexcept {}
+  [[nodiscard]] double value() const noexcept { return 0.0; }
+  [[nodiscard]] double max() const noexcept { return 0.0; }
+};
+
+class Timer {
+ public:
+  void add(std::chrono::nanoseconds) noexcept {}
+  [[nodiscard]] std::uint64_t total_ns() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t intervals() const noexcept { return 0; }
+  [[nodiscard]] double total_seconds() const noexcept { return 0.0; }
+
+  class Scope {
+   public:
+    explicit Scope(Timer&) noexcept {}  // no clock read
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+  };
+};
+
+#endif  // CBUS_OBS_ENABLED
+
+/// Name-keyed instrument store. Lookups are linear over a deque (the
+/// registries here hold a handful of instruments and call sites cache the
+/// returned reference); references stay valid for the Registry's
+/// lifetime. Names are listed in first-registration order everywhere, so
+/// snapshots are deterministic.
+class Registry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Timer& timer(std::string_view name);
+
+  struct Sample {
+    std::string name;
+    enum class Kind : std::uint8_t { kCounter, kGauge, kTimer } kind;
+    double value = 0.0;   ///< count, level, or total seconds
+    double extra = 0.0;   ///< gauge max / timer interval count
+  };
+
+  /// Every instrument's current reading, in registration order.
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  /// Render the snapshot as a JSON object ({"name": value, ...}).
+  void write_json(std::ostream& out) const;
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    T instrument;
+  };
+  std::deque<Entry<Counter>> counters_;
+  std::deque<Entry<Gauge>> gauges_;
+  std::deque<Entry<Timer>> timers_;
+  /// (kind, index) pairs in registration order, for snapshots.
+  std::vector<std::pair<Sample::Kind, std::size_t>> order_;
+};
+
+}  // namespace cbus::obs

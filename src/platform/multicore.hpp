@@ -125,6 +125,15 @@ class Multicore {
   [[nodiscard]] core::CreditFilter* credit_filter() noexcept {
     return filter_.get();
   }
+  /// Install a passive BusObserver on the active interconnect (the
+  /// non-split bus or the segmented interconnect; the split protocol has
+  /// no observer hooks, so this is a documented no-op there). Observers
+  /// must not mutate state; the tracer relies on an instrumented run
+  /// being bit-identical to a bare one.
+  void set_bus_observer(bus::BusObserver* observer) noexcept {
+    if (bus_) bus_->set_observer(observer);
+    if (seg_bus_) seg_bus_->set_observer(observer);
+  }
   [[nodiscard]] sim::Kernel& kernel() noexcept { return kernel_; }
   [[nodiscard]] const PlatformConfig& config() const noexcept {
     return config_;

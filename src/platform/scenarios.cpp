@@ -108,7 +108,6 @@ void run_campaign_slice(const CampaignSpec& spec, std::uint32_t first_run,
     std::unique_ptr<Multicore> machine;
   };
   std::vector<Lane> replicas(lanes);
-  sim::BatchKernel batch(lanes, sim::BatchKernel::kCampaignStripe);
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     Lane& r = replicas[lane];
     // Same per-run derivation as the shared-stream path: machine seed,
@@ -131,7 +130,34 @@ void run_campaign_slice(const CampaignSpec& spec, std::uint32_t first_run,
         config, seed, *r.tua, corunner_ptrs,
         credit ? credit->lane(lane)
                : std::span<SaturatingCounter>{});
-    r.machine->attach(batch, lane);
+  }
+
+  if (spec.instrument) {
+    // Instrumented campaigns run each lane in its own single-lane batch:
+    // the hook may register extra kernel components (e.g. a tracer) on
+    // SOME machines, and lockstep lanes must be exact replicas (equal
+    // component counts). The lockstep-equivalence contract makes the
+    // outcome bit-identical either way; instrumentation only costs the
+    // batching speedup, never determinism.
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      Lane& r = replicas[lane];
+      spec.instrument(first_run + static_cast<std::uint32_t>(lane),
+                      *r.machine);
+      sim::BatchKernel single(1, sim::BatchKernel::kCampaignStripe);
+      r.machine->attach(single, 0);
+      const std::vector<bool> fired = single.run_until(
+          [&](std::size_t) { return r.machine->tua_done(); },
+          spec.max_cycles);
+      RunResult run = r.machine->harvest(fired[0], single.now());
+      outcomes[lane].finished = run.tua_finished;
+      outcomes[lane].record = std::move(run.record);
+    }
+    return;
+  }
+
+  sim::BatchKernel batch(lanes, sim::BatchKernel::kCampaignStripe);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    replicas[lane].machine->attach(batch, lane);
   }
 
   const std::vector<bool> fired = batch.run_until(
@@ -167,6 +193,7 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
       for (cpu::OpStream* s : spec.corunners) s->reset(stream_seeds.next());
 
       Multicore machine(config, seed, *spec.tua, spec.corunners);
+      if (spec.instrument) spec.instrument(run, machine);
       const RunResult r = machine.run(spec.max_cycles);
 
       if (!r.tua_finished) {

@@ -81,6 +81,18 @@ struct CampaignSpec {
   /// and MBPTA fit inputs. The default streams exactly-mergeable digests
   /// at memory independent of the run count.
   bool retain_raw = false;
+
+  /// Observability hook: called once per run with the run's global index
+  /// and its fully-built (but not yet started) machine, before the run
+  /// executes -- obs::Timeline::attach plugs in here. The hook must not
+  /// mutate simulation state (observers only); instrumented runs are
+  /// bit-identical to bare ones. Because the hook may register extra
+  /// kernel components on some machines, instrumented slices run their
+  /// lanes in single-lane batches (lockstep lanes must be exact
+  /// replicas) -- same bytes, minus the batching speedup. Null = not
+  /// instrumented (the default, and the only mode campaign goldens are
+  /// recorded in).
+  std::function<void(std::uint32_t run, Multicore& machine)> instrument;
 };
 
 /// One run's outcome in slice order; `record` is meaningful only for

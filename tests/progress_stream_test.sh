@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Stream-separation check for --progress: the throttled progress line
+# goes to stderr ONLY, so stdout (and every output file) must stay
+# byte-identical with and without it. This is the contract that lets
+# users add --progress to scripted sweeps without re-validating goldens.
+#
+# Usage: progress_stream_test.sh CBUS_SIM
+set -euo pipefail
+
+sim="$1"
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/cbus-progress-XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+
+args=(--kernel matrix --setup hcba --scenario con --cores 4 --runs 6 --csv)
+
+"$sim" "${args[@]}" >"$work/bare.out" 2>"$work/bare.err"
+"$sim" "${args[@]}" --progress >"$work/progress.out" 2>"$work/progress.err"
+
+if ! cmp -s "$work/bare.out" "$work/progress.out"; then
+  echo "FAIL: --progress changed stdout"
+  diff "$work/bare.out" "$work/progress.out" | head -10
+  exit 1
+fi
+echo "ok: stdout byte-identical with and without --progress"
+
+grep -q "runs" "$work/progress.err" || {
+  echo "FAIL: no progress line on stderr"; exit 1; }
+echo "ok: progress line rendered on stderr"
+
+if grep -q "runs" "$work/bare.err"; then
+  echo "FAIL: progress line rendered without --progress"
+  exit 1
+fi
+echo "ok: silent without --progress"
+
+# Telemetry files must not perturb stdout either.
+"$sim" "${args[@]}" --telemetry "$work/telemetry.json" >"$work/telem.out"
+cmp -s "$work/bare.out" "$work/telem.out" || {
+  echo "FAIL: --telemetry changed stdout"; exit 1; }
+grep -q '"phase": "run"' "$work/telemetry.json" || {
+  echo "FAIL: telemetry document missing"; exit 1; }
+echo "ok: --telemetry off the stdout path, document written"
+
+echo "PASS"

@@ -10,8 +10,15 @@
 // experiment's configured outputs (JSON/summary), byte-identical to a
 // single-process run of the same spec.
 //
+// The fold streams: each checkpoint is read in one pass and every slice
+// digest is folded into its job's aggregate as it is decoded, so peak
+// memory is O(jobs), independent of the slice count (exp::
+// fold_checkpoints_streaming). Million-slice campaigns merge in constant
+// space; the result is bit-identical to the materializing path.
+//
 // Usage:
-//   cbus_merge --experiment FILE [--config FILE] CKPT0 CKPT1 ... CKPTn-1
+//   cbus_merge --experiment FILE [--config FILE] [--progress]
+//              [--telemetry FILE] CKPT0 CKPT1 ... CKPTn-1
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -22,6 +29,7 @@
 #include "exp/experiment.hpp"
 #include "exp/runner.hpp"
 #include "exp/sinks.hpp"
+#include "obs/telemetry.hpp"
 
 namespace {
 
@@ -33,6 +41,10 @@ using namespace cbus;
       "  --experiment FILE the experiment file the shards ran (must match\n"
       "                    the checkpoints' recorded spec exactly)\n"
       "  --config FILE     platform config file, as passed to cbus_sim\n"
+      "  --progress        throttled fold progress line on stderr (stdout\n"
+      "                    and all output files stay byte-identical)\n"
+      "  --telemetry FILE  machine-readable fold telemetry (slices/sec,\n"
+      "                    wall time, peak RSS)\n"
       "  CKPT...           one checkpoint file per shard, any order\n"
       "Outputs go where the experiment file says (json/summary); per-run\n"
       "csv is unavailable (shards stream digests, not raw series).\n";
@@ -49,6 +61,8 @@ using namespace cbus;
 int main(int argc, char** argv) {
   std::string experiment_path;
   std::string config_path;
+  std::string telemetry_path;
+  bool progress = false;
   std::vector<std::string> checkpoint_paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -60,6 +74,10 @@ int main(int argc, char** argv) {
       experiment_path = value();
     } else if (arg == "--config") {
       config_path = value();
+    } else if (arg == "--telemetry") {
+      telemetry_path = value();
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -82,10 +100,13 @@ int main(int argc, char** argv) {
       text << in.rdbuf();
       spec.platform_text = text.str();
     }
-    const exp::LoadedCheckpoint merged =
-        exp::merge_checkpoints(spec, checkpoint_paths);
     const exp::ExperimentResult result =
-        exp::finalize_from_slices(spec, merged.slices);
+        exp::fold_checkpoints_streaming(spec, checkpoint_paths, progress);
+    if (!telemetry_path.empty()) {
+      std::ofstream out(telemetry_path, std::ios::trunc);
+      if (!out.good()) die("cannot write telemetry file: " + telemetry_path);
+      obs::write_telemetry_json(out, result.telemetry, "merge");
+    }
     exp::emit_outputs(spec, result.jobs, std::cout);
     return 0;
   } catch (const std::exception& e) {

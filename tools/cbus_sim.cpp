@@ -30,8 +30,10 @@
 #include <string>
 
 #include "bus/arbiter_factory.hpp"
+#include "common/build_info.hpp"
 #include "exp/experiment.hpp"
 #include "metrics/probes.hpp"
+#include "obs/telemetry.hpp"
 #include "platform/config_file.hpp"
 #include "exp/runner.hpp"
 #include "exp/sinks.hpp"
@@ -58,6 +60,11 @@ struct Options {
   std::string checkpoint_path;          // --checkpoint PATH
   std::uint32_t shard_index = 0;        // --shard i/N
   std::uint32_t shard_count = 1;
+  std::string trace_path;               // --trace PATH
+  std::optional<std::uint32_t> trace_run;
+  std::string trace_window;             // --trace-window A:B
+  std::string telemetry_path;           // --telemetry PATH
+  bool progress = false;
   bool pwcet = false;
   bool csv = false;
 };
@@ -97,6 +104,16 @@ struct Options {
       "  --metrics LIST    metric keys for the CSV/JSON outputs\n"
       "                    (comma-separated, or `all`); the experiment\n"
       "                    `metrics` directive spelled as a flag\n"
+      "  --trace FILE      cycle-accurate Chrome/Perfetto trace of one run\n"
+      "                    (request->grant->transfer spans, credit and\n"
+      "                    bridge-queue counters; see docs/OBSERVABILITY.md)\n"
+      "  --trace-run K     which run the trace captures            [0]\n"
+      "  --trace-window A:B  only record bus cycles in [A, B)\n"
+      "  --progress        throttled progress line on stderr (stdout and\n"
+      "                    all output files stay byte-identical)\n"
+      "  --telemetry FILE  machine-readable run telemetry (runs/sec, ETA,\n"
+      "                    per-thread busy fraction, slice times, peak RSS)\n"
+      "  --version         print build provenance and exit\n"
       "  --list WHAT       print known values and exit:\n"
       "                    kernels | setups | arbiters | scenarios |\n"
       "                    metrics\n";
@@ -203,6 +220,19 @@ Options parse(int argc, char** argv) {
         if (opt.shard_count == 0 || opt.shard_index >= opt.shard_count) {
           die("--shard index must be in [0, N): got '" + split + "'");
         }
+      } else if (arg == "--trace") {
+        opt.trace_path = value();
+      } else if (arg == "--trace-run") {
+        opt.trace_run = platform::parse_config_u32(value(), arg, 0);
+      } else if (arg == "--trace-window") {
+        opt.trace_window = value();
+      } else if (arg == "--telemetry") {
+        opt.telemetry_path = value();
+      } else if (arg == "--progress") {
+        opt.progress = true;
+      } else if (arg == "--version") {
+        std::cout << common::build_info_line() << "\n";
+        std::exit(0);
       } else if (arg == "--list") {
         list_values(value());
       } else if (arg == "--pwcet") {
@@ -259,6 +289,10 @@ Options parse(int argc, char** argv) {
   if (opt.shard_count > 1 && opt.checkpoint_path.empty()) {
     die("--shard needs --checkpoint (the shard's results live there)");
   }
+  if ((opt.trace_run.has_value() || !opt.trace_window.empty()) &&
+      opt.trace_path.empty()) {
+    die("--trace-run/--trace-window need --trace");
+  }
   return opt;
 }
 
@@ -307,6 +341,25 @@ exp::ExperimentSpec build_spec(const Options& opt) {
   if (!opt.checkpoint_path.empty()) {
     spec.checkpoint_path = opt.checkpoint_path;
   }
+  if (!opt.trace_path.empty()) spec.trace_path = opt.trace_path;
+  if (opt.trace_run.has_value()) spec.trace_run = *opt.trace_run;
+  if (!opt.trace_window.empty()) {
+    const auto colon = opt.trace_window.find(':');
+    if (colon == std::string::npos) {
+      die("--trace-window wants A:B (bus cycles), got '" + opt.trace_window +
+          "'");
+    }
+    try {
+      spec.trace_window_begin = platform::parse_config_uint(
+          opt.trace_window.substr(0, colon), "--trace-window", 0);
+      spec.trace_window_end = platform::parse_config_uint(
+          opt.trace_window.substr(colon + 1), "--trace-window", 0);
+    } catch (const std::exception&) {
+      die("bad value for --trace-window: '" + opt.trace_window + "'");
+    }
+  }
+  if (!opt.telemetry_path.empty()) spec.telemetry_path = opt.telemetry_path;
+  if (opt.progress) spec.progress = true;
   try {
     exp::validate_spec(spec);
   } catch (const std::exception& e) {
@@ -327,7 +380,15 @@ int main(int argc, char** argv) {
     }
     run_options.shard_index = opt.shard_index;
     run_options.shard_count = opt.shard_count;
+    run_options.progress = opt.progress;
     const exp::ExperimentResult result = exp::run_experiment(spec, run_options);
+    if (!spec.telemetry_path.empty()) {
+      std::ofstream out(spec.telemetry_path, std::ios::trunc);
+      if (!out.good()) {
+        die("cannot write telemetry file: " + spec.telemetry_path);
+      }
+      obs::write_telemetry_json(out, result.telemetry, "run");
+    }
     if (opt.shard_count > 1) {
       // A shard holds only its own slices: sinks would render partial
       // campaigns. Its output is the checkpoint; cbus_merge emits.

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Validate a cbus_sim --trace Chrome trace-event JSON document.
+
+Checks the structural contract docs/OBSERVABILITY.md pins (and that
+Perfetto/chrome://tracing rely on): the object form with traceEvents +
+metadata.provenance, the four-process track layout, well-formed span
+("X"), counter ("C") and instant ("i") events, per-master credit and
+eligibility tracks, and non-overlapping transfer spans per master (the
+bus grants one transfer at a time, so overlap means the tracer
+misattributed an event).
+
+Usage:
+  trace_check.py TRACE.json [--expect-masters N] [--expect-bridges N]
+                 [--max-ts T]
+  trace_check.py --self-test
+
+Exit code 0 when the trace validates, 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+PID_MASTERS = 0
+PID_CREDIT = 1
+PID_BRIDGES = 2
+PID_DEMAND = 3
+
+
+class TraceError(Exception):
+    pass
+
+
+def fail(message):
+    raise TraceError(message)
+
+
+def validate(doc, expect_masters=None, expect_bridges=None, max_ts=None):
+    if not isinstance(doc, dict):
+        fail("top level must be an object (the JSON object form)")
+    for key in ("traceEvents", "metadata"):
+        if key not in doc:
+            fail(f"missing top-level key: {key}")
+    if "provenance" not in doc["metadata"]:
+        fail("metadata carries no build provenance")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+
+    process_names = {}
+    thread_names = {}
+    counter_tracks = {}  # (pid, name) -> sample count
+    spans_by_tid = {}    # tid -> [(ts, dur, name)]
+    counts = {"M": 0, "X": 0, "C": 0, "i": 0}
+
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        ph = event.get("ph")
+        if ph not in counts:
+            fail(f"{where}: unknown phase {ph!r}")
+        counts[ph] += 1
+        if "pid" not in event:
+            fail(f"{where}: missing pid")
+
+        if ph == "M":
+            name = event.get("name")
+            if name == "process_name":
+                process_names[event["pid"]] = event["args"]["name"]
+            elif name == "thread_name":
+                thread_names[(event["pid"], event["tid"])] = \
+                    event["args"]["name"]
+            else:
+                fail(f"{where}: unknown metadata record {name!r}")
+            continue
+
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{where}: bad ts {ts!r}")
+        if max_ts is not None and ts >= max_ts:
+            fail(f"{where}: ts {ts} outside the capture window "
+                 f"(expected < {max_ts})")
+
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where}: span with bad dur {dur!r}")
+            if event["pid"] != PID_MASTERS:
+                fail(f"{where}: span outside the bus-masters process")
+            spans_by_tid.setdefault(event["tid"], []).append(
+                (ts, dur, event.get("name")))
+        elif ph == "C":
+            args = event.get("args", {})
+            if "value" not in args or not isinstance(
+                    args["value"], (int, float)):
+                fail(f"{where}: counter without a numeric args.value")
+            key = (event["pid"], event.get("name"))
+            counter_tracks[key] = counter_tracks.get(key, 0) + 1
+        elif ph == "i":
+            if event.get("s") not in ("t", "p", "g"):
+                fail(f"{where}: instant without a scope")
+
+    for pid, label in ((PID_MASTERS, "bus masters"),
+                       (PID_CREDIT, "credit (cycles)"),
+                       (PID_BRIDGES, "bridge queues"),
+                       (PID_DEMAND, "demand")):
+        if process_names.get(pid) != label:
+            fail(f"pid {pid} is not named {label!r} "
+                 f"(got {process_names.get(pid)!r})")
+
+    if counts["X"] == 0:
+        fail("no spans captured (expected request->transfer activity)")
+    if counts["C"] == 0:
+        fail("no counter samples captured")
+
+    # One bus, one transfer at a time: per master, transfer spans must
+    # not overlap (wait spans may legally abut/overlap transfers).
+    for tid, spans in spans_by_tid.items():
+        xfers = sorted((ts, dur) for ts, dur, name in spans
+                       if name == "xfer")
+        for (a_ts, a_dur), (b_ts, _) in zip(xfers, xfers[1:]):
+            if a_ts + a_dur > b_ts:
+                fail(f"master m{tid}: overlapping transfer spans at "
+                     f"ts {a_ts} and {b_ts}")
+
+    if expect_masters is not None:
+        for m in range(expect_masters):
+            if (PID_MASTERS, m) not in thread_names:
+                fail(f"missing thread_name for master m{m}")
+            for track in (f"credit m{m}", f"eligible m{m}"):
+                if (PID_CREDIT, track) not in counter_tracks:
+                    fail(f"missing counter track {track!r}")
+            if (PID_DEMAND, f"demand m{m}") not in counter_tracks:
+                fail(f"missing counter track 'demand m{m}'")
+
+    bridge_tracks = [name for (pid, name) in counter_tracks
+                     if pid == PID_BRIDGES]
+    if expect_bridges is not None and len(bridge_tracks) != expect_bridges:
+        fail(f"expected {expect_bridges} bridge-queue track(s), found "
+             f"{len(bridge_tracks)}: {sorted(bridge_tracks)}")
+
+    return counts
+
+
+def fabricate(valid=True):
+    """A minimal document exercising every checked rule."""
+    events = [
+        {"ph": "M", "name": "process_name", "pid": PID_MASTERS,
+         "args": {"name": "bus masters"}},
+        {"ph": "M", "name": "process_name", "pid": PID_CREDIT,
+         "args": {"name": "credit (cycles)"}},
+        {"ph": "M", "name": "process_name", "pid": PID_BRIDGES,
+         "args": {"name": "bridge queues"}},
+        {"ph": "M", "name": "process_name", "pid": PID_DEMAND,
+         "args": {"name": "demand"}},
+        {"ph": "M", "name": "thread_name", "pid": PID_MASTERS, "tid": 0,
+         "args": {"name": "master m0"}},
+        {"ph": "X", "name": "xfer", "pid": PID_MASTERS, "tid": 0,
+         "ts": 10, "dur": 4, "args": {}},
+        {"ph": "X", "name": "xfer", "pid": PID_MASTERS, "tid": 0,
+         "ts": 20 if valid else 12, "dur": 4, "args": {}},
+        {"ph": "C", "name": "credit m0", "pid": PID_CREDIT, "tid": 0,
+         "ts": 0, "args": {"value": 38.0}},
+        {"ph": "C", "name": "eligible m0", "pid": PID_CREDIT, "tid": 0,
+         "ts": 0, "args": {"value": 1}},
+        {"ph": "C", "name": "demand m0", "pid": PID_DEMAND, "tid": 0,
+         "ts": 0, "args": {"value": 2}},
+        {"ph": "i", "name": "credit.underflow", "pid": PID_MASTERS,
+         "tid": 0, "ts": 11, "s": "t"},
+    ]
+    return {"displayTimeUnit": "ms",
+            "metadata": {"provenance": {"version": "self-test"}},
+            "traceEvents": events}
+
+
+def self_test():
+    validate(fabricate(valid=True), expect_masters=1)
+    try:
+        validate(fabricate(valid=False), expect_masters=1)
+    except TraceError as e:
+        if "overlapping" not in str(e):
+            print(f"self-test: wrong diagnostic: {e}", file=sys.stderr)
+            return 1
+    else:
+        print("self-test: overlapping spans not caught", file=sys.stderr)
+        return 1
+    try:
+        validate(fabricate(valid=True), expect_masters=2)
+    except TraceError:
+        pass
+    else:
+        print("self-test: missing master not caught", file=sys.stderr)
+        return 1
+    print("self-test: PASS")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?", help="trace JSON file")
+    parser.add_argument("--expect-masters", type=int, default=None)
+    parser.add_argument("--expect-bridges", type=int, default=None)
+    parser.add_argument("--max-ts", type=float, default=None)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.trace:
+        parser.error("a trace file (or --self-test) is required")
+    with open(args.trace, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    try:
+        counts = validate(doc, expect_masters=args.expect_masters,
+                          expect_bridges=args.expect_bridges,
+                          max_ts=args.max_ts)
+    except TraceError as e:
+        print(f"trace_check: {args.trace}: {e}", file=sys.stderr)
+        return 1
+    print(f"trace_check: {args.trace}: ok "
+          f"({counts['X']} spans, {counts['C']} counter samples, "
+          f"{counts['i']} instants)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
