@@ -1,0 +1,95 @@
+// Adaptive-controller cost microbenches, pinned by the CI bench gate so
+// the feedback loop cannot silently tax the simulation hot path.
+//
+// The registered benchmarks are bench-gate entries (tools/bench_compare.py
+// vs bench/baselines.json):
+//   BM_FairShares        -- one Fahmy/Jain water-filling pass over a
+//                           16-master demand vector (the per-epoch math);
+//   BM_AdaptiveTick      -- steady-state ctrl::AdaptiveController::tick
+//                           with live demand, amortising sampling and the
+//                           per-window epoch over every cycle;
+//   BM_CtrlRun/static    -- a 4-core H-CBA phased-load co-run with the
+//                           increments left alone (the baseline cost);
+//   BM_CtrlRun/adaptive  -- the same run with `adaptive:1024` retuning,
+//                           so the gate pins the controller's whole-run
+//                           overhead relative to static.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bus/bus.hpp"
+#include "core/cba_config.hpp"
+#include "core/credit_state.hpp"
+#include "ctrl/controller.hpp"
+#include "platform/multicore.hpp"
+#include "platform/platform_config.hpp"
+#include "workloads/eembc_like.hpp"
+#include "workloads/phased.hpp"
+
+namespace {
+
+using namespace cbus;
+using platform::BusSetup;
+using platform::PlatformConfig;
+
+void BM_FairShares(benchmark::State& state) {
+  std::vector<double> demand(16);
+  for (std::size_t m = 0; m < demand.size(); ++m) {
+    demand[m] = static_cast<double>((m * 7) % 13) + 0.5;
+  }
+  for (auto _ : state) {
+    auto share = ctrl::fair_shares(demand, {}, 24.0);
+    benchmark::DoNotOptimize(share);
+  }
+}
+BENCHMARK(BM_FairShares);
+
+void BM_AdaptiveTick(benchmark::State& state) {
+  core::CreditState credits(core::CbaConfig::paper_hcba(56));
+  bus::BusStatistics stats;
+  stats.master.resize(4);
+  ctrl::AdaptiveController controller(
+      ctrl::parse_controller("adaptive:1024"), credits, stats);
+  Cycle now = 1;
+  for (auto _ : state) {
+    // Uneven live demand keeps the epoch path exercised, not deadbanded.
+    stats.master[now & 3].hold_cycles += 1 + (now & 1);
+    controller.tick(now++);
+  }
+  benchmark::DoNotOptimize(controller.stats().epochs);
+}
+BENCHMARK(BM_AdaptiveTick);
+
+[[nodiscard]] Cycle one_run(std::uint64_t seed, bool adaptive) {
+  static auto tua = workloads::make_eembc("matrix");
+  PlatformConfig cfg = PlatformConfig::paper(BusSetup::kHcba);
+  if (adaptive) cfg.controller = ctrl::parse_controller("adaptive:1024");
+  workloads::PhaseShiftedStream c1(768, 256, 150);
+  workloads::PhaseShiftedStream c2(768, 512, 150);
+  workloads::PhaseShiftedStream c3(768, 640, 150);
+  tua->reset(seed);
+  platform::Multicore machine(cfg, seed, *tua, {&c1, &c2, &c3});
+  return machine.run().tua_cycles;
+}
+
+void BM_CtrlRunStatic(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(one_run(seed, /*adaptive=*/false));
+    ++seed;
+  }
+}
+BENCHMARK(BM_CtrlRunStatic)->Name("BM_CtrlRun/static");
+
+void BM_CtrlRunAdaptive(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(one_run(seed, /*adaptive=*/true));
+    ++seed;
+  }
+}
+BENCHMARK(BM_CtrlRunAdaptive)->Name("BM_CtrlRun/adaptive");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -114,6 +114,13 @@ void CreditState::set_budget(MasterId m, std::uint64_t units) {
   counters_[m].reset(units);
 }
 
+void CreditState::set_increment(MasterId m, std::uint64_t units) {
+  CBUS_EXPECTS(m < config_.n_masters);
+  CBUS_EXPECTS_MSG(units >= 1 && units <= config_.scale,
+                   "increment must be in [1, scale]");
+  config_.increment[m] = units;
+}
+
 void CreditState::reset() {
   for (MasterId m = 0; m < config_.n_masters; ++m) {
     counters_[m].reset(config_.initial[m]);

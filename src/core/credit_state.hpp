@@ -68,6 +68,12 @@ class CreditState {
   /// Force a budget value (WCET mode zeroes the TuA's budget at run start).
   void set_budget(MasterId m, std::uint64_t units);
 
+  /// Retune master m's Table-I recovery increment (ctrl feedback loop).
+  /// Takes effect from the next tick; the budget counter is untouched.
+  /// Requires 1 <= units <= scale (a zero increment would strand the
+  /// master below threshold forever).
+  void set_increment(MasterId m, std::uint64_t units);
+
   /// Restore every counter to its configured initial value.
   void reset();
 

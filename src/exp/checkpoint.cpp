@@ -106,7 +106,13 @@ std::uint64_t spec_hash(const ExperimentSpec& spec) {
   text << kGroup;
   for (const auto& [core, workload] : spec.corunners) {
     text << core << '=' << static_cast<int>(workload.kind) << ':'
-         << workload.kernel << ':' << workload.gap << kUnit;
+         << workload.kernel << ':' << workload.gap;
+    // Extra fields render only for the kinds that use them, so hashes
+    // of pre-existing workloads stay byte-stable as kinds are added.
+    if (workload.kind == WorkloadSpec::Kind::kPhased) {
+      text << ':' << workload.period << ':' << workload.offset;
+    }
+    text << kUnit;
   }
   text << kGroup;
   for (const auto& axis : spec.sweeps) {

@@ -79,10 +79,50 @@ WorkloadSpec parse_workload(const std::string& text) {
     }
     return spec;
   }
+  if (text == "phased" || text.rfind("phased:", 0) == 0) {
+    // phased[:period[:offset[:gap]]] -- the PhaseShiftedStream square
+    // wave: `period` ops active / `period` ops quiet, shifted `offset`
+    // ops, `gap` compute cycles per quiet op.
+    spec.kind = WorkloadSpec::Kind::kPhased;
+    spec.gap = 200;
+    std::vector<std::string> params;
+    if (const auto colon = text.find(':'); colon != std::string::npos) {
+      std::string rest = text.substr(colon + 1);
+      while (!rest.empty()) {
+        const auto next = rest.find(':');
+        params.push_back(rest.substr(0, next));
+        rest = next == std::string::npos ? "" : rest.substr(next + 1);
+      }
+    }
+    CBUS_EXPECTS_MSG(params.size() <= 3,
+                     "bad phased workload '" + text +
+                         "' (phased[:period[:offset[:gap]]])");
+    try {
+      if (params.size() >= 1) {
+        spec.period =
+            platform::parse_config_uint(params[0], "phased period", 0);
+        CBUS_EXPECTS_MSG(spec.period >= 1, "phased period must be positive");
+      }
+      if (params.size() >= 2) {
+        spec.offset =
+            platform::parse_config_uint(params[1], "phased offset", 0);
+      }
+      if (params.size() >= 3) {
+        spec.gap = platform::parse_config_u32(params[2], "phased gap", 0);
+        CBUS_EXPECTS_MSG(spec.gap >= 1, "phased gap must be positive");
+      }
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("bad phased workload '" + text +
+                                  "' (phased[:period[:offset[:gap]]])");
+    }
+    return spec;
+  }
   const auto known = workloads::all_kernels();
   CBUS_EXPECTS_MSG(
       std::find(known.begin(), known.end(), text) != known.end(),
-      "unknown workload '" + text + "' (kernel name, stream[:gap] or idle)");
+      "unknown workload '" + text +
+          "' (kernel name, stream[:gap], phased[:period[:offset[:gap]]] "
+          "or idle)");
   spec.kind = WorkloadSpec::Kind::kKernel;
   spec.kernel = text;
   return spec;

@@ -64,15 +64,20 @@ struct WorkloadSpec {
     kKernel,  ///< EEMBC-like kernel by name
     kStream,  ///< StreamingStream with a configurable gap
     kIdle,    ///< core stays idle
+    kPhased,  ///< PhaseShiftedStream square-wave load (ctrl stressor)
   };
   Kind kind = Kind::kIdle;
   std::string kernel;      ///< kKernel only
-  std::uint32_t gap = 0;   ///< kStream only
+  std::uint32_t gap = 0;   ///< kStream: inter-op gap; kPhased: quiet gap
+  // kPhased only (see workloads::PhaseShiftedStream):
+  std::uint64_t period = 512;  ///< ops per active/quiet half-wave
+  std::uint64_t offset = 0;    ///< wave shift in ops (per-core stagger)
 
   friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
 };
 
-/// Parse "matrix" / "stream" / "stream:4" / "idle"; throws on junk.
+/// Parse "matrix" / "stream" / "stream:4" / "idle" /
+/// "phased[:period[:offset[:gap]]]"; throws on junk.
 [[nodiscard]] WorkloadSpec parse_workload(const std::string& text);
 
 /// Parse a `metrics` selection: `all` (the whole probe catalog, in

@@ -18,6 +18,7 @@
 #include "rng/rand_bank.hpp"
 #include "workloads/eembc_like.hpp"
 #include "workloads/fixed_stream.hpp"
+#include "workloads/phased.hpp"
 #include "workloads/streaming.hpp"
 
 namespace cbus::exp {
@@ -73,6 +74,9 @@ namespace {
       return workloads::make_eembc(spec.kernel);
     case WorkloadSpec::Kind::kStream:
       return std::make_unique<workloads::StreamingStream>(spec.gap);
+    case WorkloadSpec::Kind::kPhased:
+      return std::make_unique<workloads::PhaseShiftedStream>(
+          spec.period, spec.offset, spec.gap);
     case WorkloadSpec::Kind::kIdle:
       // An empty op list finishes immediately: the core sits idle.
       return std::make_unique<workloads::FixedOpsStream>(

@@ -3,6 +3,7 @@
 #include <array>
 
 #include "bus/segmented.hpp"
+#include "ctrl/controller.hpp"
 #include "stats/fairness.hpp"
 
 namespace cbus::metrics {
@@ -133,8 +134,27 @@ void probe_segments(const bus::SegmentedInterconnect* segmented,
                                   static_cast<double>(bridges.hops));
 }
 
+void probe_ctrl(const ctrl::CreditController* controller, Record& out) {
+  if (controller == nullptr ||
+      controller->kind() != ctrl::ControllerKind::kAdaptive) {
+    return;
+  }
+  const std::vector<std::uint64_t> increments = controller->increments();
+  std::vector<double> applied(increments.size());
+  for (std::size_t m = 0; m < increments.size(); ++m) {
+    applied[m] = static_cast<double>(increments[m]);
+  }
+  out.set("ctrl.increment", std::move(applied));
+  const ctrl::ControllerStats& stats = controller->stats();
+  out.set("ctrl.epochs", static_cast<double>(stats.epochs));
+  out.set("ctrl.updates", static_cast<double>(stats.updates));
+  out.set("ctrl.convergence_cycles",
+          static_cast<double>(stats.convergence_cycles));
+  out.set("ctrl.steady_error", stats.steady_error);
+}
+
 std::span<const MetricInfo> metric_catalog() {
-  static const std::array<MetricInfo, 20> kCatalog{{
+  static const std::array<MetricInfo, 25> kCatalog{{
       {"tua.cycles", false,
        "execution time of the task under analysis (cycles)"},
       {"tua.bus_requests", false, "bus requests issued by the TuA"},
@@ -170,6 +190,19 @@ std::span<const MetricInfo> metric_catalog() {
       {"seg.bridge_hops", false, "store-and-forward bridge traversals"},
       {"seg.mean_bridge_wait", false,
        "mean cycles a forwarded request sat in a bridge buffer"},
+      {"ctrl.increment", true,
+       "Table-I credit increment in force per master at run end "
+       "(controller = adaptive only)"},
+      {"ctrl.epochs", false,
+       "controller epochs processed (controller = adaptive only)"},
+      {"ctrl.updates", false,
+       "epochs whose rate vector moved (controller = adaptive only)"},
+      {"ctrl.convergence_cycles", false,
+       "end cycle of the last epoch that moved the rates -- the measured "
+       "convergence time (controller = adaptive only)"},
+      {"ctrl.steady_error", false,
+       "final |rate - target| summed over masters, as a fraction of the "
+       "scale (controller = adaptive only)"},
   }};
   return kCatalog;
 }

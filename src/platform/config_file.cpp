@@ -24,7 +24,7 @@ const std::vector<std::string_view>& config_keys() {
       "cores",    "arbiter", "setup",        "mode",
       "bus",      "dram",    "l1_bytes",     "l2_bytes",
       "store_buffer", "maxl", "tdma_slot",   "topology",
-      "bridge_hold", "bridge_latency", "seg_stripe"};
+      "bridge_hold", "bridge_latency", "seg_stripe", "controller"};
   return keys;
 }
 
@@ -190,6 +190,15 @@ PlatformConfig parse_config(std::istream& in) {
                            ": bridge_hold must be positive");
     } else if (key == "bridge_latency") {
       cfg.topology.bridge_latency = parse_config_uint(value, key, line_no);
+    } else if (key == "controller") {
+      // ctrl::parse_controller throws with the registered-name list on
+      // junk (the `--list controllers` set); prefix the line number.
+      try {
+        cfg.controller = ctrl::parse_controller(value);
+      } catch (const std::invalid_argument& err) {
+        CBUS_EXPECTS_MSG(false, "line " + std::to_string(line_no) + ": " +
+                                    err.what());
+      }
     } else if (key == "seg_stripe") {
       const std::uint64_t stripe = parse_config_uint(value, key, line_no);
       CBUS_EXPECTS_MSG(stripe >= 4 && stripe <= 0x8000'0000ull &&
@@ -271,6 +280,8 @@ void write_config(std::ostream& out, const PlatformConfig& config) {
   out << "bridge_hold = " << config.topology.bridge_hold << '\n';
   out << "bridge_latency = " << config.topology.bridge_latency << '\n';
   out << "seg_stripe = " << (1ull << config.topology.stripe_log2) << '\n';
+  out << "controller = " << ctrl::to_config_string(config.controller)
+      << '\n';
 }
 
 }  // namespace cbus::platform

@@ -156,12 +156,27 @@ Multicore::Multicore(const PlatformConfig& config, std::uint64_t seed,
     }
   }
 
-  // Tick order: cores, then contenders, then the bus (see header).
+  // Credit controller over the single-bus credit state. The STATIC
+  // controller exists for introspection but is never registered with the
+  // kernel: `controller = static` machines tick the exact component list
+  // they always have, keeping pre-controller campaigns byte-identical.
+  if (filter_ != nullptr) {
+    controller_ = ctrl::make_controller(
+        config_.controller, filter_->state(),
+        bus_ ? bus_->statistics() : split_bus_->statistics());
+  }
+
+  // Tick order: cores, then contenders, then the bus (see header), then
+  // the adaptive controller (it reads the bus statistics the cycle just
+  // produced and retunes increments for the next one).
   for (auto& core_ptr : cores_) kernel_.add(*core_ptr);
   for (auto& vc : virtual_contenders_) kernel_.add(*vc);
   if (bus_) kernel_.add(*bus_);
   if (split_bus_) kernel_.add(*split_bus_);
   if (seg_bus_) kernel_.add(*seg_bus_);
+  if (controller_ && config_.controller.adaptive()) {
+    kernel_.add(*controller_);
+  }
 }
 
 RunResult Multicore::run(Cycle max_cycles) {
@@ -232,6 +247,9 @@ RunResult Multicore::collect(bool finished, Cycle executed) const {
     metrics::probe_credit(filter_.get(), result.record);
     metrics::probe_segments(nullptr, result.bus_stats, result.record);
   }
+  // ctrl.* keys appear only for adaptive machines (probe_ctrl skips the
+  // static controller), so static records keep the pre-controller shape.
+  metrics::probe_ctrl(controller_.get(), result.record);
   return result;
 }
 

@@ -25,6 +25,7 @@
 #include "bus/split_bus.hpp"
 #include "core/credit_filter.hpp"
 #include "core/virtual_contender.hpp"
+#include "ctrl/controller.hpp"
 #include "cpu/in_order_core.hpp"
 #include "cpu/op_stream.hpp"
 #include "mem/partitioned_l2.hpp"
@@ -125,6 +126,12 @@ class Multicore {
   [[nodiscard]] core::CreditFilter* credit_filter() noexcept {
     return filter_.get();
   }
+  /// The credit controller over the Table-I increments (null without a
+  /// CBA config or on the segmented topology). Static for
+  /// `controller = static` -- present but never ticked.
+  [[nodiscard]] ctrl::CreditController* controller() noexcept {
+    return controller_.get();
+  }
   /// Install a passive BusObserver on the active interconnect (the
   /// non-split bus or the segmented interconnect; the split protocol has
   /// no observer hooks, so this is a documented no-op there). Observers
@@ -148,6 +155,7 @@ class Multicore {
 
   std::unique_ptr<bus::Arbiter> arbiter_;
   std::unique_ptr<core::CreditFilter> filter_;
+  std::unique_ptr<ctrl::CreditController> controller_;
   std::unique_ptr<mem::PartitionedL2> l2_;
   std::unique_ptr<bus::NonSplitBus> bus_;
   std::unique_ptr<bus::SplitBus> split_bus_;

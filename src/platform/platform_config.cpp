@@ -59,6 +59,19 @@ void PlatformConfig::validate() const {
                      "protocol only (bus = non-split)");
   }
   if (dram.has_value()) dram->validate();
+  controller.validate();
+  if (controller.adaptive()) {
+    CBUS_EXPECTS_MSG(cba.has_value(),
+                     "controller = adaptive needs a CBA setup (the "
+                     "controller retunes Table-I increments; the RP "
+                     "baseline has none)");
+    CBUS_EXPECTS_MSG(!topology.segmented(),
+                     "controller = adaptive runs on the single shared bus "
+                     "only (per-segment feedback is future work)");
+    CBUS_EXPECTS_MSG(cba->scale >= cba->n_masters,
+                     "controller = adaptive needs scale >= n_cores so "
+                     "every master keeps a 1-unit recovery floor");
+  }
   if (cba.has_value()) {
     cba->validate();
     CBUS_EXPECTS_MSG(cba->n_masters == n_cores,

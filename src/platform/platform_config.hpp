@@ -12,6 +12,7 @@
 #include "core/cba_config.hpp"
 #include "core/virtual_contender.hpp"
 #include "cpu/core_config.hpp"
+#include "ctrl/controller.hpp"
 #include "mem/dram.hpp"
 #include "mem/memory_timings.hpp"
 
@@ -75,6 +76,12 @@ struct PlatformConfig {
 
   /// Credit-based arbitration; disengaged when nullopt (pure baseline).
   std::optional<core::CbaConfig> cba;
+
+  /// Credit-controller policy over the CBA Table-I increments
+  /// (`controller = static | adaptive:<window>[:<gain>]`). Static is
+  /// today's behavior; adaptive requires a CBA config on a single
+  /// non-split bus with scale >= n_cores (the per-master MCR floor).
+  ctrl::ControllerConfig controller;
 
   cpu::CoreConfig core{};
 

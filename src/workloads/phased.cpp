@@ -28,6 +28,36 @@ void PhasedStream::reset(std::uint64_t seed) {
   for (auto& phase : phases_) phase->reset(mix.next());
 }
 
+PhaseShiftedStream::PhaseShiftedStream(std::uint64_t period,
+                                       std::uint64_t offset,
+                                       std::uint32_t quiet_gap, Addr base,
+                                       std::uint32_t footprint_bytes,
+                                       std::uint32_t line_bytes)
+    : period_(period),
+      offset_(offset),
+      quiet_gap_(quiet_gap),
+      base_(base),
+      footprint_(footprint_bytes),
+      line_(line_bytes) {
+  CBUS_EXPECTS(period >= 1);
+  CBUS_EXPECTS(quiet_gap >= 1);
+  CBUS_EXPECTS(line_bytes >= 4);
+  CBUS_EXPECTS(footprint_bytes >= line_bytes);
+}
+
+std::optional<cpu::MemOp> PhaseShiftedStream::next() {
+  cpu::MemOp op;
+  op.kind = MemOpKind::kLoad;
+  // Fresh line each op over a footprint far beyond the hierarchy, like
+  // StreamingStream -- every access is an L2 miss and hits the bus.
+  op.addr = base_ + static_cast<Addr>((pos_ * line_) % footprint_);
+  op.compute_before = active() ? 0 : quiet_gap_;
+  ++pos_;
+  return op;
+}
+
+void PhaseShiftedStream::reset(std::uint64_t /*seed*/) { pos_ = 0; }
+
 std::optional<cpu::MemOp> PhasedStream::next() {
   while (iteration_ < iterations_) {
     if (auto op = phases_[index_]->next(); op.has_value()) return op;

@@ -10,6 +10,7 @@
 
 #include "bus/bus.hpp"
 #include "core/credit_filter.hpp"
+#include "ctrl/controller.hpp"
 #include "metrics/aggregator.hpp"
 #include "metrics/probes.hpp"
 #include "metrics/record.hpp"
@@ -369,15 +370,36 @@ TEST(Probes, CreditProbeWithAndWithoutFilter) {
   EXPECT_EQ(with.at("credit.budget").size(), 4u);
 }
 
+TEST(Probes, CtrlProbeSkipsNullAndStatic) {
+  const auto stats = two_master_stats();
+  core::CreditFilter filter(core::CbaConfig::homogeneous(2, 56));
+  Record r;
+  probe_ctrl(nullptr, r);
+  const ctrl::StaticController fixed(filter.state());
+  probe_ctrl(&fixed, r);
+  // ctrl.* keys appear only for the adaptive controller, so static
+  // campaigns keep the pre-controller record shape byte-for-byte.
+  EXPECT_EQ(r.size(), 0u);
+
+  const auto adaptive = ctrl::make_controller(
+      ctrl::parse_controller("adaptive:1024"), filter.state(), stats);
+  probe_ctrl(adaptive.get(), r);
+  EXPECT_EQ(r.at("ctrl.increment").size(), 2u);
+  EXPECT_DOUBLE_EQ(r.at("ctrl.epochs").scalar(), 0.0);
+}
+
 TEST(Probes, CatalogCoversProbeKeysWithPerMasterFlags) {
   const auto stats = two_master_stats();
   core::CreditFilter filter(core::CbaConfig::homogeneous(2, 56));
+  const auto controller = ctrl::make_controller(
+      ctrl::parse_controller("adaptive:1024"), filter.state(), stats);
   Record r;
   probe_tua(1234, cpu::CoreStats{}, r);
   probe_bus(stats, r);
   probe_fairness(stats, r);
   probe_credit(&filter, r);
   probe_segments(nullptr, stats, r);
+  probe_ctrl(controller.get(), r);
   // Every emitted key is in the catalog with the right shape...
   for (const auto& [key, value] : r) {
     const MetricInfo* info = find_metric(key);

@@ -581,7 +581,8 @@ TEST(ConfigFile, ConfigKeysMatchesTheParser) {
       {"l1_bytes", "8192"},    {"l2_bytes", "65536"},
       {"store_buffer", "2"},   {"maxl", "56"},       {"tdma_slot", "56"},
       {"topology", "segmented:2"}, {"bridge_hold", "5"},
-      {"bridge_latency", "2"}, {"seg_stripe", "4096"}};
+      {"bridge_latency", "2"}, {"seg_stripe", "4096"},
+      {"controller", "static"}};
   for (const auto key : config_keys()) {
     const auto it = sample.find(std::string(key));
     ASSERT_NE(it, sample.end()) << "no sample value for key " << key;

@@ -11,9 +11,9 @@
 //            [--pwcet] [--csv] [--metrics LIST]
 //   cbus_sim [--kernel NAME] [--setup rp|cba|hcba]
 //            [--scenario iso|con|stream] [--arbiter KIND]
-//            [--runs N] [--seed S] [--cores N] [--pwcet] [--csv]
-//            [--metrics LIST]
-//   cbus_sim --list kernels|setups|arbiters|scenarios|metrics
+//            [--controller static|adaptive:<w>] [--runs N] [--seed S]
+//            [--cores N] [--pwcet] [--csv] [--metrics LIST]
+//   cbus_sim --list kernels|setups|arbiters|controllers|scenarios|metrics
 //
 // Examples:
 //   cbus_sim --experiment examples/experiments/paper_con.exp --threads 4
@@ -31,6 +31,7 @@
 
 #include "bus/arbiter_factory.hpp"
 #include "common/build_info.hpp"
+#include "ctrl/controller.hpp"
 #include "exp/experiment.hpp"
 #include "metrics/probes.hpp"
 #include "obs/telemetry.hpp"
@@ -50,6 +51,7 @@ struct Options {
   std::optional<std::string> setup;
   std::optional<std::string> scenario;
   std::optional<std::string> arbiter;
+  std::optional<std::string> controller;
   std::optional<std::uint32_t> runs;
   std::optional<std::uint64_t> seed;
   std::optional<std::uint32_t> cores;
@@ -87,6 +89,9 @@ struct Options {
       "                    protocol) | stream (3 streaming co-runners)\n"
       "                                                     [con]\n"
       "  --arbiter A       rr|fifo|priority|lottery|rp|tdma|drr|da [rp]\n"
+      "  --controller C    static | adaptive:<window>[:<gain>] -- credit\n"
+      "                    controller over the CBA Table-I increments\n"
+      "                    (see docs/CONTROLLERS.md)          [static]\n"
       "  --runs N          randomized runs per job          [20]\n"
       "  --seed S          campaign seed                    [0xC0FFEE]\n"
       "  --cores N         core count (CBA rescaled)        [4]\n"
@@ -115,8 +120,8 @@ struct Options {
       "                    per-thread busy fraction, slice times, peak RSS)\n"
       "  --version         print build provenance and exit\n"
       "  --list WHAT       print known values and exit:\n"
-      "                    kernels | setups | arbiters | scenarios |\n"
-      "                    metrics\n";
+      "                    kernels | setups | arbiters | controllers |\n"
+      "                    scenarios | metrics\n";
   std::exit(code);
 }
 
@@ -135,6 +140,10 @@ struct Options {
     for (const auto kind : cbus::bus::all_arbiter_kinds()) {
       std::cout << cbus::bus::short_name(kind) << "\n";
     }
+  } else if (what == "controllers") {
+    for (const auto kind : cbus::ctrl::all_controller_kinds()) {
+      std::cout << cbus::ctrl::short_name(kind) << "\n";
+    }
   } else if (what == "scenarios") {
     for (const auto scenario : cbus::exp::all_scenarios()) {
       std::cout << cbus::exp::to_string(scenario) << "\n";
@@ -149,7 +158,8 @@ struct Options {
     }
   } else {
     std::cerr << "cbus_sim: unknown --list topic '" << what
-              << "' (kernels|setups|arbiters|scenarios|metrics)\n";
+              << "' (kernels|setups|arbiters|controllers|scenarios|"
+                 "metrics)\n";
     std::exit(2);
   }
   std::exit(0);
@@ -183,6 +193,8 @@ Options parse(int argc, char** argv) {
         opt.scenario = value();
       } else if (arg == "--arbiter") {
         opt.arbiter = value();
+      } else if (arg == "--controller") {
+        opt.controller = value();
       } else if (arg == "--runs") {
         opt.runs = platform::parse_config_u32(value(), arg, 0);
       } else if (arg == "--seed") {
@@ -269,6 +281,14 @@ Options parse(int argc, char** argv) {
           "' (see: cbus_sim --list arbiters)");
     }
   }
+  if (opt.controller.has_value()) {
+    try {
+      (void)ctrl::parse_controller(*opt.controller);
+    } catch (const std::exception& e) {
+      die("bad --controller value: " + std::string(e.what()) +
+          " (see: cbus_sim --list controllers)");
+    }
+  }
   if (opt.scenario.has_value()) {
     try {
       (void)exp::parse_scenario(*opt.scenario);
@@ -324,6 +344,9 @@ exp::ExperimentSpec build_spec(const Options& opt) {
   if (opt.setup.has_value()) spec.set_platform_key("setup", *opt.setup);
   if (opt.arbiter.has_value()) {
     spec.set_platform_key("arbiter", *opt.arbiter);
+  }
+  if (opt.controller.has_value()) {
+    spec.set_platform_key("controller", *opt.controller);
   }
   if (opt.cores.has_value()) {
     spec.set_platform_key("cores", std::to_string(*opt.cores));
