@@ -1,27 +1,41 @@
 #include "bus/segmented.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <string>
 
 namespace cbus::bus {
 
+namespace {
+
+constexpr std::uint32_t kNoBridge = 0xFFFF'FFFFu;
+
+}  // namespace
+
 void SegmentedConfig::validate() const {
   CBUS_EXPECTS_MSG(n_masters >= 1 && n_masters <= kMaxMasters,
                    "segmented interconnect: bad master count");
-  CBUS_EXPECTS_MSG(n_segments >= 1, "segmented interconnect needs >= 1 segment");
   CBUS_EXPECTS_MSG(bridge_hold >= 1, "bridge_hold must be positive");
   CBUS_EXPECTS_MSG(stripe_log2 <= 31, "seg_stripe exceeds the address width");
-  // Every segment's local master set (home cores + up to two bridge
-  // ingress ports) must fit the arbiter mask types.
-  std::vector<std::uint32_t> cores_per_segment(n_segments, 0);
+  // Block distribution covers every segment iff there are at least as
+  // many masters as segments; fewer would leave segments with no home
+  // cores and a skewed home_segment map -- reject instead of silently
+  // degenerating.
+  CBUS_EXPECTS_MSG(n_masters >= n_segments(),
+                   "segmented interconnect needs n_masters >= n_segments "
+                   "(every segment needs a home core; got " +
+                       std::to_string(n_masters) + " masters for " +
+                       std::to_string(n_segments()) + " segments)");
+  // Every segment's local master set (home cores + one bridge ingress
+  // port per incoming topology edge) must fit the arbiter mask types.
+  std::vector<std::uint32_t> cores_per_segment(n_segments(), 0);
   for (MasterId m = 0; m < n_masters; ++m) {
     ++cores_per_segment[home_segment(m)];
   }
-  for (std::uint32_t s = 0; s < n_segments; ++s) {
-    const std::uint32_t bridges =
-        (s > 0 ? 1u : 0u) + (s + 1 < n_segments ? 1u : 0u);
-    CBUS_EXPECTS_MSG(cores_per_segment[s] + bridges <= kMaxMasters,
+  for (std::uint32_t s = 0; s < n_segments(); ++s) {
+    CBUS_EXPECTS_MSG(cores_per_segment[s] + topology.in_degree(s) <=
+                         kMaxMasters,
                      "segment " + std::to_string(s) +
                          " has too many local masters");
   }
@@ -33,16 +47,20 @@ SegmentedInterconnect::SegmentedInterconnect(
     : sim::Component("segmented-interconnect"),
       config_(config),
       slave_(slave),
-      filters_(config.n_segments, nullptr),
+      filters_(config.n_segments(), nullptr),
       home_(config.n_masters),
       slot_(config.n_masters),
       callbacks_(config.n_masters, nullptr),
-      flight_(config.n_masters) {
+      flight_(config.n_masters),
+      backpressure_stalls_(config.n_segments(), 0),
+      hop_histogram_(config.topology.diameter() + 1, 0) {
   config_.validate();
   CBUS_EXPECTS_MSG(make_segment_arbiter != nullptr,
                    "segmented interconnect needs an arbiter factory");
 
-  segments_.resize(config_.n_segments);
+  const Topology& topo = config_.topology;
+  const std::uint32_t n = topo.n_segments();
+  segments_.resize(n);
   for (MasterId m = 0; m < config_.n_masters; ++m) {
     home_[m] = config_.home_segment(m);
     Segment& seg = segments_[home_[m]];
@@ -50,11 +68,20 @@ SegmentedInterconnect::SegmentedInterconnect(
     seg.cores.push_back(m);
   }
 
-  for (std::uint32_t s = 0; s < config_.n_segments; ++s) {
+  // One ingress port per incoming edge, in ascending source-segment
+  // order (for the chain: from-left before from-right, the historical
+  // slot layout).
+  for (const TopologyEdge& e : topo.edges()) {
+    segments_[e.to].ingress_from.push_back(e.from);
+  }
+  for (Segment& seg : segments_) {
+    std::sort(seg.ingress_from.begin(), seg.ingress_from.end());
+  }
+
+  for (std::uint32_t s = 0; s < n; ++s) {
     Segment& seg = segments_[s];
-    std::uint32_t n_local = static_cast<std::uint32_t>(seg.cores.size());
-    if (s > 0) seg.left_port = n_local++;
-    if (s + 1 < config_.n_segments) seg.right_port = n_local++;
+    const std::uint32_t n_local = static_cast<std::uint32_t>(
+        seg.cores.size() + seg.ingress_from.size());
 
     seg.arbiter = make_segment_arbiter(n_local, s);
     CBUS_EXPECTS_MSG(seg.arbiter != nullptr,
@@ -68,6 +95,11 @@ SegmentedInterconnect::SegmentedInterconnect(
         BusConfig{n_local, config_.overlapped_arbitration}, *seg.arbiter,
         *seg.slave);
 
+    seg.gate = std::make_unique<SegmentGate>();
+    seg.gate->owner = this;
+    seg.gate->segment = s;
+    seg.bus->set_filter(seg.gate.get());
+
     seg.relays.reserve(n_local);
     for (std::uint32_t local = 0; local < n_local; ++local) {
       auto relay = std::make_unique<PortRelay>();
@@ -80,11 +112,20 @@ SegmentedInterconnect::SegmentedInterconnect(
     seg.port_owner.assign(n_local, kNoMaster);
   }
 
-  // One bridge per direction per adjacency, in fixed (s, direction)
-  // order: the delivery order below is part of the determinism contract.
-  for (std::uint32_t s = 0; s + 1 < config_.n_segments; ++s) {
-    bridges_.push_back(Bridge{s, s + 1, {}});
-    bridges_.push_back(Bridge{s + 1, s, {}});
+  // One bridge per directed edge, in Topology::edges() order: the
+  // delivery order below is part of the determinism contract (for the
+  // chain this is the historical (s, direction) order).
+  edge_index_.assign(static_cast<std::size_t>(n) * n, kNoBridge);
+  for (const TopologyEdge& e : topo.edges()) {
+    const Segment& dest = segments_[e.to];
+    const auto it = std::find(dest.ingress_from.begin(),
+                              dest.ingress_from.end(), e.from);
+    CBUS_ASSERT(it != dest.ingress_from.end());
+    const std::uint32_t port = static_cast<std::uint32_t>(
+        dest.cores.size() + (it - dest.ingress_from.begin()));
+    edge_index_[static_cast<std::size_t>(e.from) * n + e.to] =
+        static_cast<std::uint32_t>(bridges_.size());
+    bridges_.push_back(Bridge{e.from, e.to, port, {}, 0, 0, 0});
   }
 
   global_.master.resize(config_.n_masters);
@@ -136,24 +177,45 @@ void SegmentedInterconnect::tick(Cycle now) {
   // tick (cores tick before the interconnect).
   deliver_bridges(now);
   for (Segment& seg : segments_) seg.bus->tick(now);
+
+  // End-of-cycle accounting: queue-depth accumulators per bridge, and --
+  // with a bounded depth -- one stall master-cycle per pending request
+  // withheld from arbitration by a full next-hop bridge.
+  ++ticks_;
+  for (Bridge& bridge : bridges_) {
+    bridge.depth_sum += bridge.queue.size();
+    bridge.depth_max = std::max(bridge.depth_max, bridge.queue.size());
+  }
+  if (config_.bridge_depth > 0) {
+    for (std::uint32_t s = 0; s < n_segments(); ++s) {
+      std::uint32_t blocked = blocked_mask(s);
+      const Segment& seg = segments_[s];
+      while (blocked != 0) {
+        const std::uint32_t local =
+            static_cast<std::uint32_t>(std::countr_zero(blocked));
+        blocked &= blocked - 1;
+        if (seg.bus->has_pending(local)) ++backpressure_stalls_[s];
+      }
+    }
+  }
 }
 
 void SegmentedInterconnect::set_filter(std::uint32_t segment,
                                        EligibilityFilter* filter) {
-  CBUS_EXPECTS(segment < config_.n_segments);
-  segments_[segment].bus->set_filter(filter);
+  CBUS_EXPECTS(segment < config_.n_segments());
+  segments_[segment].gate->user = filter;
   filters_[segment] = filter;
 }
 
 std::uint32_t SegmentedInterconnect::n_local_masters(
     std::uint32_t segment) const {
-  CBUS_EXPECTS(segment < config_.n_segments);
+  CBUS_EXPECTS(segment < config_.n_segments());
   return segments_[segment].bus->n_masters();
 }
 
 std::span<const MasterId> SegmentedInterconnect::segment_cores(
     std::uint32_t segment) const {
-  CBUS_EXPECTS(segment < config_.n_segments);
+  CBUS_EXPECTS(segment < config_.n_segments());
   return segments_[segment].cores;
 }
 
@@ -178,6 +240,24 @@ std::pair<std::uint32_t, std::uint32_t> SegmentedInterconnect::bridge_route(
   return {bridges_[b].from, bridges_[b].to};
 }
 
+std::size_t SegmentedInterconnect::bridge_queue_depth_max(
+    std::uint32_t b) const {
+  CBUS_EXPECTS(b < bridges_.size());
+  return bridges_[b].depth_max;
+}
+
+std::uint64_t SegmentedInterconnect::bridge_queue_depth_sum(
+    std::uint32_t b) const {
+  CBUS_EXPECTS(b < bridges_.size());
+  return bridges_[b].depth_sum;
+}
+
+std::uint64_t SegmentedInterconnect::backpressure_stalls(
+    std::uint32_t segment) const {
+  CBUS_EXPECTS(segment < config_.n_segments());
+  return backpressure_stalls_[segment];
+}
+
 BusStatistics SegmentedInterconnect::statistics() const {
   BusStatistics out = global_;
   for (const Segment& seg : segments_) {
@@ -191,13 +271,13 @@ BusStatistics SegmentedInterconnect::statistics() const {
 
 const BusStatistics& SegmentedInterconnect::segment_statistics(
     std::uint32_t segment) const {
-  CBUS_EXPECTS(segment < config_.n_segments);
+  CBUS_EXPECTS(segment < config_.n_segments());
   return segments_[segment].bus->statistics();
 }
 
 const Arbiter& SegmentedInterconnect::segment_arbiter(
     std::uint32_t segment) const {
-  CBUS_EXPECTS(segment < config_.n_segments);
+  CBUS_EXPECTS(segment < config_.n_segments());
   return *segments_[segment].arbiter;
 }
 
@@ -223,9 +303,7 @@ void SegmentedInterconnect::deliver_bridges(Cycle now) {
     const BridgeEntry& head = bridge.queue.front();
     if (head.ready > now) continue;
     Segment& dest = segments_[bridge.to];
-    const std::uint32_t port =
-        bridge.to > bridge.from ? dest.left_port : dest.right_port;
-    CBUS_ASSERT(port != kNoMaster);
+    const std::uint32_t port = bridge.dest_port;
     // The ingress port presents one request at a time; the rest of the
     // queue waits (store-and-forward backpressure). port_owner is the
     // authoritative busy flag: the bus's can_request() is briefly true
@@ -237,6 +315,39 @@ void SegmentedInterconnect::deliver_bridges(Cycle now) {
     raise_hop(bridge.to, port, head.master, /*forced_hold=*/0, now);
     bridge.queue.pop_front();
   }
+}
+
+std::uint32_t SegmentedInterconnect::blocked_mask(
+    std::uint32_t segment) const {
+  if (config_.bridge_depth == 0) return 0;
+  std::uint32_t mask = 0;
+  const Segment& seg = segments_[segment];
+  const std::uint32_t n_local =
+      static_cast<std::uint32_t>(seg.port_owner.size());
+  for (std::uint32_t local = 0; local < n_local; ++local) {
+    const MasterId master = seg.port_owner[local];
+    if (master == kNoMaster) continue;
+    const InFlight& entry = flight_[master];
+    if (entry.target == segment) continue;  // delivered here, no next hop
+    const std::uint32_t next =
+        config_.topology.next_hop(segment, entry.target);
+    const Bridge& bridge = bridges_[bridge_index(segment, next)];
+    // Count grant-time reservations too: overlapped arbitration admits
+    // the next transfer while the previous one is still in service, so
+    // the live queue alone under-reports committed occupancy.
+    if (bridge.queue.size() + bridge.reserved >= config_.bridge_depth) {
+      mask |= 1u << local;
+    }
+  }
+  return mask;
+}
+
+std::uint32_t SegmentedInterconnect::bridge_index(std::uint32_t from,
+                                                  std::uint32_t to) const {
+  const std::uint32_t b =
+      edge_index_[static_cast<std::size_t>(from) * n_segments() + to];
+  CBUS_ASSERT(b != kNoBridge);  // routing only crosses topology edges
+  return b;
 }
 
 MasterId SegmentedInterconnect::owner_of(std::uint32_t segment,
@@ -273,7 +384,19 @@ void SegmentedInterconnect::hop_granted(std::uint32_t segment,
                                         const BusRequest& local_request,
                                         Cycle now, Cycle hold) {
   const MasterId master = owner_of(segment, local);
-  flight_[master].hop_hold = hold;
+  InFlight& granted = flight_[master];
+  granted.hop_hold = hold;
+  // A granted hop that will forward into a bridge reserves its queue
+  // slot NOW (the SegmentGate admitted it against queue + reserved);
+  // the reservation becomes the real entry in hop_completed.
+  if (config_.bridge_depth > 0 && granted.target != segment) {
+    const std::uint32_t next =
+        config_.topology.next_hop(segment, granted.target);
+    Bridge& bridge = bridges_[bridge_index(segment, next)];
+    ++bridge.reserved;
+    CBUS_ASSERT(bridge.queue.size() + bridge.reserved <=
+                config_.bridge_depth);
+  }
   auto& pm = global_.master[master];
   pm.hold_cycles += hold;
 
@@ -313,6 +436,7 @@ void SegmentedInterconnect::hop_completed(std::uint32_t segment,
 
   if (segment == entry.target) {
     ++global_.master[master].completions;
+    ++hop_histogram_[entry.hops];
     if (entry.hops > 0) {
       ++bridge_stats_.remote_transactions;
     } else {
@@ -327,19 +451,22 @@ void SegmentedInterconnect::hop_completed(std::uint32_t segment,
     return;
   }
 
-  // Transit hop done: store-and-forward towards the target.
+  // Transit hop done: store-and-forward towards the target along the
+  // topology's routed path.
   const std::uint32_t next =
-      entry.target > segment ? segment + 1 : segment - 1;
+      config_.topology.next_hop(segment, entry.target);
   ++entry.hops;
   ++bridge_stats_.hops;
-  for (Bridge& bridge : bridges_) {
-    if (bridge.from == segment && bridge.to == next) {
-      bridge.queue.push_back(
-          BridgeEntry{master, now + config_.bridge_latency, now});
-      return;
-    }
+  Bridge& bridge = bridges_[bridge_index(segment, next)];
+  // The grant-time reservation converts into the real queue entry, so a
+  // bounded queue never overflows.
+  if (config_.bridge_depth > 0) {
+    CBUS_ASSERT(bridge.reserved > 0);
+    --bridge.reserved;
+    CBUS_ASSERT(bridge.queue.size() < config_.bridge_depth);
   }
-  CBUS_ASSERT(false);  // adjacency always has a bridge
+  bridge.queue.push_back(
+      BridgeEntry{master, now + config_.bridge_latency, now});
 }
 
 }  // namespace cbus::bus

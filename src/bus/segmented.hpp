@@ -1,12 +1,14 @@
-// SegmentedInterconnect: N shared-bus segments joined by store-and-forward
+// SegmentedInterconnect: bus segments joined by store-and-forward
 // bridges -- the multi-contention-point generalisation of the paper's
 // single bus (ROADMAP "multi-segment/NoC-style interconnects").
 //
-// Topology is a linear chain of `n_segments` NonSplitBus instances. Every
-// global master (core) is attached to a *home segment*; adjacent segments
-// are connected by one bridge per direction. The address space is
-// interleaved across segments in `2^stripe_log2`-byte ranges, and a
-// request targets the segment owning its address range:
+// The shape of the interconnect is a bus::Topology graph (chain, ring or
+// 2D mesh; see topology.hpp): segments are nodes, bridges are directed
+// edges, and each topology supplies a deterministic next-hop routing
+// function. Every global master (core) is attached to a *home segment*;
+// the address space is interleaved across segments in
+// `2^stripe_log2`-byte ranges, and a request targets the segment owning
+// its address range:
 //
 //   core m (home h) --> segment h --> [bridge]* --> segment t --> slave
 //
@@ -21,22 +23,37 @@
 //    cycles (the forward beat into the bridge), sits `bridge_latency`
 //    cycles in the store-and-forward buffer, then re-arbitrates on the
 //    next segment as that segment's bridge-ingress master -- hop by hop
-//    until the target segment, where the slave is consulted. The
-//    response path is folded into the hold times (the originating master
-//    is notified when the target-segment transfer completes).
+//    along the topology's routed path until the target segment, where
+//    the slave is consulted. The response path is folded into the hold
+//    times (the originating master is notified when the target-segment
+//    transfer completes).
 //  * Forced-hold requests (WCET-mode virtual contenders, trace replay)
 //    never route: they model synthetic contention on the master's home
 //    segment, mirroring the paper's Table-I setup per segment.
 //
-// Bridges buffer store-and-forward requests in an unbounded FIFO (the
-// model studies bandwidth shares, not buffer sizing); each ingress port
-// presents at most one request to its segment at a time, so a bridge is
-// one more master in the segment's arbitration -- which is exactly how
-// the per-segment fairness question generalises the paper's.
+// Bridge queues are unbounded by default (`bridge_depth = 0`: the model
+// studies bandwidth shares, not buffer sizing). With a bounded
+// `bridge_depth`, a full downstream queue exerts *backpressure*: any
+// request whose routed next hop would enqueue into a full bridge is
+// withheld from arbitration (masked out of grant eligibility, exactly
+// like an exhausted credit budget), and a blocked bridge-ingress
+// occupant keeps its port busy -- which stalls the upstream bridge head
+// in turn, so congestion propagates hop-by-hop instead of accumulating
+// in infinite buffers. Admission is a grant-time RESERVATION: winning a
+// segment's arbitration reserves one slot in the routed next-hop bridge
+// (overlapped arbitration grants while the previous transfer is still
+// in service, so testing the live queue alone would leak admissions),
+// and the reservation converts into the real queue entry when the
+// forward beat completes. queued + reserved never exceeds the bound, so
+// no entry is ever dropped or reordered. Caveat: shortest-path routing on a
+// bounded ring admits cyclic waits in principle; with at most one
+// outstanding request per master (this model's protocol) a cycle cannot
+// close, but pathological configs should prefer `chain`/`mesh` (XY
+// routing is deadlock-free) or a deeper bound.
 //
 // All state is per-instance and advanced only inside tick(), so a
 // replica is lane-safe under sim::BatchKernel and batched campaigns stay
-// bit-identical to serial.
+// bit-identical to serial -- for every topology.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +68,7 @@
 #include "bus/bus.hpp"
 #include "bus/interfaces.hpp"
 #include "bus/request.hpp"
+#include "bus/topology.hpp"
 #include "common/contracts.hpp"
 #include "common/types.hpp"
 #include "sim/component.hpp"
@@ -58,8 +76,10 @@
 namespace cbus::bus {
 
 struct SegmentedConfig {
-  std::uint32_t n_masters = 4;   ///< global bus masters (cores)
-  std::uint32_t n_segments = 2;  ///< chain length (1 = degenerate single)
+  std::uint32_t n_masters = 4;  ///< global bus masters (cores)
+  /// Interconnect graph (chain:<n> reproduces the legacy linear chain
+  /// cycle-exactly; see topology.hpp for ring/mesh routing rules).
+  Topology topology = Topology::chain(2);
   bool overlapped_arbitration = true;
 
   /// Cycles a forwarded request occupies the segment it leaves (the
@@ -69,17 +89,24 @@ struct SegmentedConfig {
   Cycle bridge_latency = 2;
   /// Address interleave: route(addr) = (addr >> stripe_log2) % n_segments.
   std::uint32_t stripe_log2 = 12;
+  /// Bridge queue bound; 0 = unbounded (the legacy behavior). A full
+  /// queue withholds grant eligibility upstream (backpressure).
+  std::uint32_t bridge_depth = 0;
+
+  [[nodiscard]] std::uint32_t n_segments() const noexcept {
+    return topology.n_segments();
+  }
 
   /// Home segment of master m: block distribution, so masters 0..k-1
   /// fill segment 0 first (the TuA's segment), then the next.
   [[nodiscard]] std::uint32_t home_segment(MasterId m) const noexcept {
     return static_cast<std::uint32_t>(
-        (static_cast<std::uint64_t>(m) * n_segments) / n_masters);
+        (static_cast<std::uint64_t>(m) * n_segments()) / n_masters);
   }
 
   /// Segment owning the address range of `addr`.
   [[nodiscard]] std::uint32_t route(Addr addr) const noexcept {
-    return (addr >> stripe_log2) % n_segments;
+    return (addr >> stripe_log2) % n_segments();
   }
 
   /// Throws std::invalid_argument on inconsistent parameters.
@@ -130,20 +157,27 @@ class SegmentedInterconnect final : public sim::Component, public BusPort {
 
   /// Install segment `segment`'s eligibility filter (nullptr detaches).
   /// Local slot numbering (the filter's master ids): home cores in
-  /// ascending global id, then the from-left, then the from-right bridge
-  /// ingress port. Besides gating its own segment's arbitration, a
-  /// filter receives on_remote_occupancy(local_core, cycles) whenever a
-  /// home core's transaction finishes a hop on a FOREIGN segment, so
-  /// per-segment credit accounting charges each core for its
-  /// transaction's entire path.
+  /// ascending global id, then one bridge-ingress port per incoming
+  /// topology edge in ascending source-segment order (for the chain:
+  /// from-left, then from-right, as always). Besides gating its own
+  /// segment's arbitration, a filter receives
+  /// on_remote_occupancy(local_core, cycles) whenever a home core's
+  /// transaction finishes a hop on a FOREIGN segment, so per-segment
+  /// credit accounting charges each core for its transaction's entire
+  /// path. With a bounded `bridge_depth` the interconnect composes its
+  /// own backpressure mask with the installed filter (filter first,
+  /// then the blocked-next-hop mask).
   void set_filter(std::uint32_t segment, EligibilityFilter* filter);
 
   // --- topology introspection -------------------------------------------
   [[nodiscard]] std::uint32_t n_segments() const noexcept {
-    return config_.n_segments;
+    return config_.n_segments();
   }
   [[nodiscard]] std::uint32_t n_masters() const noexcept {
     return config_.n_masters;
+  }
+  [[nodiscard]] const Topology& topology() const noexcept {
+    return config_.topology;
   }
   /// Local masters of a segment: home cores + bridge ingress ports.
   [[nodiscard]] std::uint32_t n_local_masters(std::uint32_t segment) const;
@@ -154,7 +188,8 @@ class SegmentedInterconnect final : public sim::Component, public BusPort {
   [[nodiscard]] std::uint32_t home_segment(MasterId master) const;
   /// Local slot of a core on its home segment.
   [[nodiscard]] std::uint32_t local_slot(MasterId master) const;
-  /// Bridges in delivery order: (s -> s+1), (s+1 -> s) per adjacency.
+  /// Bridges in delivery order = Topology::edges() order (for the chain:
+  /// (s -> s+1), (s+1 -> s) per adjacency, the historical contract).
   [[nodiscard]] std::uint32_t n_bridges() const noexcept {
     return static_cast<std::uint32_t>(bridges_.size());
   }
@@ -175,6 +210,23 @@ class SegmentedInterconnect final : public sim::Component, public BusPort {
       std::uint32_t segment) const;
   [[nodiscard]] const BridgeStats& bridge_stats() const noexcept {
     return bridge_stats_;
+  }
+  /// High-water mark of bridge `b`'s queue over the run.
+  [[nodiscard]] std::size_t bridge_queue_depth_max(std::uint32_t b) const;
+  /// Sum of bridge `b`'s end-of-cycle queue depths (mean = sum / ticks).
+  [[nodiscard]] std::uint64_t bridge_queue_depth_sum(std::uint32_t b) const;
+  /// Cycles this interconnect has ticked (denominator for depth means).
+  [[nodiscard]] std::uint64_t ticked_cycles() const noexcept {
+    return ticks_;
+  }
+  /// Master-cycles segment `segment` withheld a pending request from
+  /// arbitration because its routed next-hop bridge was full. Always 0
+  /// when bridge_depth is unbounded.
+  [[nodiscard]] std::uint64_t backpressure_stalls(std::uint32_t segment) const;
+  /// Completed transactions by bridges crossed; index = hop count,
+  /// size = topology diameter + 1.
+  [[nodiscard]] std::span<const std::uint64_t> hop_histogram() const noexcept {
+    return hop_histogram_;
   }
   [[nodiscard]] const SegmentedConfig& config() const noexcept {
     return config_;
@@ -210,12 +262,42 @@ class SegmentedInterconnect final : public sim::Component, public BusPort {
     }
   };
 
+  // Per-segment eligibility adapter: applies the installed (credit)
+  // filter first, then masks out requests whose routed next-hop bridge
+  // is full -- the backpressure half of the grant-eligibility contract.
+  // With bridge_depth unbounded the blocked mask is always 0, so the
+  // composition is a byte-exact pass-through of the legacy behavior.
+  struct SegmentGate final : EligibilityFilter {
+    SegmentedInterconnect* owner = nullptr;
+    std::uint32_t segment = 0;
+    EligibilityFilter* user = nullptr;  ///< from set_filter (may be null)
+    std::uint32_t eligible(std::uint32_t pending, Cycle now) override {
+      const std::uint32_t mask =
+          user != nullptr ? user->eligible(pending, now) : pending;
+      return mask & ~owner->blocked_mask(segment);
+    }
+    void on_cycle(MasterId holder, Cycle now) override {
+      if (user != nullptr) user->on_cycle(holder, now);
+    }
+    void on_grant(MasterId master, Cycle now) override {
+      if (user != nullptr) user->on_grant(master, now);
+    }
+    void on_remote_occupancy(MasterId master, Cycle occupancy) override {
+      if (user != nullptr) user->on_remote_occupancy(master, occupancy);
+    }
+    void reset() override {
+      if (user != nullptr) user->reset();
+    }
+  };
+
   struct Segment {
     std::vector<MasterId> cores;  ///< ascending global ids; slot = index
-    std::uint32_t left_port = kNoMaster;   ///< ingress from segment-1
-    std::uint32_t right_port = kNoMaster;  ///< ingress from segment+1
+    /// Source segment feeding each bridge-ingress port, ascending; port
+    /// i lives at local slot cores.size() + i.
+    std::vector<std::uint32_t> ingress_from;
     std::unique_ptr<Arbiter> arbiter;
     std::unique_ptr<SegmentSlave> slave;
+    std::unique_ptr<SegmentGate> gate;
     std::unique_ptr<NonSplitBus> bus;
     std::vector<std::unique_ptr<PortRelay>> relays;  ///< one per local slot
     /// Global master whose hop occupies each local slot (kNoMaster: free).
@@ -231,7 +313,13 @@ class SegmentedInterconnect final : public sim::Component, public BusPort {
   struct Bridge {
     std::uint32_t from = 0;
     std::uint32_t to = 0;
+    std::uint32_t dest_port = 0;  ///< local slot of the ingress port on `to`
     std::deque<BridgeEntry> queue;
+    /// Grant-time admissions not yet enqueued (bounded depth only):
+    /// queue.size() + reserved <= bridge_depth is the hard invariant.
+    std::uint32_t reserved = 0;
+    std::uint64_t depth_sum = 0;  ///< end-of-cycle depths, summed
+    std::size_t depth_max = 0;    ///< high-water mark
   };
 
   /// One outstanding transaction per global master.
@@ -248,6 +336,13 @@ class SegmentedInterconnect final : public sim::Component, public BusPort {
                  Cycle forced_hold, Cycle now);
   /// Deliver ready bridge entries whose ingress port is free.
   void deliver_bridges(Cycle now);
+  /// Local slots whose occupant's routed next-hop bridge is full (0 when
+  /// bridge_depth is unbounded). Consulted by the SegmentGate at
+  /// arbitration time and by the stall accounting in tick().
+  [[nodiscard]] std::uint32_t blocked_mask(std::uint32_t segment) const;
+  /// Bridge index of directed edge (from -> to); asserts adjacency.
+  [[nodiscard]] std::uint32_t bridge_index(std::uint32_t from,
+                                           std::uint32_t to) const;
 
   // NonSplitBus callback targets (see PortRelay / SegmentSlave).
   Cycle hop_begin(std::uint32_t segment, const BusRequest& local_request,
@@ -266,7 +361,9 @@ class SegmentedInterconnect final : public sim::Component, public BusPort {
   BusSlave& slave_;
 
   std::vector<Segment> segments_;
-  std::vector<Bridge> bridges_;  ///< (s -> s+1), (s+1 -> s) per adjacency
+  std::vector<Bridge> bridges_;  ///< Topology::edges() order
+  /// Directed-edge lookup: edge_index_[from * n + to] = bridge index.
+  std::vector<std::uint32_t> edge_index_;
   /// Per-segment filters, mirrored from set_filter: foreign-hop
   /// occupancy is charged back to the origin's HOME filter
   /// (EligibilityFilter::on_remote_occupancy), so a credit budget pays
@@ -282,6 +379,9 @@ class SegmentedInterconnect final : public sim::Component, public BusPort {
   /// Live global per-master counters; busy/idle/total assembled on demand.
   BusStatistics global_;
   BridgeStats bridge_stats_;
+  std::vector<std::uint64_t> backpressure_stalls_;  ///< per segment
+  std::vector<std::uint64_t> hop_histogram_;  ///< per completed hop count
+  std::uint64_t ticks_ = 0;
 };
 
 }  // namespace cbus::bus

@@ -1,0 +1,158 @@
+#include "bus/topology.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace cbus::bus {
+
+namespace {
+
+[[noreturn]] void bad_topology(const std::string& what) {
+  throw std::invalid_argument("topology: " + what);
+}
+
+}  // namespace
+
+Topology::Topology(TopologyKind kind, std::uint32_t n, std::uint32_t rows,
+                   std::uint32_t cols)
+    : kind_(kind), n_(n), rows_(rows), cols_(cols) {
+  // Undirected adjacencies in canonical order; each contributes its
+  // canonical direction then the reverse. For the chain this reproduces
+  // the historical (s -> s+1), (s+1 -> s) bridge order exactly.
+  const auto link = [this](std::uint32_t a, std::uint32_t b) {
+    edges_.push_back({a, b});
+    edges_.push_back({b, a});
+  };
+  switch (kind_) {
+    case TopologyKind::kChain:
+      for (std::uint32_t s = 0; s + 1 < n_; ++s) link(s, s + 1);
+      break;
+    case TopologyKind::kRing:
+      for (std::uint32_t s = 0; s + 1 < n_; ++s) link(s, s + 1);
+      link(n_ - 1, 0);  // the wrap link, forward direction first
+      break;
+    case TopologyKind::kMesh:
+      for (std::uint32_t r = 0; r < rows_; ++r) {
+        for (std::uint32_t c = 0; c < cols_; ++c) {
+          const std::uint32_t s = r * cols_ + c;
+          if (c + 1 < cols_) link(s, s + 1);
+          if (r + 1 < rows_) link(s, s + cols_);
+        }
+      }
+      break;
+  }
+  in_degree_.assign(n_, 0);
+  for (const TopologyEdge& e : edges_) ++in_degree_[e.to];
+}
+
+Topology Topology::chain(std::uint32_t n) {
+  if (n < 1) bad_topology("chain needs >= 1 segment");
+  return Topology(TopologyKind::kChain, n, 0, 0);
+}
+
+Topology Topology::ring(std::uint32_t n) {
+  if (n < 3) bad_topology("ring:<n> needs n >= 3 (ring:2 would duplicate "
+                          "the chain link; use chain:2)");
+  return Topology(TopologyKind::kRing, n, 0, 0);
+}
+
+Topology Topology::mesh(std::uint32_t rows, std::uint32_t cols) {
+  if (rows < 1 || cols < 1 || rows * cols < 2) {
+    bad_topology("mesh:<rows>x<cols> needs rows, cols >= 1 and at least "
+                 "2 segments");
+  }
+  return Topology(TopologyKind::kMesh, rows * cols, rows, cols);
+}
+
+std::uint32_t Topology::in_degree(std::uint32_t segment) const {
+  CBUS_EXPECTS(segment < n_);
+  return in_degree_[segment];
+}
+
+std::uint32_t Topology::next_hop(std::uint32_t from, std::uint32_t to) const {
+  CBUS_EXPECTS(from < n_ && to < n_ && from != to);
+  switch (kind_) {
+    case TopologyKind::kChain:
+      return to > from ? from + 1 : from - 1;
+    case TopologyKind::kRing: {
+      const std::uint32_t fwd = (to + n_ - from) % n_;
+      // Shortest direction; antipodal ties break forward.
+      return fwd <= n_ - fwd ? (from + 1) % n_ : (from + n_ - 1) % n_;
+    }
+    case TopologyKind::kMesh: {
+      const std::uint32_t fc = from % cols_;
+      const std::uint32_t tc = to % cols_;
+      if (fc != tc) return tc > fc ? from + 1 : from - 1;  // X first
+      return to > from ? from + cols_ : from - cols_;      // then Y
+    }
+  }
+  CBUS_ASSERT(false);
+  return from;
+}
+
+std::uint32_t Topology::distance(std::uint32_t from, std::uint32_t to) const {
+  CBUS_EXPECTS(from < n_ && to < n_);
+  switch (kind_) {
+    case TopologyKind::kChain:
+      return to > from ? to - from : from - to;
+    case TopologyKind::kRing: {
+      const std::uint32_t fwd = (to + n_ - from) % n_;
+      return fwd <= n_ - fwd ? fwd : n_ - fwd;
+    }
+    case TopologyKind::kMesh: {
+      const std::uint32_t fc = from % cols_;
+      const std::uint32_t tc = to % cols_;
+      const std::uint32_t fr = from / cols_;
+      const std::uint32_t tr = to / cols_;
+      return (tc > fc ? tc - fc : fc - tc) + (tr > fr ? tr - fr : fr - tr);
+    }
+  }
+  CBUS_ASSERT(false);
+  return 0;
+}
+
+std::uint32_t Topology::diameter() const noexcept {
+  switch (kind_) {
+    case TopologyKind::kChain: return n_ - 1;
+    case TopologyKind::kRing: return n_ / 2;
+    case TopologyKind::kMesh: return (rows_ - 1) + (cols_ - 1);
+  }
+  return 0;
+}
+
+std::string Topology::label() const {
+  switch (kind_) {
+    case TopologyKind::kChain: return "chain:" + std::to_string(n_);
+    case TopologyKind::kRing: return "ring:" + std::to_string(n_);
+    case TopologyKind::kMesh:
+      return "mesh:" + std::to_string(rows_) + "x" + std::to_string(cols_);
+  }
+  return "?";
+}
+
+std::span<const TopologyForm> topology_forms() {
+  static const std::array<TopologyForm, 5> kForms{{
+      {"single", "the paper's one shared bus (default)"},
+      {"segmented:<n>", "legacy spelling of chain:<n> (n >= 2)"},
+      {"chain:<n>", "linear chain of n bus segments, linear routing"},
+      {"ring:<n>",
+       "chain closed by a wrap link (n >= 3), shortest-direction routing"},
+      {"mesh:<rows>x<cols>",
+       "2D grid of segments, dimension-ordered XY routing"},
+  }};
+  return kForms;
+}
+
+std::string known_topology_list() {
+  std::string out;
+  for (const TopologyForm& form : topology_forms()) {
+    if (!out.empty()) out += " ";
+    out += form.name;
+  }
+  return out;
+}
+
+}  // namespace cbus::bus

@@ -1,0 +1,122 @@
+// Interconnect topology descriptions for bus::SegmentedInterconnect: a
+// small graph model (segments = nodes, bridges = directed edges) plus a
+// deterministic next-hop routing function per topology kind.
+//
+//  * chain:<n> -- the original linear chain. Routing walks towards the
+//    target (`to > from` steps right, else left). This is the legacy
+//    `segmented:<n>` behavior, cycle-exact by construction: the edge
+//    enumeration below reproduces the historical bridge delivery order
+//    (s -> s+1), (s+1 -> s) per adjacency.
+//  * ring:<n> -- the chain closed by a wrap-around link. Routing takes
+//    the shortest direction; equidistant targets (even n, antipodal
+//    target) break the tie FORWARD (towards from+1), deterministically.
+//  * mesh:<rows>x<cols> -- a 2D grid, segment s at (row s/cols,
+//    col s%cols). Routing is dimension-ordered XY: correct the column
+//    first, then the row. XY routing is deadlock-free on a mesh and
+//    gives every (from, to) pair exactly one path, so batched campaigns
+//    stay bit-identical to serial.
+//
+// Edge order is part of the determinism contract: bridges are delivered
+// in edges() order every cycle, and per-segment ingress ports are
+// assigned in ascending-source order (chain: from-left before
+// from-right, as before).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cbus::bus {
+
+enum class TopologyKind : std::uint8_t { kChain, kRing, kMesh };
+
+[[nodiscard]] constexpr std::string_view to_string(TopologyKind k) noexcept {
+  switch (k) {
+    case TopologyKind::kChain: return "chain";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kMesh: return "mesh";
+  }
+  return "?";
+}
+
+/// One directed bridge link between two segments.
+struct TopologyEdge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  friend bool operator==(const TopologyEdge&, const TopologyEdge&) = default;
+};
+
+/// Immutable graph + routing description. Construction validates shape
+/// (throws std::invalid_argument) so an instance is always routable.
+class Topology {
+ public:
+  /// Linear chain of n >= 1 segments (1 = degenerate single segment).
+  [[nodiscard]] static Topology chain(std::uint32_t n);
+  /// Ring of n >= 3 segments (n = 2 would duplicate the chain link).
+  [[nodiscard]] static Topology ring(std::uint32_t n);
+  /// rows x cols 2D mesh with XY routing; rows, cols >= 1, rows*cols >= 2.
+  [[nodiscard]] static Topology mesh(std::uint32_t rows, std::uint32_t cols);
+
+  Topology() : Topology(chain(2)) {}
+
+  [[nodiscard]] TopologyKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::uint32_t n_segments() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const noexcept { return cols_; }
+
+  /// Directed edges in bridge delivery order: for every undirected
+  /// adjacency, the canonical direction first, then its reverse.
+  [[nodiscard]] std::span<const TopologyEdge> edges() const noexcept {
+    return edges_;
+  }
+  /// Bridge ingress ports a segment hosts (= incoming directed edges).
+  [[nodiscard]] std::uint32_t in_degree(std::uint32_t segment) const;
+
+  /// Neighbour a hop takes leaving `from` towards `to` (from != to).
+  /// Deterministic: one answer per (from, to) pair, always adjacent.
+  [[nodiscard]] std::uint32_t next_hop(std::uint32_t from,
+                                       std::uint32_t to) const;
+  /// Bridges crossed on the routed from -> to path (0 when from == to).
+  [[nodiscard]] std::uint32_t distance(std::uint32_t from,
+                                       std::uint32_t to) const;
+  /// Longest routed path in the graph, in hops.
+  [[nodiscard]] std::uint32_t diameter() const noexcept;
+
+  /// Human-readable label: "chain:4", "ring:8", "mesh:3x3".
+  [[nodiscard]] std::string label() const;
+
+  friend bool operator==(const Topology& a, const Topology& b) noexcept {
+    return a.kind_ == b.kind_ && a.n_ == b.n_ && a.rows_ == b.rows_ &&
+           a.cols_ == b.cols_;
+  }
+
+ private:
+  Topology(TopologyKind kind, std::uint32_t n, std::uint32_t rows,
+           std::uint32_t cols);
+
+  TopologyKind kind_ = TopologyKind::kChain;
+  std::uint32_t n_ = 1;
+  std::uint32_t rows_ = 0;  ///< mesh only
+  std::uint32_t cols_ = 0;  ///< mesh only
+  std::vector<TopologyEdge> edges_;
+  std::vector<std::uint32_t> in_degree_;
+};
+
+/// One accepted `topology =` config form (the `--list topologies` set).
+struct TopologyForm {
+  std::string_view name;         ///< config syntax, e.g. "mesh:<rows>x<cols>"
+  std::string_view description;  ///< one-line summary for --list output
+};
+
+/// Registry of accepted config forms, in display order.
+[[nodiscard]] std::span<const TopologyForm> topology_forms();
+
+/// Space-joined form names for parse-error messages, mirroring
+/// ctrl::known_controller_list().
+[[nodiscard]] std::string known_topology_list();
+
+}  // namespace cbus::bus

@@ -103,6 +103,13 @@ void probe_segments(const bus::SegmentedInterconnect* segmented,
     out.set("seg.remote_fraction", 0.0);
     out.set("seg.bridge_hops", 0.0);
     out.set("seg.mean_bridge_wait", 0.0);
+    out.set("seg.queue_depth_max", std::vector<double>{0.0});
+    out.set("seg.queue_depth_mean", std::vector<double>{0.0});
+    out.set("seg.backpressure_stalls", std::vector<double>{0.0});
+    // Every single-bus transaction is served in place: 0 bridges crossed.
+    out.set("seg.hop_histogram",
+            std::vector<double>{
+                static_cast<double>(flat.totals().completions)});
     return;
   }
 
@@ -132,6 +139,34 @@ void probe_segments(const bus::SegmentedInterconnect* segmented,
           bridges.hops == 0 ? 0.0
                             : static_cast<double>(bridges.queue_cycles) /
                                   static_cast<double>(bridges.hops));
+
+  // Per-bridge queue shape (one element per directed topology edge, in
+  // bridge delivery order) and the backpressure picture.
+  const std::uint32_t nb = segmented->n_bridges();
+  const std::uint64_t ticks = segmented->ticked_cycles();
+  std::vector<double> depth_max(nb);
+  std::vector<double> depth_mean(nb);
+  for (std::uint32_t b = 0; b < nb; ++b) {
+    depth_max[b] =
+        static_cast<double>(segmented->bridge_queue_depth_max(b));
+    depth_mean[b] =
+        ticks == 0 ? 0.0
+                   : static_cast<double>(segmented->bridge_queue_depth_sum(b)) /
+                         static_cast<double>(ticks);
+  }
+  out.set("seg.queue_depth_max", std::move(depth_max));
+  out.set("seg.queue_depth_mean", std::move(depth_mean));
+  std::vector<double> stalls(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    stalls[s] = static_cast<double>(segmented->backpressure_stalls(s));
+  }
+  out.set("seg.backpressure_stalls", std::move(stalls));
+  const std::span<const std::uint64_t> hist = segmented->hop_histogram();
+  std::vector<double> hops(hist.size());
+  for (std::size_t h = 0; h < hist.size(); ++h) {
+    hops[h] = static_cast<double>(hist[h]);
+  }
+  out.set("seg.hop_histogram", std::move(hops));
 }
 
 void probe_ctrl(const ctrl::CreditController* controller, Record& out) {
@@ -154,7 +189,7 @@ void probe_ctrl(const ctrl::CreditController* controller, Record& out) {
 }
 
 std::span<const MetricInfo> metric_catalog() {
-  static const std::array<MetricInfo, 25> kCatalog{{
+  static const std::array<MetricInfo, 29> kCatalog{{
       {"tua.cycles", false,
        "execution time of the task under analysis (cycles)"},
       {"tua.bus_requests", false, "bus requests issued by the TuA"},
@@ -190,6 +225,15 @@ std::span<const MetricInfo> metric_catalog() {
       {"seg.bridge_hops", false, "store-and-forward bridge traversals"},
       {"seg.mean_bridge_wait", false,
        "mean cycles a forwarded request sat in a bridge buffer"},
+      {"seg.queue_depth_max", true,
+       "high-water bridge queue depth (one element per directed edge)"},
+      {"seg.queue_depth_mean", true,
+       "time-mean bridge queue depth (one element per directed edge)"},
+      {"seg.backpressure_stalls", true,
+       "master-cycles a segment withheld a request because its next-hop "
+       "bridge was full (bounded bridge_depth only)"},
+      {"seg.hop_histogram", true,
+       "completed transactions by bridges crossed (index = hop count)"},
       {"ctrl.increment", true,
        "Table-I credit increment in force per master at run end "
        "(controller = adaptive only)"},

@@ -24,7 +24,8 @@ const std::vector<std::string_view>& config_keys() {
       "cores",    "arbiter", "setup",        "mode",
       "bus",      "dram",    "l1_bytes",     "l2_bytes",
       "store_buffer", "maxl", "tdma_slot",   "topology",
-      "bridge_hold", "bridge_latency", "seg_stripe", "controller"};
+      "bridge_hold", "bridge_latency", "seg_stripe", "bridge_depth",
+      "controller"};
   return keys;
 }
 
@@ -103,6 +104,64 @@ std::uint32_t parse_config_u32(const std::string& value,
   return static_cast<std::uint32_t>(parsed);
 }
 
+namespace {
+
+/// `topology =` dispatch over the bus::topology_forms() registry; parse
+/// errors enumerate the registered forms (the `--list topologies` set),
+/// mirroring the controller-key UX.
+void parse_topology_value(const std::string& value, int line_no,
+                          TopologyConfig& topo) {
+  const std::string where = "line " + std::to_string(line_no) + ": ";
+  topo.rows = 0;
+  topo.cols = 0;
+  if (value == "single") {
+    topo.kind = bus::TopologyKind::kChain;
+    topo.segments = 1;
+    return;
+  }
+  const auto arg_after = [&](std::size_t prefix) {
+    return parse_config_u32(value.substr(prefix), "topology", line_no);
+  };
+  if (value.rfind("segmented:", 0) == 0 || value.rfind("chain:", 0) == 0) {
+    const std::uint32_t n =
+        arg_after(value.rfind("chain:", 0) == 0 ? 6 : 10);
+    CBUS_EXPECTS_MSG(n >= 2, where +
+                                 "chain/segmented:<n> needs n >= 2 (use "
+                                 "`topology = single` for one bus)");
+    topo.kind = bus::TopologyKind::kChain;
+    topo.segments = n;
+  } else if (value.rfind("ring:", 0) == 0) {
+    const std::uint32_t n = arg_after(5);
+    CBUS_EXPECTS_MSG(n >= 3, where +
+                                 "ring:<n> needs n >= 3 (ring:2 would "
+                                 "duplicate the chain link; use chain:2)");
+    topo.kind = bus::TopologyKind::kRing;
+    topo.segments = n;
+  } else if (value.rfind("mesh:", 0) == 0) {
+    const std::string dims = value.substr(5);
+    const auto x = dims.find('x');
+    CBUS_EXPECTS_MSG(x != std::string::npos && x > 0 && x + 1 < dims.size(),
+                     where + "mesh wants mesh:<rows>x<cols>, got: " + value);
+    const std::uint32_t rows =
+        parse_config_u32(dims.substr(0, x), "topology", line_no);
+    const std::uint32_t cols =
+        parse_config_u32(dims.substr(x + 1), "topology", line_no);
+    CBUS_EXPECTS_MSG(rows >= 1 && cols >= 1 && rows * cols >= 2,
+                     where + "mesh:<rows>x<cols> needs rows, cols >= 1 "
+                             "and at least 2 segments");
+    topo.kind = bus::TopologyKind::kMesh;
+    topo.rows = rows;
+    topo.cols = cols;
+    topo.segments = rows * cols;
+  } else {
+    CBUS_EXPECTS_MSG(false, where + "unknown topology '" + value +
+                                "' (known: " + bus::known_topology_list() +
+                                "; see --list topologies)");
+  }
+}
+
+}  // namespace
+
 PlatformConfig parse_config(std::istream& in) {
   PlatformConfig cfg;
   SetupKeyword setup = SetupKeyword::kRp;
@@ -168,20 +227,16 @@ PlatformConfig parse_config(std::istream& in) {
     } else if (key == "tdma_slot") {
       cfg.tdma_slot = parse_config_uint(value, key, line_no);
     } else if (key == "topology") {
-      if (value == "single") {
-        cfg.topology.segments = 1;
-      } else if (value.rfind("segmented:", 0) == 0) {
-        const std::uint32_t n =
-            parse_config_u32(value.substr(10), key, line_no);
-        CBUS_EXPECTS_MSG(n >= 2,
-                         "line " + std::to_string(line_no) +
-                             ": segmented:<n> needs n >= 2 (use "
-                             "`topology = single` for one bus)");
-        cfg.topology.segments = n;
+      parse_topology_value(value, line_no, cfg.topology);
+    } else if (key == "bridge_depth") {
+      if (value == "unbounded") {
+        cfg.topology.bridge_depth = 0;
       } else {
-        CBUS_EXPECTS_MSG(false, "line " + std::to_string(line_no) +
-                                    ": unknown topology: " + value +
-                                    " (single | segmented:<n>)");
+        cfg.topology.bridge_depth = parse_config_u32(value, key, line_no);
+        CBUS_EXPECTS_MSG(cfg.topology.bridge_depth >= 1,
+                         "line " + std::to_string(line_no) +
+                             ": bridge_depth must be >= 1 (or 'unbounded' "
+                             "for the default infinite queues)");
       }
     } else if (key == "bridge_hold") {
       cfg.topology.bridge_hold = parse_config_uint(value, key, line_no);
@@ -272,14 +327,15 @@ void write_config(std::ostream& out, const PlatformConfig& config) {
   out << "l2_bytes = " << config.l2_partition.size_bytes << '\n';
   out << "store_buffer = " << config.core.store_buffer_depth << '\n';
   out << "tdma_slot = " << config.tdma_slot << '\n';
-  if (config.topology.segmented()) {
-    out << "topology = segmented:" << config.topology.segments << '\n';
-  } else {
-    out << "topology = single\n";
-  }
+  out << "topology = " << config.topology.config_string() << '\n';
   out << "bridge_hold = " << config.topology.bridge_hold << '\n';
   out << "bridge_latency = " << config.topology.bridge_latency << '\n';
   out << "seg_stripe = " << (1ull << config.topology.stripe_log2) << '\n';
+  if (config.topology.bridge_depth > 0) {
+    out << "bridge_depth = " << config.topology.bridge_depth << '\n';
+  } else {
+    out << "bridge_depth = unbounded\n";
+  }
   out << "controller = " << ctrl::to_config_string(config.controller)
       << '\n';
 }

@@ -34,14 +34,40 @@ PlatformConfig PlatformConfig::paper_wcet(BusSetup setup) {
   return cfg;
 }
 
-bus::SegmentedConfig PlatformConfig::segmented_config() const noexcept {
+bus::Topology TopologyConfig::graph() const {
+  switch (kind) {
+    case bus::TopologyKind::kChain: return bus::Topology::chain(segments);
+    case bus::TopologyKind::kRing: return bus::Topology::ring(segments);
+    case bus::TopologyKind::kMesh: return bus::Topology::mesh(rows, cols);
+  }
+  CBUS_ASSERT(false);
+  return bus::Topology::chain(1);
+}
+
+std::string TopologyConfig::config_string() const {
+  if (!segmented()) return "single";
+  switch (kind) {
+    case bus::TopologyKind::kChain:
+      // The legacy spelling, byte-stable for pre-topology specs.
+      return "segmented:" + std::to_string(segments);
+    case bus::TopologyKind::kRing:
+      return "ring:" + std::to_string(segments);
+    case bus::TopologyKind::kMesh:
+      return "mesh:" + std::to_string(rows) + "x" + std::to_string(cols);
+  }
+  CBUS_ASSERT(false);
+  return "single";
+}
+
+bus::SegmentedConfig PlatformConfig::segmented_config() const {
   bus::SegmentedConfig cfg;
   cfg.n_masters = n_cores;
-  cfg.n_segments = topology.segments;
+  cfg.topology = topology.graph();
   cfg.overlapped_arbitration = overlapped_arbitration;
   cfg.bridge_hold = topology.bridge_hold;
   cfg.bridge_latency = topology.bridge_latency;
   cfg.stripe_log2 = topology.stripe_log2;
+  cfg.bridge_depth = topology.bridge_depth;
   return cfg;
 }
 

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "bus/arbiter_factory.hpp"
@@ -48,19 +49,46 @@ enum class BusProtocol : std::uint8_t {
   return "?";
 }
 
-/// Interconnect topology: the paper's single shared bus, or a chain of
+/// Interconnect topology: the paper's single shared bus, or a graph of
 /// bus segments joined by store-and-forward bridges
-/// (bus::SegmentedInterconnect). Config-file syntax:
-/// `topology = single | segmented:<n>` plus the per-segment keys
-/// `bridge_hold`, `bridge_latency` and `seg_stripe` (route interleave in
-/// bytes, a power of two).
+/// (bus::SegmentedInterconnect over a bus::Topology). Config-file
+/// syntax: `topology = single | segmented:<n> | chain:<n> | ring:<n> |
+/// mesh:<rows>x<cols>` (`segmented:` is the legacy spelling of
+/// `chain:`) plus the per-segment keys `bridge_hold`, `bridge_latency`,
+/// `seg_stripe` (route interleave in bytes, a power of two) and
+/// `bridge_depth` (`<k>` bounds every bridge queue and turns on
+/// backpressure; `unbounded` is the default). See docs/TOPOLOGIES.md.
 struct TopologyConfig {
+  bus::TopologyKind kind = bus::TopologyKind::kChain;
   std::uint32_t segments = 1;  ///< 1 = the single shared bus
+  std::uint32_t rows = 0;      ///< mesh only (rows * cols == segments)
+  std::uint32_t cols = 0;      ///< mesh only
   Cycle bridge_hold = 5;       ///< forward beat leaving a segment (cycles)
   Cycle bridge_latency = 2;    ///< store-and-forward delay per hop
   std::uint32_t stripe_log2 = 12;  ///< 4 KiB address interleave
+  std::uint32_t bridge_depth = 0;  ///< bridge queue bound; 0 = unbounded
 
   [[nodiscard]] bool segmented() const noexcept { return segments > 1; }
+
+  /// The bus::Topology instance this config describes (segmented() only).
+  [[nodiscard]] bus::Topology graph() const;
+
+  /// Bridge-ingress ports over the whole interconnect (= directed
+  /// edges = sum of per-segment in-degrees); each consumes one
+  /// credit-counter slot per lane.
+  [[nodiscard]] std::uint32_t bridge_ports() const noexcept {
+    if (!segmented()) return 0;
+    switch (kind) {
+      case bus::TopologyKind::kChain: return 2 * (segments - 1);
+      case bus::TopologyKind::kRing: return 2 * segments;
+      case bus::TopologyKind::kMesh:
+        return 2 * (rows * (cols - 1) + cols * (rows - 1));
+    }
+    return 0;
+  }
+
+  /// Config-file value this topology parses back from.
+  [[nodiscard]] std::string config_string() const;
 };
 
 struct PlatformConfig {
@@ -120,14 +148,14 @@ struct PlatformConfig {
 
   /// The bus::SegmentedConfig this platform's interconnect uses
   /// (meaningful when topology.segmented()).
-  [[nodiscard]] bus::SegmentedConfig segmented_config() const noexcept;
+  [[nodiscard]] bus::SegmentedConfig segmented_config() const;
 
   /// Credit-counter slots one machine consumes (SoA arena sizing): the
-  /// core counters, plus the per-segment bridge-port counters when the
-  /// topology is segmented.
+  /// core counters, plus one per bridge-ingress port when the topology
+  /// is segmented (degree-dependent: chain 2(n-1), ring 2n, mesh
+  /// 2(rows(cols-1) + cols(rows-1))).
   [[nodiscard]] std::uint32_t credit_slots() const noexcept {
-    return n_cores +
-           (topology.segmented() ? 2 * (topology.segments - 1) : 0);
+    return n_cores + topology.bridge_ports();
   }
 
   void validate() const;

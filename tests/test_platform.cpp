@@ -582,7 +582,7 @@ TEST(ConfigFile, ConfigKeysMatchesTheParser) {
       {"store_buffer", "2"},   {"maxl", "56"},       {"tdma_slot", "56"},
       {"topology", "segmented:2"}, {"bridge_hold", "5"},
       {"bridge_latency", "2"}, {"seg_stripe", "4096"},
-      {"controller", "static"}};
+      {"bridge_depth", "4"},   {"controller", "static"}};
   for (const auto key : config_keys()) {
     const auto it = sample.find(std::string(key));
     ASSERT_NE(it, sample.end()) << "no sample value for key " << key;

@@ -96,7 +96,7 @@ class ScriptedMaster final : public sim::Component, public bus::BusMaster {
 
 TEST(SegmentedConfig, RoutesByAddressStripe) {
   SegmentedConfig cfg;
-  cfg.n_segments = 4;
+  cfg.topology = bus::Topology::chain(4);
   cfg.stripe_log2 = 12;  // 4 KiB stripes
   EXPECT_EQ(cfg.route(0x0000), 0u);
   EXPECT_EQ(cfg.route(0x1000), 1u);
@@ -108,22 +108,32 @@ TEST(SegmentedConfig, RoutesByAddressStripe) {
 TEST(SegmentedConfig, HomeSegmentsBlockDistribute) {
   SegmentedConfig cfg;
   cfg.n_masters = 4;
-  cfg.n_segments = 2;
+  cfg.topology = bus::Topology::chain(2);
   EXPECT_EQ(cfg.home_segment(0), 0u);
   EXPECT_EQ(cfg.home_segment(1), 0u);
   EXPECT_EQ(cfg.home_segment(2), 1u);
   EXPECT_EQ(cfg.home_segment(3), 1u);
-  cfg.n_segments = 4;
+  cfg.topology = bus::Topology::chain(4);
   for (MasterId m = 0; m < 4; ++m) EXPECT_EQ(cfg.home_segment(m), m);
 }
 
 TEST(SegmentedConfig, ValidatesParameters) {
   SegmentedConfig cfg;
-  cfg.n_segments = 0;
-  EXPECT_THROW(cfg.validate(), std::invalid_argument);
-  cfg.n_segments = 2;
+  // Degenerate graphs are rejected at Topology construction.
+  EXPECT_THROW((void)bus::Topology::chain(0), std::invalid_argument);
+  EXPECT_THROW((void)bus::Topology::ring(2), std::invalid_argument);
+  EXPECT_THROW((void)bus::Topology::mesh(1, 1), std::invalid_argument);
+  cfg.topology = bus::Topology::chain(2);
   cfg.bridge_hold = 0;
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  // Fewer masters than segments would leave segments with no home core
+  // (the silently-degenerate block distribution of old); now rejected.
+  cfg.bridge_hold = 5;
+  cfg.n_masters = 2;
+  cfg.topology = bus::Topology::chain(3);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.n_masters = 3;
+  EXPECT_NO_THROW(cfg.validate());
 }
 
 // --- single-segment equivalence ---------------------------------------------
@@ -152,7 +162,7 @@ TEST(Segmented, OneSegmentMatchesNonSplitBus) {
 
   SegmentedConfig cfg;
   cfg.n_masters = 2;
-  cfg.n_segments = 1;
+  cfg.topology = bus::Topology::chain(1);
   FixedSlave seg_slave(7);
   SegmentedInterconnect seg(cfg, seg_slave, rr_factory());
   const auto seg_result = run_single(seg, seg);
@@ -185,7 +195,7 @@ TEST(Segmented, CrossSegmentHopTimingIsExact) {
   //   cycles 6..10  target transfer (H cycles) -> complete at B+L+H = 10.
   SegmentedConfig cfg;
   cfg.n_masters = 2;  // master 1 parks on segment 1 (never requests)
-  cfg.n_segments = 2;
+  cfg.topology = bus::Topology::chain(2);
   cfg.bridge_hold = 3;
   cfg.bridge_latency = 2;
   cfg.stripe_log2 = 12;
@@ -220,7 +230,7 @@ TEST(Segmented, CrossSegmentHopTimingIsExact) {
 TEST(Segmented, LocalTrafficNeverCrossesBridges) {
   SegmentedConfig cfg;
   cfg.n_masters = 2;
-  cfg.n_segments = 2;
+  cfg.topology = bus::Topology::chain(2);
   cfg.stripe_log2 = 12;
   FixedSlave slave(5);
   SegmentedInterconnect seg(cfg, slave, rr_factory());
@@ -249,7 +259,7 @@ TEST(Segmented, ForcedHoldRequestsStayOnHomeSegment) {
   // local contention and must never route, whatever their address.
   SegmentedConfig cfg;
   cfg.n_masters = 2;
-  cfg.n_segments = 2;
+  cfg.topology = bus::Topology::chain(2);
   FixedSlave slave(5);
   SegmentedInterconnect seg(cfg, slave, rr_factory());
 
@@ -303,7 +313,7 @@ TEST(Segmented, BridgeSerializesBackToBackDeliveriesOnOnePort) {
   // double-raises on an owned port.)
   SegmentedConfig cfg;
   cfg.n_masters = 4;  // masters 0 and 1 homed on segment 0
-  cfg.n_segments = 2;
+  cfg.topology = bus::Topology::chain(2);
   cfg.bridge_hold = 2;
   cfg.bridge_latency = 0;
   cfg.stripe_log2 = 12;
@@ -345,7 +355,7 @@ TEST(Segmented, PerSegmentCreditConservationUnderTableOneRules) {
   // per contention point.
   SegmentedConfig cfg;
   cfg.n_masters = 2;
-  cfg.n_segments = 2;
+  cfg.topology = bus::Topology::chain(2);
   FixedSlave slave(5);
   SegmentedInterconnect seg(cfg, slave, rr_factory());
 
@@ -437,7 +447,7 @@ TEST(Segmented, RemoteOccupancyIsChargedToTheHomeBudget) {
   //     budget(0) = init + inc*T - scale*(home_hold + foreign_hold).
   SegmentedConfig cfg;
   cfg.n_masters = 2;
-  cfg.n_segments = 2;
+  cfg.topology = bus::Topology::chain(2);
   cfg.bridge_hold = 3;
   cfg.bridge_latency = 2;
   cfg.stripe_log2 = 12;

@@ -13,7 +13,8 @@
 //            [--scenario iso|con|stream] [--arbiter KIND]
 //            [--controller static|adaptive:<w>] [--runs N] [--seed S]
 //            [--cores N] [--pwcet] [--csv] [--metrics LIST]
-//   cbus_sim --list kernels|setups|arbiters|controllers|scenarios|metrics
+//   cbus_sim --list kernels|setups|arbiters|controllers|scenarios|
+//            topologies|metrics
 //
 // Examples:
 //   cbus_sim --experiment examples/experiments/paper_con.exp --threads 4
@@ -30,6 +31,7 @@
 #include <string>
 
 #include "bus/arbiter_factory.hpp"
+#include "bus/topology.hpp"
 #include "common/build_info.hpp"
 #include "ctrl/controller.hpp"
 #include "exp/experiment.hpp"
@@ -121,7 +123,7 @@ struct Options {
       "  --version         print build provenance and exit\n"
       "  --list WHAT       print known values and exit:\n"
       "                    kernels | setups | arbiters | controllers |\n"
-      "                    scenarios | metrics\n";
+      "                    scenarios | topologies | metrics\n";
   std::exit(code);
 }
 
@@ -148,6 +150,11 @@ struct Options {
     for (const auto scenario : cbus::exp::all_scenarios()) {
       std::cout << cbus::exp::to_string(scenario) << "\n";
     }
+  } else if (what == "topologies") {
+    for (const auto& form : cbus::bus::topology_forms()) {
+      std::cout << std::left << std::setw(26) << form.name << ' '
+                << form.description << "\n";
+    }
   } else if (what == "metrics") {
     for (const auto& info : cbus::metrics::metric_catalog()) {
       std::ostringstream key;
@@ -159,7 +166,7 @@ struct Options {
   } else {
     std::cerr << "cbus_sim: unknown --list topic '" << what
               << "' (kernels|setups|arbiters|controllers|scenarios|"
-                 "metrics)\n";
+                 "topologies|metrics)\n";
     std::exit(2);
   }
   std::exit(0);

@@ -5,9 +5,11 @@ Checks the structural contract docs/OBSERVABILITY.md pins (and that
 Perfetto/chrome://tracing rely on): the object form with traceEvents +
 metadata.provenance, the four-process track layout, well-formed span
 ("X"), counter ("C") and instant ("i") events, per-master credit and
-eligibility tracks, and non-overlapping transfer spans per master (the
+eligibility tracks, non-overlapping transfer spans per master (the
 bus grants one transfer at a time, so overlap means the tracer
-misattributed an event).
+misattributed an event), and per-edge bridge-queue tracks named
+`bridge s<from>->s<to>` with a symmetric edge set (every directed
+bridge has its reverse, whatever the topology).
 
 Usage:
   trace_check.py TRACE.json [--expect-masters N] [--expect-bridges N]
@@ -19,7 +21,10 @@ Exit code 0 when the trace validates, 1 with a diagnostic otherwise.
 
 import argparse
 import json
+import re
 import sys
+
+BRIDGE_TRACK_RE = re.compile(r"^bridge s(\d+)->s(\d+)$")
 
 PID_MASTERS = 0
 PID_CREDIT = 1
@@ -138,6 +143,25 @@ def validate(doc, expect_masters=None, expect_bridges=None, max_ts=None):
         fail(f"expected {expect_bridges} bridge-queue track(s), found "
              f"{len(bridge_tracks)}: {sorted(bridge_tracks)}")
 
+    # Bridge tracks are keyed by graph edge: one track per directed
+    # bridge, named for its endpoints, no self-loops, and every edge
+    # paired with its reverse (chain, ring and mesh adjacencies are all
+    # symmetric; a missing direction means the tracer dropped a track).
+    edges = set()
+    for name in bridge_tracks:
+        match = BRIDGE_TRACK_RE.match(name or "")
+        if not match:
+            fail(f"bridge-queue track {name!r} does not match "
+                 f"'bridge s<from>->s<to>'")
+        frm, to = int(match.group(1)), int(match.group(2))
+        if frm == to:
+            fail(f"bridge-queue track {name!r} is a self-loop")
+        edges.add((frm, to))
+    for frm, to in sorted(edges):
+        if (to, frm) not in edges:
+            fail(f"bridge track 'bridge s{frm}->s{to}' has no reverse "
+                 f"direction (bridge adjacency is symmetric)")
+
     return counts
 
 
@@ -164,6 +188,10 @@ def fabricate(valid=True):
          "ts": 0, "args": {"value": 1}},
         {"ph": "C", "name": "demand m0", "pid": PID_DEMAND, "tid": 0,
          "ts": 0, "args": {"value": 2}},
+        {"ph": "C", "name": "bridge s0->s1", "pid": PID_BRIDGES, "tid": 0,
+         "ts": 0, "args": {"value": 1}},
+        {"ph": "C", "name": "bridge s1->s0", "pid": PID_BRIDGES, "tid": 1,
+         "ts": 0, "args": {"value": 0}},
         {"ph": "i", "name": "credit.underflow", "pid": PID_MASTERS,
          "tid": 0, "ts": 11, "s": "t"},
     ]
@@ -173,7 +201,7 @@ def fabricate(valid=True):
 
 
 def self_test():
-    validate(fabricate(valid=True), expect_masters=1)
+    validate(fabricate(valid=True), expect_masters=1, expect_bridges=2)
     try:
         validate(fabricate(valid=False), expect_masters=1)
     except TraceError as e:
@@ -189,6 +217,35 @@ def self_test():
         pass
     else:
         print("self-test: missing master not caught", file=sys.stderr)
+        return 1
+    malformed = fabricate(valid=True)
+    for event in malformed["traceEvents"]:
+        if event.get("name") == "bridge s0->s1":
+            event["name"] = "bridge q0"
+    try:
+        validate(malformed, expect_masters=1)
+    except TraceError as e:
+        if "does not match" not in str(e):
+            print(f"self-test: wrong bridge diagnostic: {e}",
+                  file=sys.stderr)
+            return 1
+    else:
+        print("self-test: malformed bridge track not caught",
+              file=sys.stderr)
+        return 1
+    one_way = fabricate(valid=True)
+    one_way["traceEvents"] = [
+        e for e in one_way["traceEvents"]
+        if e.get("name") != "bridge s1->s0"]
+    try:
+        validate(one_way, expect_masters=1)
+    except TraceError as e:
+        if "no reverse" not in str(e):
+            print(f"self-test: wrong one-way diagnostic: {e}",
+                  file=sys.stderr)
+            return 1
+    else:
+        print("self-test: one-way bridge edge not caught", file=sys.stderr)
         return 1
     print("self-test: PASS")
     return 0
