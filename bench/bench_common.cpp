@@ -70,6 +70,8 @@ Cycle SyntheticRig::run_until_first_done(Cycle max_cycles) {
 }
 
 std::uint32_t campaign_runs(std::uint32_t fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at bench startup,
+  // before any worker thread exists.
   if (const char* env = std::getenv("CBUS_BENCH_RUNS"); env != nullptr) {
     const long parsed = std::strtol(env, nullptr, 10);
     if (parsed > 0) return static_cast<std::uint32_t>(parsed);

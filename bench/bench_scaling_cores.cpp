@@ -130,10 +130,18 @@ BENCHMARK(BM_ScalingRun)->Arg(2)->Arg(4)->Arg(8);
 constexpr std::uint32_t kCampaignRuns = 24;
 
 [[nodiscard]] platform::CampaignSpec campaign_spec(std::uint32_t batch,
-                                                   std::uint32_t threads) {
+                                                   std::uint32_t threads,
+                                                   std::uint32_t cores = 0) {
   platform::CampaignSpec spec;
   spec.protocol = platform::CampaignSpec::Protocol::kMaxContention;
   spec.config = platform::PlatformConfig::paper_wcet(platform::BusSetup::kCba);
+  if (cores != 0) {
+    // E7's wider points: the TuA against cores-1 greedy MaxL contenders.
+    spec.config.n_cores = cores;
+    spec.config.cba = core::CbaConfig::homogeneous(
+        cores, spec.config.timings.max_latency());
+    spec.config.validate();
+  }
   spec.tua_factory = []() { return workloads::make_eembc("canrdr"); };
   spec.runs = kCampaignRuns;
   spec.base_seed = 0xC0FFEE;
@@ -159,6 +167,26 @@ BENCHMARK(BM_CampaignBatch)
     ->Args({24, 1})
     ->Args({8, 4})
     ->Args({8, 8})
+    ->UseRealTime();
+
+// The same campaign at E7's widest point (8 cores: the TuA against 7
+// greedy MaxL contenders). The per-cycle Table-I work grows with the
+// master count while the TuA's own compute does not, so this is the
+// credit-bound end of the campaign spectrum -- the case the vectorized
+// engine targets. Args are {batch, threads}.
+void BM_CampaignBatchWide(benchmark::State& state) {
+  const auto batch = static_cast<std::uint32_t>(state.range(0));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  const platform::CampaignSpec spec = campaign_spec(batch, threads, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(platform::run_campaign(spec));
+  }
+  state.SetItemsProcessed(state.iterations() * kCampaignRuns);
+}
+BENCHMARK(BM_CampaignBatchWide)
+    ->Args({1, 1})
+    ->Args({24, 1})
+    ->Args({8, 4})
     ->UseRealTime();
 
 }  // namespace

@@ -32,26 +32,14 @@ void NonSplitBus::request(const BusRequest& request, Cycle now) {
   BusRequest stamped = request;
   stamped.issued_at = now;
   pending_[request.master] = stamped;
+  pending_bits_ |= 1u << request.master;
   arrival_[request.master] = now;
   ++stats_.master[request.master].requests;
   if (observer_ != nullptr) observer_->on_request(stamped, now);
 }
 
-bool NonSplitBus::has_pending(MasterId master) const {
-  CBUS_EXPECTS(master < config_.n_masters);
-  return pending_[master].has_value();
-}
-
-std::uint32_t NonSplitBus::pending_mask() const noexcept {
-  std::uint32_t mask = 0;
-  for (MasterId m = 0; m < config_.n_masters; ++m) {
-    if (pending_[m].has_value()) mask |= 1u << m;
-  }
-  return mask;
-}
-
 void NonSplitBus::arbitrate(Cycle now, Cycle start) {
-  std::uint32_t candidates = pending_mask();
+  std::uint32_t candidates = pending_bits_;
   if (candidates == 0) return;
   if (filter_ != nullptr) candidates = filter_->eligible(candidates, now);
   if (candidates == 0) return;
@@ -66,6 +54,10 @@ void NonSplitBus::arbitrate(Cycle now, Cycle start) {
 
   latched_grant_ = *pending_[winner];
   pending_[winner].reset();
+  pending_bits_ &= ~(1u << winner);
+  if (masters_[winner] != nullptr) {
+    masters_[winner]->on_latch(*latched_grant_, now);
+  }
 
   auto& pm = stats_.master[winner];
   ++pm.grants;
@@ -94,37 +86,32 @@ void NonSplitBus::begin_latched(Cycle now) {
 
 void NonSplitBus::tick(Cycle now) {
   // 1. A grant latched last cycle starts its transfer in this cycle.
-  if (!transfer_.has_value() && latched_grant_.has_value()) {
-    begin_latched(now);
-  }
+  tick_begin(now);
 
-  // 2. Credit bookkeeping sees the holder of *this* cycle.
+  // 2. Credit bookkeeping sees the holder of *this* cycle. (The batch
+  // credit engine replaces this call with one vertical SoA update
+  // across lanes, between the same two phases.)
   if (filter_ != nullptr) filter_->on_cycle(holder(), now);
 
   // 3. Advance the transfer in flight / arbitrate.
-  ++stats_.total_cycles;
-  if (transfer_.has_value()) {
-    ++stats_.busy_cycles;
-    CBUS_ASSERT(transfer_->remaining >= 1);
-    --transfer_->remaining;
-    if (transfer_->remaining == 0) {
-      const BusRequest done = transfer_->request;
-      const Cycle done_hold = transfer_->hold;
-      transfer_.reset();
-      arbiter_.on_complete(done.master, done_hold);
-      if (done.forced_hold == 0) slave_.complete_transaction(done, now);
-      ++stats_.master[done.master].completions;
-      if (observer_ != nullptr) observer_->on_transfer_complete(done, now);
-      if (masters_[done.master] != nullptr) {
-        masters_[done.master]->on_complete(done, now);
-      }
-      // Overlapped re-arbitration: next transfer starts at now + 1 with no
-      // idle gap.
-      if (config_.overlapped_arbitration) arbitrate(now, now + 1);
-    }
-  } else {
-    ++stats_.idle_cycles;
-    if (!latched_grant_.has_value()) arbitrate(now, now + 1);
+  tick_finish(now);
+}
+
+void NonSplitBus::complete_transfer(Cycle now) {
+  const BusRequest done = transfer_->request;
+  const Cycle done_hold = transfer_->hold;
+  transfer_.reset();
+  arbiter_.on_complete(done.master, done_hold);
+  if (done.forced_hold == 0) slave_.complete_transaction(done, now);
+  ++stats_.master[done.master].completions;
+  if (observer_ != nullptr) observer_->on_transfer_complete(done, now);
+  if (masters_[done.master] != nullptr) {
+    masters_[done.master]->on_complete(done, now);
+  }
+  // Overlapped re-arbitration: next transfer starts at now + 1 with no
+  // idle gap.
+  if (config_.overlapped_arbitration && pending_bits_ != 0) {
+    arbitrate(now, now + 1);
   }
 }
 

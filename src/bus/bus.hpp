@@ -118,7 +118,10 @@ class NonSplitBus final : public sim::Component, public BusPort {
   void request(const BusRequest& request, Cycle now) override;
 
   /// True if the master has a raised-but-not-started request.
-  [[nodiscard]] bool has_pending(MasterId master) const override;
+  [[nodiscard]] bool has_pending(MasterId master) const override {
+    CBUS_EXPECTS(master < config_.n_masters);
+    return ((pending_bits_ >> master) & 1u) != 0;
+  }
 
   /// True if the master's transfer is in flight.
   [[nodiscard]] bool is_holding(MasterId master) const noexcept {
@@ -133,12 +136,56 @@ class NonSplitBus final : public sim::Component, public BusPort {
 
   [[nodiscard]] bool busy() const noexcept { return transfer_.has_value(); }
 
+  /// Bitmask of masters with pending requests (maintained incrementally
+  /// by request/arbitrate, so the per-cycle "anything to arbitrate?"
+  /// check is one load).
+  [[nodiscard]] std::uint32_t pending_mask() const noexcept {
+    return pending_bits_;
+  }
+
   /// Master currently holding the bus (kNoMaster when idle).
   [[nodiscard]] MasterId holder() const noexcept {
     return transfer_ ? transfer_->request.master : kNoMaster;
   }
 
   void tick(Cycle now) override;
+
+  // --- phased tick (batched campaigns) ----------------------------------
+  // The batch credit engine runs the credit bookkeeping VERTICALLY across
+  // lanes, so the bus tick splits around it: tick_begin starts a latched
+  // grant (this cycle's holder becomes known), the engine charges that
+  // holder in the SoA arena, tick_finish advances/completes/arbitrates.
+  // tick(now) == tick_begin(now); filter->on_cycle(holder(), now);
+  // tick_finish(now) -- the serial and phased forms are the same code.
+
+  /// Phase 1 of tick(): a grant latched last cycle starts its transfer.
+  /// Inline: it runs once per lane-cycle in the batched hot loop and is
+  /// almost always the two-load no-op.
+  void tick_begin(Cycle now) {
+    if (!transfer_.has_value() && latched_grant_.has_value()) {
+      begin_latched(now);
+    }
+  }
+
+  /// Phase 3 of tick(): advance the transfer in flight, complete and
+  /// re-arbitrate, or idle-arbitrate. Reads post-credit-tick eligibility.
+  /// Inline for the same reason as tick_begin: one call per lane-cycle,
+  /// and the common case (transfer in flight, not finishing) touches a
+  /// handful of counters.
+  void tick_finish(Cycle now) {
+    ++stats_.total_cycles;
+    if (transfer_.has_value()) {
+      ++stats_.busy_cycles;
+      CBUS_ASSERT(transfer_->remaining >= 1);
+      --transfer_->remaining;
+      if (transfer_->remaining == 0) complete_transfer(now);
+    } else {
+      ++stats_.idle_cycles;
+      if (!latched_grant_.has_value() && pending_bits_ != 0) {
+        arbitrate(now, now + 1);
+      }
+    }
+  }
 
   [[nodiscard]] const BusStatistics& statistics() const noexcept {
     return stats_;
@@ -157,14 +204,14 @@ class NonSplitBus final : public sim::Component, public BusPort {
     Cycle hold = 0;
   };
 
-  /// Bitmask of masters with pending requests.
-  [[nodiscard]] std::uint32_t pending_mask() const noexcept;
-
   /// Run arbitration for a transfer starting at `start`; latches the winner.
   void arbitrate(Cycle now, Cycle start);
 
   /// Begin the latched transfer at cycle `now`.
   void begin_latched(Cycle now);
+
+  /// Completion path of tick_finish (cold relative to the advance path).
+  void complete_transfer(Cycle now);
 
   BusConfig config_;
   Arbiter& arbiter_;
@@ -174,6 +221,7 @@ class NonSplitBus final : public sim::Component, public BusPort {
 
   std::vector<BusMaster*> masters_;
   std::vector<std::optional<BusRequest>> pending_;
+  std::uint32_t pending_bits_ = 0;  ///< bit per master, mirrors pending_
   std::vector<Cycle> arrival_;  ///< issue cycle per master (valid if pending)
 
   std::optional<Transfer> transfer_;

@@ -18,6 +18,13 @@ class BusMaster {
   /// The request was granted; its transfer occupies [now, now + hold).
   virtual void on_grant(const BusRequest& request, Cycle now, Cycle hold) = 0;
 
+  /// Arbitration latched the request at cycle `now`; the transfer starts
+  /// next cycle. Between the latch and on_grant the master is neither
+  /// pending nor holding, so it may legally raise a fresh request.
+  /// Default no-op: only masters mirroring the bus's pending state (the
+  /// batch credit engine's contender banks) care.
+  virtual void on_latch(const BusRequest& /*request*/, Cycle /*now*/) {}
+
   /// The transfer finished at the end of cycle `now`; the master may use the
   /// result (e.g. load data) from cycle now + 1.
   virtual void on_complete(const BusRequest& request, Cycle now) = 0;

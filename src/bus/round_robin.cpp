@@ -1,5 +1,7 @@
 #include "bus/round_robin.hpp"
 
+#include <bit>
+
 namespace cbus::bus {
 
 RoundRobinArbiter::RoundRobinArbiter(std::uint32_t n_masters)
@@ -7,13 +9,21 @@ RoundRobinArbiter::RoundRobinArbiter(std::uint32_t n_masters)
 
 MasterId RoundRobinArbiter::pick(const ArbInput& input) {
   CBUS_EXPECTS(input.candidates != 0);
+  // Hardware form of the scan: rotate the candidate word so the pointer's
+  // successor lands at bit 0, then the priority encoder (countr_zero)
+  // yields the first candidate at or after it.
   const std::uint32_t n = n_masters();
-  for (std::uint32_t offset = 1; offset <= n; ++offset) {
-    const MasterId candidate = (last_granted_ + offset) % n;
-    if ((input.candidates >> candidate) & 1u) return candidate;
-  }
-  CBUS_ASSERT(false);  // candidates non-empty implies a winner exists
-  return kNoMaster;
+  const std::uint32_t start = (last_granted_ + 1) % n;
+  const std::uint32_t mask =
+      n >= 32 ? ~0u : ((std::uint32_t{1} << n) - 1u);
+  const std::uint32_t candidates = input.candidates & mask;
+  CBUS_ASSERT(candidates != 0);
+  const std::uint32_t rotated =
+      start == 0 ? candidates
+                 : ((candidates >> start) | (candidates << (n - start))) &
+                       mask;
+  const auto offset = static_cast<std::uint32_t>(std::countr_zero(rotated));
+  return (start + offset) % n;
 }
 
 void RoundRobinArbiter::on_grant(MasterId master, Cycle /*now*/) {

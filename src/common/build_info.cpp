@@ -21,13 +21,16 @@
 #ifndef CBUS_BUILD_FLAGS
 #define CBUS_BUILD_FLAGS ""
 #endif
+#ifndef CBUS_BUILD_SIMD
+#define CBUS_BUILD_SIMD "off"
+#endif
 
 namespace cbus::common {
 
 const BuildInfo& build_info() noexcept {
   static constexpr BuildInfo kInfo{
       CBUS_BUILD_VERSION, CBUS_BUILD_GIT_HASH, CBUS_BUILD_COMPILER,
-      CBUS_BUILD_TYPE, CBUS_BUILD_FLAGS};
+      CBUS_BUILD_TYPE, CBUS_BUILD_FLAGS, CBUS_BUILD_SIMD};
   return kInfo;
 }
 
@@ -35,7 +38,7 @@ std::string build_info_line() {
   const BuildInfo& info = build_info();
   std::ostringstream out;
   out << "cbus " << info.version << " (" << info.git_hash << ", "
-      << info.compiler << ", " << info.build_type
+      << info.compiler << ", " << info.build_type << ", simd " << info.simd
       << "; checkpoint format v" << kCheckpointFormatVersion
       << ", trace schema v" << kTraceSchemaVersion
       << ", telemetry schema v" << kTelemetrySchemaVersion << ")";
@@ -47,7 +50,8 @@ void write_build_info_json(std::ostream& out) {
   out << "{\"version\": \"" << info.version << "\", \"git_hash\": \""
       << info.git_hash << "\", \"compiler\": \"" << info.compiler
       << "\", \"build_type\": \"" << info.build_type << "\", \"flags\": \""
-      << info.flags << "\", \"checkpoint_format\": "
+      << info.flags << "\", \"simd\": \"" << info.simd
+      << "\", \"checkpoint_format\": "
       << kCheckpointFormatVersion
       << ", \"trace_schema\": " << kTraceSchemaVersion
       << ", \"telemetry_schema\": " << kTelemetrySchemaVersion << "}";

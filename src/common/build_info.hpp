@@ -31,6 +31,7 @@ struct BuildInfo {
   std::string_view compiler;    ///< e.g. "GNU 12.2.0"
   std::string_view build_type;  ///< e.g. "Release"
   std::string_view flags;       ///< CMAKE_CXX_FLAGS for the build type
+  std::string_view simd;        ///< resolved CBUS_SIMD dispatch, e.g. "avx2"
 };
 
 [[nodiscard]] const BuildInfo& build_info() noexcept;

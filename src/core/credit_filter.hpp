@@ -17,8 +17,8 @@ class CreditFilter final : public bus::EligibilityFilter {
 
   /// SoA-view constructor for batched campaigns: the counters live in an
   /// external CreditSoA lane (see CreditState).
-  CreditFilter(CbaConfig config, std::span<SaturatingCounter> storage)
-      : state_(std::move(config), storage) {}
+  CreditFilter(CbaConfig config, const CreditLaneView& view)
+      : state_(std::move(config), view) {}
 
   [[nodiscard]] std::uint32_t eligible(std::uint32_t pending,
                                        Cycle /*now*/) override {

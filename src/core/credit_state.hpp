@@ -11,26 +11,50 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "common/contracts.hpp"
-#include "common/saturating_counter.hpp"
 #include "common/types.hpp"
 #include "core/cba_config.hpp"
 
 namespace cbus::core {
 
+/// A strided window into a CreditSoA arena: slot i of this lane lives at
+/// values[i * stride] (and its recovery increment at incs[i * stride]).
+/// The COUNTER-MAJOR layout puts slot i of consecutive lanes at
+/// consecutive addresses (stride == padded lane count), so the batch
+/// credit engine updates one slot across every lane as one vertical
+/// vector operation; a CreditState over the view reads and writes the
+/// very same words scalar-wise, which is what keeps the engine and
+/// classic paths bit-identical by construction.
+struct CreditLaneView {
+  std::uint64_t* values = nullptr;
+  std::uint64_t* incs = nullptr;
+  std::size_t stride = 0;  ///< elements between consecutive slots
+  std::size_t slots = 0;   ///< slots visible through this view
+
+  [[nodiscard]] bool empty() const noexcept { return values == nullptr; }
+
+  /// Slots [offset, offset + n) as their own view (the segmented
+  /// interconnect carves one lane into per-segment credit states).
+  [[nodiscard]] CreditLaneView subview(std::size_t offset,
+                                       std::size_t n) const {
+    CBUS_EXPECTS(offset + n <= slots);
+    return CreditLaneView{values + offset * stride, incs + offset * stride,
+                          stride, n};
+  }
+};
+
 class CreditState {
  public:
   explicit CreditState(CbaConfig config);
 
-  /// Counters live in caller-provided `storage` (>= n_masters entries)
-  /// instead of an own allocation -- the struct-of-arrays view used by
-  /// batched campaigns, where one CreditSoA arena keeps every replica's
-  /// counters contiguous. `storage` must outlive this object; behaviour
-  /// is identical to the owning constructor.
-  CreditState(CbaConfig config, std::span<SaturatingCounter> storage);
+  /// Counters live in caller-provided storage -- one lane of the
+  /// counter-major CreditSoA arena used by batched campaigns -- instead
+  /// of an own allocation. The view must outlive this object and span at
+  /// least n_masters slots; behaviour is identical to the owning
+  /// constructor.
+  CreditState(CbaConfig config, const CreditLaneView& view);
 
   CreditState(const CreditState&) = delete;
   CreditState& operator=(const CreditState&) = delete;
@@ -57,10 +81,21 @@ class CreditState {
   [[nodiscard]] double budget_cycles(MasterId m) const;
 
   /// True iff master m's budget has reached its eligibility threshold.
-  [[nodiscard]] bool eligible(MasterId m) const;
+  /// Inline: the bus consults eligibility on every arbitration, which in
+  /// a batched campaign happens millions of times per second.
+  [[nodiscard]] bool eligible(MasterId m) const {
+    CBUS_EXPECTS(m < config_.n_masters);
+    return value(m) >= config_.threshold[m];
+  }
 
   /// Restrict a pending mask to eligible masters.
-  [[nodiscard]] std::uint32_t eligible_mask(std::uint32_t pending) const;
+  [[nodiscard]] std::uint32_t eligible_mask(std::uint32_t pending) const {
+    std::uint32_t mask = 0;
+    for (MasterId m = 0; m < config_.n_masters; ++m) {
+      if (((pending >> m) & 1u) && eligible(m)) mask |= 1u << m;
+    }
+    return mask;
+  }
 
   /// True iff the counter is at its saturation cap (Table I's BUDGi == 228).
   [[nodiscard]] bool saturated(MasterId m) const;
@@ -76,6 +111,16 @@ class CreditState {
 
   /// Restore every counter to its configured initial value.
   void reset();
+
+  /// Attribute one clamped cycle of master m to this state. The batch
+  /// credit engine performs the Table-I update vertically in the SoA
+  /// arena and routes the (cold) clamp events back here, so
+  /// underflow_clamps() counts identically on both paths.
+  void note_clamp(MasterId m) {
+    CBUS_EXPECTS(m < config_.n_masters);
+    ++underflow_clamps_;
+    ++underflows_by_master_[m];
+  }
 
   /// Cycles on which a holder's counter could not pay the full occupancy
   /// charge and clamped at zero (only possible when MaxL is under-estimated
@@ -95,24 +140,36 @@ class CreditState {
   [[nodiscard]] const CbaConfig& config() const noexcept { return config_; }
 
  private:
+  [[nodiscard]] std::uint64_t& value(MasterId m) noexcept {
+    return values_[static_cast<std::size_t>(m) * stride_];
+  }
+  [[nodiscard]] std::uint64_t value(MasterId m) const noexcept {
+    return values_[static_cast<std::size_t>(m) * stride_];
+  }
+
   CbaConfig config_;
   /// Backing store when self-owned (empty in the SoA-view case). A vector
-  /// move keeps its heap buffer, so `counters_` survives moves either way.
-  std::vector<SaturatingCounter> owned_;
-  /// The live counters: `owned_` or an external CreditSoA lane.
-  std::span<SaturatingCounter> counters_;
+  /// move keeps its heap buffer, so `values_` survives moves either way.
+  std::vector<std::uint64_t> owned_;
+  /// The live counters: `owned_` (stride 1) or a CreditSoA lane view.
+  std::uint64_t* values_ = nullptr;
+  /// Arena mirror of config_.increment (view mode; null when owned).
+  /// set_increment writes through so the engine's vertical tick reads
+  /// the retuned rate the same cycle a scalar tick would.
+  std::uint64_t* incs_ = nullptr;
+  std::size_t stride_ = 1;
   std::uint64_t underflow_clamps_ = 0;
   /// Per-master clamp attribution; bumped only on the cold clamp paths.
   std::vector<std::uint64_t> underflows_by_master_;
 };
 
-/// Contiguous credit-counter storage for a batch of replicas: lane l's
-/// counters occupy [l * slots, (l+1) * slots) where `slots` is
-/// slots_per_lane() (n_masters by default; wider for segmented
-/// topologies, whose per-segment credit states carve one lane), so the
-/// whole batch's credit state fits a handful of cache lines and the
-/// lockstep bus ticks walk it sequentially. Hand `lane(l)` to the
-/// replica's CreditState/CreditFilter; the arena must outlive them.
+/// Counter-major credit storage for a batch of replicas: slot m of lane l
+/// lives at row(m)[l], with the lane count padded to vec::kLaneAlign so
+/// one slot's counters across all lanes form a contiguous, vector-width
+/// row. The batch credit engine ticks whole rows vertically; the classic
+/// path hands lane(l) (a strided CreditLaneView) to each replica's
+/// CreditState/CreditFilter and runs exactly the scalar update it always
+/// has -- over the same words. The arena must outlive its users.
 class CreditSoA {
  public:
   /// `slots_per_lane` widens a lane beyond n_masters counters -- the
@@ -125,14 +182,29 @@ class CreditSoA {
   [[nodiscard]] std::size_t slots_per_lane() const noexcept {
     return slots_;
   }
+  /// Lane count rounded up to vec::kLaneAlign -- the row length.
+  [[nodiscard]] std::size_t padded_lanes() const noexcept { return padded_; }
 
-  /// Lane `l`'s counter slice (sized slots_per_lane()).
-  [[nodiscard]] std::span<SaturatingCounter> lane(std::size_t l);
+  /// Lane `l`'s strided counter view (sized slots_per_lane()).
+  [[nodiscard]] CreditLaneView lane(std::size_t l);
+
+  /// Slot `m`'s value row across lanes (padded_lanes() elements).
+  [[nodiscard]] std::uint64_t* values_row(std::size_t m) {
+    CBUS_EXPECTS(m < slots_);
+    return values_.data() + m * padded_;
+  }
+  /// Slot `m`'s increment row across lanes (padded_lanes() elements).
+  [[nodiscard]] const std::uint64_t* incs_row(std::size_t m) const {
+    CBUS_EXPECTS(m < slots_);
+    return incs_.data() + m * padded_;
+  }
 
  private:
   std::size_t lanes_;
   std::size_t slots_;
-  std::vector<SaturatingCounter> storage_;
+  std::size_t padded_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> incs_;
 };
 
 }  // namespace cbus::core

@@ -45,11 +45,18 @@ namespace {
 Multicore::Multicore(const PlatformConfig& config, std::uint64_t seed,
                      cpu::OpStream& tua,
                      const std::vector<cpu::OpStream*>& contenders,
-                     std::span<SaturatingCounter> credit_lane)
-    : config_(config), bank_(seed) {
+                     core::CreditLaneView credit_lane,
+                     core::BatchCreditEngine* engine, std::size_t engine_lane)
+    : config_(config), bank_(seed), engine_(engine) {
   config_.validate();
   CBUS_EXPECTS_MSG(contenders.size() + 1 <= config_.n_cores,
                    "more workloads than cores");
+  CBUS_EXPECTS_MSG(engine == nullptr ||
+                       (!credit_lane.empty() && config_.cba.has_value() &&
+                        !config_.topology.segmented() &&
+                        config_.bus_protocol == BusProtocol::kNonSplit),
+                   "the batch credit engine serves CBA machines on the "
+                   "single non-split bus, over a CreditSoA lane");
 
   // Bank-draw order is part of the reproducibility contract: the
   // single-bus arbiter draws its channel seeds BEFORE the L2 placement
@@ -84,7 +91,7 @@ Multicore::Multicore(const PlatformConfig& config, std::uint64_t seed,
     // that segment's local slots, carved out of the (optional) external
     // SoA lane in segment order.
     CBUS_EXPECTS_MSG(credit_lane.empty() ||
-                         credit_lane.size() >= config_.credit_slots(),
+                         credit_lane.slots >= config_.credit_slots(),
                      "credit lane smaller than the segmented slot count");
     std::size_t offset = 0;
     for (std::uint32_t s = 0; s < seg_bus_->n_segments(); ++s) {
@@ -96,7 +103,7 @@ Multicore::Multicore(const PlatformConfig& config, std::uint64_t seed,
               ? std::make_unique<core::CreditFilter>(std::move(seg_cfg))
               : std::make_unique<core::CreditFilter>(
                     std::move(seg_cfg),
-                    credit_lane.subspan(offset, n_local));
+                    credit_lane.subview(offset, n_local));
       offset += n_local;
       seg_bus_->set_filter(s, filter.get());
       seg_filters_.push_back(std::move(filter));
@@ -142,6 +149,12 @@ Multicore::Multicore(const PlatformConfig& config, std::uint64_t seed,
       vc.tua = 0;
       vc.hold = config_.contender_hold;
       vc.policy = config_.contender_policy;
+      if (engine_ != nullptr) {
+        // Batched fast path: the engine's contender bank drives this
+        // slot's COMP latch vertically across lanes -- no component.
+        engine_->add_contender(engine_lane, vc, *bus_);
+        continue;
+      }
       const core::CreditState* credits = nullptr;
       if (seg_bus_ && !seg_filters_.empty()) {
         // Segmented: the contender's BUDGi lives in its home segment's
@@ -169,7 +182,16 @@ Multicore::Multicore(const PlatformConfig& config, std::uint64_t seed,
   // Tick order: cores, then contenders, then the bus (see header), then
   // the adaptive controller (it reads the bus statistics the cycle just
   // produced and retunes increments for the next one).
+  //
+  // Engine mode keeps only the cores in the kernel: the engine stage
+  // runs the contender bank, the phased bus tick and the vertical credit
+  // update in that same order, and attach() registers the adaptive
+  // controller as a post-stage component.
   for (auto& core_ptr : cores_) kernel_.add(*core_ptr);
+  if (engine_ != nullptr) {
+    engine_->set_lane(engine_lane, *bus_, filter_->state());
+    return;
+  }
   for (auto& vc : virtual_contenders_) kernel_.add(*vc);
   if (bus_) kernel_.add(*bus_);
   if (split_bus_) kernel_.add(*split_bus_);
@@ -180,12 +202,16 @@ Multicore::Multicore(const PlatformConfig& config, std::uint64_t seed,
 }
 
 RunResult Multicore::run(Cycle max_cycles) {
+  CBUS_EXPECTS_MSG(engine_ == nullptr,
+                   "engine-mode machines run via attach() on a staged batch");
   const bool finished =
       kernel_.run_until([this]() { return tua_done(); }, max_cycles);
   return collect(finished, kernel_.now());
 }
 
 RunResult Multicore::run_all(Cycle max_cycles) {
+  CBUS_EXPECTS_MSG(engine_ == nullptr,
+                   "engine-mode machines run via attach() on a staged batch");
   const bool finished = kernel_.run_until(
       [this]() {
         for (const auto& c : cores_) {
@@ -200,6 +226,10 @@ RunResult Multicore::run_all(Cycle max_cycles) {
 void Multicore::attach(sim::BatchKernel& batch, std::size_t lane) {
   for (sim::Component* component : kernel_.components()) {
     batch.add(lane, *component);
+  }
+  if (engine_ != nullptr && controller_ != nullptr &&
+      config_.controller.adaptive()) {
+    batch.add_post(lane, *controller_);
   }
 }
 

@@ -23,6 +23,7 @@
 #include "bus/bus.hpp"
 #include "bus/segmented.hpp"
 #include "bus/split_bus.hpp"
+#include "core/batch_engine.hpp"
 #include "core/credit_filter.hpp"
 #include "core/virtual_contender.hpp"
 #include "ctrl/controller.hpp"
@@ -67,10 +68,20 @@ class Multicore {
   /// in external storage -- a core::CreditSoA lane -- instead of an own
   /// allocation, so a batch of replicas keeps its credit state contiguous.
   /// Must outlive the machine; behaviour is storage-independent.
+  ///
+  /// `engine` (optional; requires a non-empty `credit_lane`, CBA, the
+  /// non-split protocol and the single-bus topology) hands this machine's
+  /// Table-I work to a batch credit engine as lane `engine_lane`: no
+  /// per-lane VirtualContender components are built (the engine's
+  /// contender bank replaces them) and the bus is ticked by the engine,
+  /// not the kernel. Such a machine runs ONLY via attach() on a staged
+  /// BatchKernel -- run()/run_all() assert.
   Multicore(const PlatformConfig& config, std::uint64_t seed,
             cpu::OpStream& tua,
             const std::vector<cpu::OpStream*>& contenders = {},
-            std::span<SaturatingCounter> credit_lane = {});
+            core::CreditLaneView credit_lane = {},
+            core::BatchCreditEngine* engine = nullptr,
+            std::size_t engine_lane = 0);
 
   Multicore(const Multicore&) = delete;
   Multicore& operator=(const Multicore&) = delete;
@@ -164,6 +175,8 @@ class Multicore {
   std::vector<std::unique_ptr<core::CreditFilter>> seg_filters_;
   std::vector<std::unique_ptr<cpu::InOrderCore>> cores_;
   std::vector<std::unique_ptr<core::VirtualContender>> virtual_contenders_;
+  /// Non-null when this machine is a lane of a batch credit engine.
+  core::BatchCreditEngine* engine_ = nullptr;
 };
 
 }  // namespace cbus::platform

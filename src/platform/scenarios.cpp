@@ -7,9 +7,11 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "core/batch_engine.hpp"
 #include "core/credit_state.hpp"
 #include "rng/splitmix64.hpp"
 #include "sim/batch_kernel.hpp"
+#include "vec/vec.hpp"
 
 namespace cbus::platform {
 
@@ -102,6 +104,22 @@ void run_campaign_slice(const CampaignSpec& spec, std::uint32_t first_run,
                                                config.credit_slots());
   }
 
+  // Vectorized fast path (see core::BatchCreditEngine): CBA on the
+  // single non-split bus, uninstrumented, masks fit one word. Everything
+  // else keeps the classic lane-major stripes -- as does CBUS_SIMD=off,
+  // which is how the dispatch-parity matrix pins the two paths
+  // byte-for-byte against each other.
+  std::unique_ptr<core::BatchCreditEngine> engine;
+  // lanes >= 2: a single-lane stripe is the serial reference point -- the
+  // vertical engine would only add per-cycle dispatch overhead there, so
+  // batch 1 (and a trailing 1-lane tail stripe) keeps the classic path.
+  if (!spec.instrument && credit != nullptr && !config.topology.segmented() &&
+      config.bus_protocol == BusProtocol::kNonSplit && lanes >= 2 &&
+      lanes <= 64 && vec::engine_enabled()) {
+    engine = std::make_unique<core::BatchCreditEngine>(*credit, *config.cba,
+                                                       lanes);
+  }
+
   struct Lane {
     std::unique_ptr<cpu::OpStream> tua;
     std::vector<std::unique_ptr<cpu::OpStream>> corunners;
@@ -128,8 +146,8 @@ void run_campaign_slice(const CampaignSpec& spec, std::uint32_t first_run,
     }
     r.machine = std::make_unique<Multicore>(
         config, seed, *r.tua, corunner_ptrs,
-        credit ? credit->lane(lane)
-               : std::span<SaturatingCounter>{});
+        credit ? credit->lane(lane) : core::CreditLaneView{}, engine.get(),
+        lane);
   }
 
   if (spec.instrument) {
@@ -159,6 +177,7 @@ void run_campaign_slice(const CampaignSpec& spec, std::uint32_t first_run,
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     replicas[lane].machine->attach(batch, lane);
   }
+  if (engine != nullptr) batch.set_stage(*engine);
 
   const std::vector<bool> fired = batch.run_until(
       [&](std::size_t lane) { return replicas[lane].machine->tua_done(); },

@@ -27,6 +27,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -34,6 +35,23 @@
 #include "sim/component.hpp"
 
 namespace cbus::sim {
+
+/// A batch-shared per-cycle stage: with a stage installed the kernel
+/// switches to CYCLE-MAJOR lockstep (stripe 1 semantics) and calls
+/// on_cycle(now, live) once per cycle between the lanes' pre- and
+/// post-components, handing the stage every live lane at the same cycle
+/// -- the shape the vectorized batch credit engine needs to update one
+/// counter slot across all lanes as a single vertical operation. `live`
+/// lists the still-live lane indices in ascending order.
+class BatchStage {
+ public:
+  BatchStage() = default;
+  BatchStage(const BatchStage&) = delete;
+  BatchStage& operator=(const BatchStage&) = delete;
+  virtual ~BatchStage() = default;
+
+  virtual void on_cycle(Cycle now, std::span<const std::size_t> live) = 0;
+};
 
 class BatchKernel {
  public:
@@ -52,7 +70,18 @@ class BatchKernel {
   /// Register a component into lane `lane`; ticked in registration order
   /// within its lane. Lanes must end up with identical slot counts (they
   /// are replicas of one platform); run_until checks. Non-owning.
+  /// With a stage installed these are the PRE-stage components (the
+  /// cores -- everything the serial kernel ticks before the bus).
   void add(std::size_t lane, Component& component);
+
+  /// Register a component ticked AFTER the stage each cycle (the
+  /// adaptive credit controller -- everything the serial kernel ticks
+  /// after the bus). Only meaningful with a stage installed.
+  void add_post(std::size_t lane, Component& component);
+
+  /// Install the batch-shared stage and switch run_until to cycle-major
+  /// lockstep. The stage must outlive the kernel. See BatchStage.
+  void set_stage(BatchStage& stage) noexcept { stage_ = &stage; }
 
   [[nodiscard]] std::size_t lanes() const noexcept {
     return lane_components_.size();
@@ -77,7 +106,12 @@ class BatchKernel {
       const std::function<bool(std::size_t lane)>& done, Cycle max_cycles);
 
  private:
+  [[nodiscard]] std::vector<bool> run_until_staged(
+      const std::function<bool(std::size_t lane)>& done, Cycle max_cycles);
+
   std::vector<std::vector<Component*>> lane_components_;
+  std::vector<std::vector<Component*>> post_components_;
+  BatchStage* stage_ = nullptr;
   Cycle stripe_;
   Clock clock_;
 };

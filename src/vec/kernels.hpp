@@ -1,0 +1,34 @@
+// Internal kernel table shared between the dispatcher (vec.cpp) and the
+// per-ISA translation units. Each ISA TU defines one `Kernels` instance;
+// only the TU matching the configured CBUS_SIMD is compiled (with its
+// -m<isa> flags scoped to that file alone).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "vec/vec.hpp"
+
+namespace cbus::vec::detail {
+
+struct Kernels {
+  std::uint64_t (*credit_tick_row)(const CreditRow&) noexcept;
+  void (*credit_tick_cycle)(const CreditCycle&) noexcept;
+  std::uint64_t (*eq_mask_row)(const std::uint64_t*, std::uint64_t,
+                               std::uint32_t) noexcept;
+  void (*sat_words)(const SatQuery&) noexcept;
+  int (*argmax_i64)(const std::int64_t*, std::size_t) noexcept;
+};
+
+/// The portable reference implementation (always compiled).
+extern const Kernels kScalarKernels;
+
+#if defined(CBUS_SIMD_AVX2)
+extern const Kernels kAvx2Kernels;
+#elif defined(CBUS_SIMD_AVX512)
+extern const Kernels kAvx512Kernels;
+#elif defined(CBUS_SIMD_NEON)
+extern const Kernels kNeonKernels;
+#endif
+
+}  // namespace cbus::vec::detail

@@ -1,0 +1,140 @@
+// cbus::vec -- vertical (across-lane) kernels for the batched campaign
+// hot path, behind a configure-time ISA dispatch.
+//
+// The batch credit engine lays slot m's Table-I counters contiguously
+// across lanes (counter-major CreditSoA rows, padded to kLaneAlign), so
+// the per-cycle credit update, the saturation test feeding the COMP
+// latch and the deficit-age argmax become one vertical operation per
+// slot across 4-16 lanes. Every kernel has a portable scalar
+// implementation (always compiled, the reference semantics) plus at
+// most one guarded ISA implementation selected at configure time via
+// the CBUS_SIMD=auto|off|avx2|avx512|neon CMake option:
+//
+//   off    -- no vec kernels are used at all: the campaign driver keeps
+//             the classic lane-major BatchKernel path (the build
+//             `cbus_sim --version` reports and the CI dispatch-parity
+//             leg compares against).
+//   scalar -- the engine path with the portable kernels (auto resolves
+//             here when the build host has no supported ISA).
+//   avx2 / avx512 / neon -- the engine path with vertical kernels.
+//
+// Bit-identity contract: for every input, every ISA implementation
+// returns exactly the scalar result -- the campaign byte-equality
+// batteries (tests/test_vec.cpp, tests/test_exp.cpp) and the CI
+// dispatch-parity leg pin this. force_scalar() routes all calls through
+// the scalar kernels at runtime so one binary can check itself.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cbus::vec {
+
+/// Lane counts are padded to a multiple of this in counter-major
+/// arenas: kernels may load (and blend-store back unchanged) a full
+/// block, so rows must be allocated in kLaneAlign units. 8 covers the
+/// widest path (AVX-512, 8x64-bit).
+inline constexpr std::size_t kLaneAlign = 8;
+
+/// One counter-major row (slot m across all lanes) for the Table-I
+/// per-cycle update. Bit l of the masks refers to lane l; lanes >= 64
+/// never reach the engine (the campaign driver falls back to the
+/// classic path).
+///
+/// `n` is the LIVE lane count; rows are allocated in kLaneAlign units,
+/// and vector kernels may load (and blend-store back unchanged) the
+/// whole padded block, so the padding lanes must exist but their
+/// content never matters (mask bits >= n are zero by contract).
+struct CreditRow {
+  std::uint64_t* values;        ///< row base (padded to kLaneAlign)
+  const std::uint64_t* incs;    ///< per-lane recovery increments
+  std::uint64_t scale;          ///< occupancy charge per holding cycle
+  std::uint64_t cap;            ///< saturation cap of this slot
+  std::uint64_t charge_mask;    ///< bit l: lane l's bus holder == slot
+  std::uint64_t update_mask;    ///< bit l: lane l is live (others frozen)
+  std::uint32_t n;              ///< live lane count
+};
+
+/// A whole engine cycle's Table-I updates -- every slot row of the
+/// arena -- as ONE dispatched call. The descriptor is built once per
+/// campaign slice; only `charge`, `update_mask` and the `clamped`
+/// outputs change per cycle. Keeping the per-row loop inside the
+/// dispatched kernel matters: at one indirect call per ROW the dispatch
+/// overhead rivals the vector work itself for small batches.
+struct CreditCycle {
+  std::uint64_t* values;        ///< arena base: slot-major padded rows
+  const std::uint64_t* incs;    ///< increment arena, same geometry
+  const std::uint64_t* caps;    ///< per-slot saturation caps [slots]
+  const std::uint64_t* charge;  ///< per-slot holder masks [slots]
+  std::uint64_t* clamped;       ///< out: per-slot clamp masks [slots]
+  std::uint64_t scale;          ///< occupancy charge per holding cycle
+  std::uint64_t update_mask;    ///< bit l: lane l is live
+  std::uint32_t stride;         ///< elements between rows (padded lanes)
+  std::uint32_t lanes;          ///< live lane count
+  std::uint32_t slots;          ///< rows to update
+};
+
+/// The saturation words feeding the virtual-contender COMP latches --
+/// bit l of out[i] set iff slot slots[i]'s counter equals caps[i] on
+/// lane l -- for every contender slot in one dispatched call.
+struct SatQuery {
+  const std::uint64_t* values;  ///< arena base: slot-major padded rows
+  const std::uint32_t* slots;   ///< slot ids to test [n]
+  const std::uint64_t* caps;    ///< per-query saturation cap [n]
+  std::uint64_t* out;           ///< out: saturation words [n]
+  std::uint32_t stride;         ///< elements between rows (padded lanes)
+  std::uint32_t lanes;          ///< live lane count
+  std::uint32_t n;              ///< queries
+};
+
+/// The compile-time configured dispatch ("off", "scalar", "avx2",
+/// "avx512" or "neon").
+[[nodiscard]] const char* configured_isa() noexcept;
+
+/// The dispatch actually answering calls right now: configured_isa(),
+/// or "scalar" while force_scalar(true) is in effect.
+[[nodiscard]] const char* active_isa() noexcept;
+
+/// True iff the batched credit engine is enabled (configured to
+/// anything but "off", unless overridden by set_engine_enabled). The
+/// campaign driver consults this to pick engine vs classic path.
+[[nodiscard]] bool engine_enabled() noexcept;
+
+/// Test hook: override the engine on/off decision at runtime, so one
+/// binary can run the same campaign through both the engine and the
+/// classic path and compare bytes. Pass the value of engine_enabled()
+/// captured at startup to restore the default.
+void set_engine_enabled(bool on) noexcept;
+
+/// Test hook: route every kernel through the portable scalar
+/// implementation (true) or the configured ISA (false, default).
+void force_scalar(bool on) noexcept;
+
+/// Table-I tick for one slot row across lanes. Per lane l < n with
+/// update bit set:
+///   up     = values[l] + incs[l]
+///   charge = (charge_mask bit l) ? scale : 0
+///   values[l] = up < charge ? 0 : min(up - charge, cap)
+/// Returns the clamp mask (lanes where up < charge -- only reachable
+/// when MaxL was under-estimated). Lanes without the update bit keep
+/// their value exactly. Values are assumed < 2^63 (Table-I units are
+/// tiny; CbaConfig::validate bounds them).
+std::uint64_t credit_tick_row(const CreditRow& row) noexcept;
+
+/// credit_tick_row over every slot row of an arena, one dispatch.
+void credit_tick_cycle(const CreditCycle& cycle) noexcept;
+
+/// Bit l set iff row[l] == target, for l < n (the BUDGi == cap
+/// saturation word feeding the virtual-contender COMP latch).
+std::uint64_t eq_mask_row(const std::uint64_t* row, std::uint64_t target,
+                          std::uint32_t n) noexcept;
+
+/// eq_mask_row over a list of slot rows, one dispatch.
+void sat_words(const SatQuery& query) noexcept;
+
+/// Index of the maximum of scores[0..n), ties broken towards the FIRST
+/// index (exactly the strict-greater scan the deficit-age arbiter
+/// runs); -1 iff every score is INT64_MIN (the "absent" sentinel).
+int argmax_i64(const std::int64_t* scores, std::size_t n) noexcept;
+
+}  // namespace cbus::vec

@@ -1,0 +1,129 @@
+// AVX2 kernels (4 x 64-bit per step). Compiled only when CBUS_SIMD
+// resolves to avx2; -mavx2 is scoped to this translation unit.
+//
+// Semantics are bit-identical to the scalar reference in vec.cpp --
+// every branch of the Table-I update is expressed as a blend, and the
+// unsigned comparisons use the signed-compare trick (values < 2^63 by
+// the CreditRow contract, so signed order equals unsigned order).
+#if defined(CBUS_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include "vec/kernels.hpp"
+
+namespace cbus::vec::detail {
+
+namespace {
+
+/// Expand the low 4 bits of `mask` to all-ones/all-zeros 64-bit lanes.
+inline __m256i expand4(std::uint64_t mask) noexcept {
+  const __m256i bits = _mm256_setr_epi64x(1, 2, 4, 8);
+  const __m256i m = _mm256_set1_epi64x(static_cast<long long>(mask & 0xf));
+  return _mm256_cmpeq_epi64(_mm256_and_si256(m, bits), bits);
+}
+
+/// movemask over 64-bit lane sign bits -> low 4 result bits.
+inline std::uint64_t lane_bits(__m256i mask) noexcept {
+  return static_cast<std::uint64_t>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(mask)));
+}
+
+std::uint64_t credit_tick_row_avx2(const CreditRow& row) noexcept {
+  const __m256i scale = _mm256_set1_epi64x(static_cast<long long>(row.scale));
+  const __m256i cap = _mm256_set1_epi64x(static_cast<long long>(row.cap));
+  std::uint64_t clamped = 0;
+  for (std::uint32_t l = 0; l < row.n; l += 4) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(row.values + l));
+    const __m256i inc = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(row.incs + l));
+    const __m256i up = _mm256_add_epi64(v, inc);
+    const __m256i charge =
+        _mm256_and_si256(expand4(row.charge_mask >> l), scale);
+    // up < charge (signed == unsigned here): the MaxL-underestimation
+    // clamp. Only chargeable lanes can trip it.
+    const __m256i under = _mm256_cmpgt_epi64(charge, up);
+    const __m256i net = _mm256_sub_epi64(up, charge);
+    // min(net, cap), then zero the clamped lanes.
+    const __m256i over = _mm256_cmpgt_epi64(net, cap);
+    __m256i result = _mm256_blendv_epi8(net, cap, over);
+    result = _mm256_andnot_si256(under, result);
+    // Frozen (retired) lanes keep their value exactly.
+    const __m256i upd = expand4(row.update_mask >> l);
+    result = _mm256_blendv_epi8(v, result, upd);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(row.values + l), result);
+    clamped |= lane_bits(_mm256_and_si256(under, upd)) << l;
+  }
+  return clamped;
+}
+
+std::uint64_t eq_mask_row_avx2(const std::uint64_t* row, std::uint64_t target,
+                               std::uint32_t n) noexcept {
+  const __m256i t = _mm256_set1_epi64x(static_cast<long long>(target));
+  std::uint64_t mask = 0;
+  for (std::uint32_t l = 0; l < n; l += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + l));
+    mask |= lane_bits(_mm256_cmpeq_epi64(v, t)) << l;
+  }
+  // The tail block read into the padding lanes; drop their compare bits.
+  return n < 64 ? mask & ((std::uint64_t{1} << n) - 1) : mask;
+}
+
+void credit_tick_cycle_avx2(const CreditCycle& cycle) noexcept {
+  for (std::uint32_t m = 0; m < cycle.slots; ++m) {
+    const CreditRow row{
+        cycle.values + std::size_t{m} * cycle.stride,
+        cycle.incs + std::size_t{m} * cycle.stride,
+        cycle.scale,
+        cycle.caps[m],
+        cycle.charge[m],
+        cycle.update_mask,
+        cycle.lanes,
+    };
+    cycle.clamped[m] = credit_tick_row_avx2(row);
+  }
+}
+
+void sat_words_avx2(const SatQuery& query) noexcept {
+  for (std::uint32_t i = 0; i < query.n; ++i) {
+    const std::uint64_t* row =
+        query.values + std::size_t{query.slots[i]} * query.stride;
+    query.out[i] = eq_mask_row_avx2(row, query.caps[i], query.lanes);
+  }
+}
+
+int argmax_i64_avx2(const std::int64_t* scores, std::size_t n) noexcept {
+  // Vector max-reduce, then first index equal to the max -- the first
+  // occurrence of the maximum IS the strict-greater scan's winner.
+  std::int64_t best = INT64_MIN;
+  std::size_t l = 0;
+  if (n >= 4) {
+    __m256i vbest = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(scores));
+    for (l = 4; l + 4 <= n; l += 4) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(scores + l));
+      const __m256i gt = _mm256_cmpgt_epi64(v, vbest);
+      vbest = _mm256_blendv_epi8(vbest, v, gt);
+    }
+    alignas(32) std::int64_t tmp[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), vbest);
+    for (int i = 0; i < 4; ++i) best = tmp[i] > best ? tmp[i] : best;
+  }
+  for (; l < n; ++l) best = scores[l] > best ? scores[l] : best;
+  if (best == INT64_MIN) return -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scores[i] == best) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+const Kernels kAvx2Kernels{credit_tick_row_avx2, credit_tick_cycle_avx2,
+                           eq_mask_row_avx2, sat_words_avx2, argmax_i64_avx2};
+
+}  // namespace cbus::vec::detail
+
+#endif  // CBUS_SIMD_AVX2

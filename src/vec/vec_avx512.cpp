@@ -1,0 +1,101 @@
+// AVX-512F kernels (8 x 64-bit per step, k-mask predication). Compiled
+// only when CBUS_SIMD resolves to avx512; -mavx512f is scoped to this
+// translation unit. Bit-identical to the scalar reference in vec.cpp.
+#if defined(CBUS_SIMD_AVX512)
+
+#include <immintrin.h>
+
+#include "vec/kernels.hpp"
+
+namespace cbus::vec::detail {
+
+namespace {
+
+std::uint64_t credit_tick_row_avx512(const CreditRow& row) noexcept {
+  const __m512i scale = _mm512_set1_epi64(static_cast<long long>(row.scale));
+  const __m512i cap = _mm512_set1_epi64(static_cast<long long>(row.cap));
+  std::uint64_t clamped = 0;
+  for (std::uint32_t l = 0; l < row.n; l += 8) {
+    const __mmask8 upd = static_cast<__mmask8>(row.update_mask >> l);
+    const __m512i v = _mm512_loadu_si512(row.values + l);
+    const __m512i inc = _mm512_loadu_si512(row.incs + l);
+    const __m512i up = _mm512_add_epi64(v, inc);
+    const __mmask8 chg = static_cast<__mmask8>(row.charge_mask >> l);
+    const __m512i charge = _mm512_maskz_mov_epi64(chg, scale);
+    // up < charge: the MaxL-underestimation clamp (native unsigned).
+    const __mmask8 under =
+        _mm512_cmplt_epu64_mask(up, charge) & upd;
+    const __m512i net =
+        _mm512_min_epu64(_mm512_sub_epi64(up, charge), cap);
+    // Clamped lanes go to zero; frozen (retired) lanes keep their value.
+    const __m512i result =
+        _mm512_maskz_mov_epi64(static_cast<__mmask8>(~under), net);
+    _mm512_mask_storeu_epi64(row.values + l, upd, result);
+    clamped |= static_cast<std::uint64_t>(under) << l;
+  }
+  return clamped;
+}
+
+std::uint64_t eq_mask_row_avx512(const std::uint64_t* row,
+                                 std::uint64_t target,
+                                 std::uint32_t n) noexcept {
+  const __m512i t = _mm512_set1_epi64(static_cast<long long>(target));
+  std::uint64_t mask = 0;
+  for (std::uint32_t l = 0; l < n; l += 8) {
+    const __m512i v = _mm512_loadu_si512(row + l);
+    mask |= static_cast<std::uint64_t>(_mm512_cmpeq_epi64_mask(v, t)) << l;
+  }
+  // The tail block read into the padding lanes; drop their compare bits.
+  return n < 64 ? mask & ((std::uint64_t{1} << n) - 1) : mask;
+}
+
+void credit_tick_cycle_avx512(const CreditCycle& cycle) noexcept {
+  for (std::uint32_t m = 0; m < cycle.slots; ++m) {
+    const CreditRow row{
+        cycle.values + std::size_t{m} * cycle.stride,
+        cycle.incs + std::size_t{m} * cycle.stride,
+        cycle.scale,
+        cycle.caps[m],
+        cycle.charge[m],
+        cycle.update_mask,
+        cycle.lanes,
+    };
+    cycle.clamped[m] = credit_tick_row_avx512(row);
+  }
+}
+
+void sat_words_avx512(const SatQuery& query) noexcept {
+  for (std::uint32_t i = 0; i < query.n; ++i) {
+    const std::uint64_t* row =
+        query.values + std::size_t{query.slots[i]} * query.stride;
+    query.out[i] = eq_mask_row_avx512(row, query.caps[i], query.lanes);
+  }
+}
+
+int argmax_i64_avx512(const std::int64_t* scores, std::size_t n) noexcept {
+  std::int64_t best = INT64_MIN;
+  std::size_t l = 0;
+  if (n >= 8) {
+    __m512i vbest = _mm512_loadu_si512(scores);
+    for (l = 8; l + 8 <= n; l += 8) {
+      vbest = _mm512_max_epi64(vbest, _mm512_loadu_si512(scores + l));
+    }
+    best = _mm512_reduce_max_epi64(vbest);
+  }
+  for (; l < n; ++l) best = scores[l] > best ? scores[l] : best;
+  if (best == INT64_MIN) return -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scores[i] == best) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+const Kernels kAvx512Kernels{credit_tick_row_avx512, credit_tick_cycle_avx512,
+                             eq_mask_row_avx512, sat_words_avx512,
+                             argmax_i64_avx512};
+
+}  // namespace cbus::vec::detail
+
+#endif  // CBUS_SIMD_AVX512

@@ -1,0 +1,111 @@
+// AArch64 NEON kernels (2 x 64-bit per step). Compiled only when
+// CBUS_SIMD resolves to neon (AArch64 compiles NEON by default, so no
+// extra -m flags are needed). Bit-identical to the scalar reference in
+// vec.cpp; the kernels stick to baseline A64 intrinsics (vcgtq_u64 /
+// vceqq_u64 are AArch64-only, which the configure check enforces).
+#if defined(CBUS_SIMD_NEON)
+
+#include <arm_neon.h>
+
+#include "vec/kernels.hpp"
+
+namespace cbus::vec::detail {
+
+namespace {
+
+/// Expand the low 2 bits of `mask` to all-ones/all-zeros 64-bit lanes.
+inline uint64x2_t expand2(std::uint64_t mask) noexcept {
+  const uint64x2_t bits = {1, 2};
+  return vceqq_u64(vandq_u64(vdupq_n_u64(mask & 0x3), bits), bits);
+}
+
+/// Low 2 lane-bits of a 64-bit compare mask.
+inline std::uint64_t lane_bits(uint64x2_t mask) noexcept {
+  return (vgetq_lane_u64(mask, 0) & 1u) | ((vgetq_lane_u64(mask, 1) & 1u) << 1);
+}
+
+std::uint64_t credit_tick_row_neon(const CreditRow& row) noexcept {
+  const uint64x2_t scale = vdupq_n_u64(row.scale);
+  const uint64x2_t cap = vdupq_n_u64(row.cap);
+  std::uint64_t clamped = 0;
+  for (std::uint32_t l = 0; l < row.n; l += 2) {
+    const uint64x2_t v = vld1q_u64(row.values + l);
+    const uint64x2_t inc = vld1q_u64(row.incs + l);
+    const uint64x2_t up = vaddq_u64(v, inc);
+    const uint64x2_t charge = vandq_u64(expand2(row.charge_mask >> l), scale);
+    const uint64x2_t under = vcgtq_u64(charge, up);
+    const uint64x2_t net = vsubq_u64(up, charge);
+    const uint64x2_t over = vcgtq_u64(net, cap);
+    uint64x2_t result = vbslq_u64(over, cap, net);
+    result = vbicq_u64(result, under);
+    const uint64x2_t upd = expand2(row.update_mask >> l);
+    result = vbslq_u64(upd, result, v);
+    vst1q_u64(row.values + l, result);
+    clamped |= lane_bits(vandq_u64(under, upd)) << l;
+  }
+  return clamped;
+}
+
+std::uint64_t eq_mask_row_neon(const std::uint64_t* row, std::uint64_t target,
+                               std::uint32_t n) noexcept {
+  const uint64x2_t t = vdupq_n_u64(target);
+  std::uint64_t mask = 0;
+  for (std::uint32_t l = 0; l < n; l += 2) {
+    mask |= lane_bits(vceqq_u64(vld1q_u64(row + l), t)) << l;
+  }
+  // The tail block read into the padding lanes; drop their compare bits.
+  return n < 64 ? mask & ((std::uint64_t{1} << n) - 1) : mask;
+}
+
+void credit_tick_cycle_neon(const CreditCycle& cycle) noexcept {
+  for (std::uint32_t m = 0; m < cycle.slots; ++m) {
+    const CreditRow row{
+        cycle.values + std::size_t{m} * cycle.stride,
+        cycle.incs + std::size_t{m} * cycle.stride,
+        cycle.scale,
+        cycle.caps[m],
+        cycle.charge[m],
+        cycle.update_mask,
+        cycle.lanes,
+    };
+    cycle.clamped[m] = credit_tick_row_neon(row);
+  }
+}
+
+void sat_words_neon(const SatQuery& query) noexcept {
+  for (std::uint32_t i = 0; i < query.n; ++i) {
+    const std::uint64_t* row =
+        query.values + std::size_t{query.slots[i]} * query.stride;
+    query.out[i] = eq_mask_row_neon(row, query.caps[i], query.lanes);
+  }
+}
+
+int argmax_i64_neon(const std::int64_t* scores, std::size_t n) noexcept {
+  std::int64_t best = INT64_MIN;
+  std::size_t l = 0;
+  if (n >= 2) {
+    int64x2_t vbest = vld1q_s64(scores);
+    for (l = 2; l + 2 <= n; l += 2) {
+      const int64x2_t v = vld1q_s64(scores + l);
+      vbest = vbslq_s64(vcgtq_s64(v, vbest), v, vbest);
+    }
+    const std::int64_t a = vgetq_lane_s64(vbest, 0);
+    const std::int64_t b = vgetq_lane_s64(vbest, 1);
+    best = a > b ? a : b;
+  }
+  for (; l < n; ++l) best = scores[l] > best ? scores[l] : best;
+  if (best == INT64_MIN) return -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scores[i] == best) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+const Kernels kNeonKernels{credit_tick_row_neon, credit_tick_cycle_neon,
+                           eq_mask_row_neon, sat_words_neon, argmax_i64_neon};
+
+}  // namespace cbus::vec::detail
+
+#endif  // CBUS_SIMD_NEON
